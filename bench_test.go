@@ -1,0 +1,231 @@
+package laxgpu
+
+// One testing.B benchmark per table and figure of the paper's evaluation:
+// each bench regenerates its experiment end to end (all simulation runs the
+// artifact needs) and reports the artifact's headline number as a custom
+// metric, so `go test -bench=. -benchmem` both times the harness and
+// re-derives the paper's results. Micro-benchmarks for the hot simulation
+// paths follow.
+
+import (
+	"io"
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/harness"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// benchRunner builds a fresh memoization-free runner per iteration so the
+// bench measures real simulation work.
+func benchRunner() *harness.Runner {
+	r := harness.NewRunner()
+	r.JobCount = workload.DefaultJobCount
+	return r
+}
+
+func runExperiment(b *testing.B, id string) *harness.Report {
+	b.Helper()
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		var err error
+		rep, err = harness.RunExperiment(r, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Render(io.Discard)
+	}
+	return rep
+}
+
+// BenchmarkTable1 regenerates the kernel characterization table (isolated
+// execution times on the Table 2 device).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates the many-kernel vs few-kernel workload
+// characterization.
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "figure1") }
+
+// BenchmarkFigure3 regenerates the RR-vs-LAX worked example and reports how
+// many of the three primary jobs each scheduler saved.
+func BenchmarkFigure3(b *testing.B) {
+	var res harness.Figure3Result
+	for i := 0; i < b.N; i++ {
+		res = harness.RunFigure3()
+	}
+	b.ReportMetric(float64(res.LAXMet), "lax-met")
+	b.ReportMetric(float64(res.RRMet), "rr-met")
+}
+
+// BenchmarkFigure4 regenerates the batching-vs-streams response-time sweep.
+func BenchmarkFigure4(b *testing.B) { runExperiment(b, "figure4") }
+
+// BenchmarkFigure6 regenerates the CPU-side scheduler comparison across all
+// three arrival rates and reports LAX's geomean advantage over RR at the
+// high rate.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rep := harness.Figure6(r)
+		rep.Render(io.Discard)
+		counts := harness.DeadlineCounts(r, []string{"RR", "LAX"}, workload.HighRate)
+		b.ReportMetric(metrics.Ratio(float64(counts["LAX"]), float64(counts["RR"])), "lax/rr")
+	}
+}
+
+// BenchmarkFigure7 regenerates the CP-scheduler comparison at the high rate
+// and reports LAX's total deadline-met advantage over the best non-LAX CP
+// scheduler.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rep := harness.Figure7(r)
+		rep.Render(io.Discard)
+		counts := harness.DeadlineCounts(r,
+			[]string{"MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA", "LAX"}, workload.HighRate)
+		best := 0
+		for s, c := range counts {
+			if s != "LAX" && c > best {
+				best = c
+			}
+		}
+		b.ReportMetric(metrics.Ratio(float64(counts["LAX"]), float64(best)), "lax/best-cp")
+	}
+}
+
+// BenchmarkFigure8 regenerates the laxity-variant comparison.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "figure8") }
+
+// BenchmarkFigure9 regenerates the wasted-work comparison and reports LAX's
+// useful-work fraction across benchmarks at the high rate.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rep := harness.Figure9(r)
+		rep.Render(io.Discard)
+		var fracs []float64
+		for _, bench := range workload.BenchmarkNames() {
+			fracs = append(fracs, r.MustRun("LAX", bench, workload.HighRate).UsefulWorkFrac)
+		}
+		b.ReportMetric(metrics.Geomean(fracs), "lax-useful-frac")
+	}
+}
+
+// BenchmarkFigure10 regenerates the prediction/priority traces and reports
+// the LSTM sample job's prediction error (the paper reports 8% MAE).
+func BenchmarkFigure10(b *testing.B) {
+	var mae float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tr, err := harness.RunFigure10(r, "LSTM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		mae = tr.MeanAbsErrPct
+		rep := harness.Figure10(r)
+		rep.Render(io.Discard)
+	}
+	b.ReportMetric(mae, "pred-mae-%")
+}
+
+// BenchmarkTable5 regenerates the throughput/latency/energy grid.
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkAblation regenerates the LAX design-choice ablation study.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkAnalysis regenerates the load-sensitivity sweep, oracle-gap and
+// utilization extension study, reporting LAX's fraction of the
+// perfect-information oracle's deadline-met total.
+func BenchmarkAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rep := harness.Sensitivity(r)
+		rep.Render(io.Discard)
+		counts := harness.DeadlineCounts(r, []string{"LAX", "ORACLE"}, workload.HighRate)
+		b.ReportMetric(metrics.Ratio(float64(counts["LAX"]), float64(counts["ORACLE"])), "lax/oracle")
+	}
+}
+
+// BenchmarkSeeds regenerates the cross-seed robustness study.
+func BenchmarkSeeds(b *testing.B) { runExperiment(b, "seeds") }
+
+// BenchmarkScaling regenerates the device-size sweep and multi-tenant mix.
+func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }
+
+// --- Micro-benchmarks for the simulation substrate ---
+
+// BenchmarkEngineEventChurn measures raw discrete-event throughput.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(10, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(0, tick)
+	eng.Run()
+}
+
+// BenchmarkDeviceWGThroughput measures WG dispatch+completion cost on a
+// saturated device.
+func BenchmarkDeviceWGThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	dev := gpu.New(gpu.DefaultConfig(), eng)
+	desc := &gpu.KernelDesc{
+		Name: "bench", NumWGs: b.N, ThreadsPerWG: 256,
+		BaseWGTime: sim.Microsecond, MemIntensity: 0.5, InstPerThread: 100,
+	}
+	inst := gpu.NewKernelInstance(desc, 0, 0, 0)
+	inst.MarkReady(0)
+	dev.OnWGComplete(func(*gpu.KernelInstance) { dev.TryDispatch(inst, -1) })
+	b.ResetTimer()
+	dev.TryDispatch(inst, -1)
+	eng.Run()
+}
+
+// BenchmarkLAXReprioritize measures one Algorithm 2 pass over a full
+// 128-queue system.
+func BenchmarkLAXReprioritize(b *testing.B) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 128, 1)
+	pol := sched.NewLAX()
+	sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+	// Populate the system mid-flight, then measure pure reprioritization.
+	sys.Engine().Schedule(2*sim.Millisecond, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pol.Reprioritize()
+		}
+		b.StopTimer()
+	})
+	sys.Run()
+}
+
+// BenchmarkFullRun measures one complete 128-job LSTM simulation under LAX.
+func BenchmarkFullRun(b *testing.B) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := cp.NewSystem(cp.DefaultSystemConfig(), set, sched.NewLAX())
+		sys.Run()
+	}
+}

@@ -1,0 +1,232 @@
+// Command laxsim regenerates the paper's evaluation tables and figures on
+// the simulated Table 2 system.
+//
+// Usage:
+//
+//	laxsim                          # run every experiment
+//	laxsim -experiment figure7      # one experiment
+//	laxsim -list                    # list experiment IDs
+//	laxsim -run LAX,LSTM,high       # one raw (scheduler,benchmark,rate) cell
+//	laxsim -run LAX,LSTM,high -trace run.jsonl   # + structured event trace
+//	laxsim -run LAX,STEM,high -timeline          # ASCII schedule timeline
+//	laxsim -run LAX,LSTM,high -gpus 4            # multi-GPU fleet run
+//	laxsim -sweep high -csv out.csv # every scheduler x benchmark at one rate
+//	laxsim -jobs 128 -seed 1 -v     # trace size, seed, progress logging
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"laxgpu/internal/cluster"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/harness"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/viz"
+	"laxgpu/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID to run (default: all); see -list")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		rawRun     = flag.String("run", "", "run one cell: scheduler,benchmark,rate (e.g. LAX,LSTM,high)")
+		jobs       = flag.Int("jobs", workload.DefaultJobCount, "jobs per benchmark trace")
+		seed       = flag.Int64("seed", 1, "random seed for arrival traces")
+		verbose    = flag.Bool("v", false, "log each simulation run")
+		traceOut   = flag.String("trace", "", "with -run: write a JSON-lines event trace to this file")
+		timeline   = flag.Bool("timeline", false, "with -run: render an ASCII schedule timeline")
+		sweepRate  = flag.String("sweep", "", "run every Table 3 scheduler x Table 4 benchmark at this rate")
+		csvOut     = flag.String("csv", "", "with -sweep: write summaries as CSV to this file (default stdout)")
+		format     = flag.String("format", "text", "report format for experiments: text or markdown")
+		gpus       = flag.Int("gpus", 1, "with -run: route the trace over this many GPUs (least-loaded)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	r := harness.NewRunner()
+	r.Seed = *seed
+	r.JobCount = *jobs
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	if *sweepRate != "" {
+		rate, err := workload.ParseRate(*sweepRate)
+		if err != nil {
+			fatal(err)
+		}
+		var summaries []metrics.Summary
+		for _, s := range sched.Table5Schedulers {
+			for _, b := range workload.BenchmarkNames() {
+				sum, err := r.Run(s, b, rate)
+				if err != nil {
+					fatal(err)
+				}
+				summaries = append(summaries, sum)
+			}
+		}
+		out := os.Stdout
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := metrics.WriteCSV(out, summaries); err != nil {
+			fatal(err)
+		}
+		if *csvOut != "" {
+			fmt.Printf("wrote %d rows to %s\n", len(summaries), *csvOut)
+		}
+		return
+	}
+
+	if *rawRun != "" {
+		parts := strings.Split(*rawRun, ",")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("-run wants scheduler,benchmark,rate; got %q", *rawRun))
+		}
+		rate, err := workload.ParseRate(parts[2])
+		if err != nil {
+			fatal(err)
+		}
+		if *gpus > 1 {
+			if err := runFleet(r, parts[0], parts[1], rate, *gpus); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *traceOut != "" || *timeline {
+			if err := runTraced(r, parts[0], parts[1], rate, *traceOut, *timeline); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		s, err := r.Run(parts[0], parts[1], rate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected\n",
+			s.Scheduler, s.Benchmark, s.Rate, s.MetDeadline, s.TotalJobs, s.Rejected)
+		fmt.Printf("  throughput %.0f successful jobs/s, p99 latency %.3f ms, useful work %.1f%%\n",
+			s.ThroughputJobsPerSec, s.P99LatencyMs, 100*s.UsefulWorkFrac)
+		if s.MetDeadline > 0 {
+			fmt.Printf("  energy %.2f mJ per successful job\n", s.EnergyPerSuccessMJ)
+		}
+		return
+	}
+
+	render := func(rep *harness.Report) {
+		switch *format {
+		case "markdown", "md":
+			rep.RenderMarkdown(os.Stdout)
+		default:
+			rep.Render(os.Stdout)
+		}
+	}
+
+	if *experiment != "" {
+		rep, err := harness.RunExperiment(r, *experiment)
+		if err != nil {
+			fatal(err)
+		}
+		render(rep)
+		return
+	}
+
+	for _, rep := range harness.All(r) {
+		render(rep)
+	}
+}
+
+// runTraced executes one cell with a structured event trace attached,
+// optionally writing the raw trace to a file and/or rendering an ASCII
+// timeline of the schedule.
+func runTraced(r *harness.Runner, schedName, benchName string, rate workload.Rate, path string, timeline bool) error {
+	pol, err := sched.New(schedName)
+	if err != nil {
+		return err
+	}
+	set, err := r.JobSet(benchName, rate)
+	if err != nil {
+		return err
+	}
+
+	var buf bytes.Buffer
+	sinks := []io.Writer{&buf}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+
+	tracer := cp.NewTracer(io.MultiWriter(sinks...))
+	sys := cp.NewSystem(r.Cfg, set, pol)
+	sys.SetTracer(tracer)
+	sys.Run()
+	if err := tracer.Err(); err != nil {
+		return err
+	}
+	s := metrics.Summarize(sys, schedName, benchName, rate.String())
+	fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected, %d cancelled\n",
+		s.Scheduler, s.Benchmark, s.Rate, s.MetDeadline, s.TotalJobs, s.Rejected, s.Cancelled)
+	if path != "" {
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Events(), path)
+	}
+	if timeline {
+		events, err := viz.ParseEvents(&buf)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		return viz.RenderTimeline(os.Stdout, events, viz.Options{})
+	}
+	return nil
+}
+
+// runFleet routes the cell's trace over a multi-GPU cluster with
+// least-loaded front-end routing.
+func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate, gpus int) error {
+	set, err := r.JobSet(benchName, rate)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.Run(cluster.Config{
+		GPUs:      gpus,
+		System:    r.Cfg,
+		Routing:   cluster.RouteLeastLoaded,
+		Scheduler: schedName,
+	}, set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%s rate) over %d GPUs: %d/%d met deadline (%.0f%%), %d rejected, imbalance %.2f\n",
+		schedName, benchName, rate, gpus,
+		res.MetDeadline, res.TotalJobs, 100*res.DeadlineFrac(), res.Rejected, res.Imbalance)
+	for g, s := range res.PerGPU {
+		fmt.Printf("  gpu%d: %3d jobs, %3d met, %3d rejected\n", g, s.TotalJobs, s.MetDeadline, s.Rejected)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laxsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the laxsim binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "laxsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+
+	t.Run("list", func(t *testing.T) {
+		out, err := run(t, bin, "-list")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		for _, id := range []string{"table1", "figure7", "table5", "ablation", "analysis"} {
+			if !strings.Contains(out, id) {
+				t.Errorf("-list missing %q:\n%s", id, out)
+			}
+		}
+	})
+
+	t.Run("run-cell", func(t *testing.T) {
+		out, err := run(t, bin, "-run", "LAX,IPV6,high", "-jobs", "32")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "LAX on IPV6") || !strings.Contains(out, "met deadline") {
+			t.Errorf("unexpected -run output:\n%s", out)
+		}
+	})
+
+	t.Run("experiment-markdown", func(t *testing.T) {
+		out, err := run(t, bin, "-experiment", "figure3", "-format", "markdown")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "## Figure3:") || !strings.Contains(out, "| --- |") {
+			t.Errorf("markdown output wrong:\n%s", out)
+		}
+	})
+
+	t.Run("trace-and-timeline", func(t *testing.T) {
+		tracePath := filepath.Join(t.TempDir(), "t.jsonl")
+		out, err := run(t, bin, "-run", "RR,STEM,high", "-jobs", "16", "-trace", tracePath, "-timeline")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "trace events") || !strings.Contains(out, "legend:") {
+			t.Errorf("trace/timeline output wrong:\n%s", out)
+		}
+		data, err := os.ReadFile(tracePath)
+		if err != nil || len(data) == 0 {
+			t.Fatalf("trace file empty: %v", err)
+		}
+	})
+
+	t.Run("sweep-csv", func(t *testing.T) {
+		csvPath := filepath.Join(t.TempDir(), "s.csv")
+		out, err := run(t, bin, "-sweep", "low", "-jobs", "8", "-csv", csvPath)
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		data, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "scheduler,benchmark,rate") {
+			t.Errorf("csv header wrong:\n%.120s", data)
+		}
+		// 11 Table 5 schedulers x 8 benchmarks + header.
+		if lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; lines != 89 {
+			t.Errorf("csv has %d lines, want 89", lines)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		if out, err := run(t, bin, "-run", "NOPE,IPV6,high"); err == nil {
+			t.Errorf("unknown scheduler accepted:\n%s", out)
+		}
+		if out, err := run(t, bin, "-run", "malformed"); err == nil {
+			t.Errorf("malformed -run accepted:\n%s", out)
+		}
+		if out, err := run(t, bin, "-experiment", "figure99"); err == nil {
+			t.Errorf("unknown experiment accepted:\n%s", out)
+		}
+		if out, err := run(t, bin, "-sweep", "ultra"); err == nil {
+			t.Errorf("unknown sweep rate accepted:\n%s", out)
+		}
+	})
+}
+
+func TestCLIFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	out, err := run(t, bin, "-run", "LAX,IPV6,high", "-jobs", "24", "-gpus", "2")
+	if err != nil {
+		t.Fatal(err, out)
+	}
+	if !strings.Contains(out, "over 2 GPUs") || !strings.Contains(out, "gpu1:") {
+		t.Errorf("fleet output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,57 @@
+package laxgpu_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"laxgpu"
+)
+
+// The headline comparison: deadline-blind round robin versus the
+// laxity-aware scheduler on LSTM inference serving at the paper's high
+// arrival rate.
+func ExampleRun() {
+	rr, err := laxgpu.Run(laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lax, err := laxgpu.Run(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LAX meets more deadlines than RR:", lax.MetDeadline > rr.MetDeadline)
+	fmt.Println("LAX wastes less work than RR:", lax.UsefulWorkFrac > rr.UsefulWorkFrac)
+	fmt.Println("LAX sheds load via admission control:", lax.Rejected > 0 && rr.Rejected == 0)
+	// Output:
+	// LAX meets more deadlines than RR: true
+	// LAX wastes less work than RR: true
+	// LAX sheds load via admission control: true
+}
+
+// Replaying an external arrival trace (e.g. a production request log)
+// against any scheduler in the zoo.
+func ExampleRunTrace() {
+	trace := strings.NewReader(strings.Join([]string{
+		"arrival_us,deadline_us,kernels",
+		"0,40,IPV6Kernel",
+		"15,40,IPV6Kernel",
+		"200,600,cuckooKernel",
+	}, "\n"))
+	res, err := laxgpu.RunTrace(trace, "LAX")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("jobs offered:", res.TotalJobs)
+	fmt.Println("all accounted for:", res.Completed+res.Rejected+res.Cancelled == res.TotalJobs)
+	// Output:
+	// jobs offered: 3
+	// all accounted for: true
+}
+
+// Enumerating what the library can simulate.
+func ExampleBenchmarks() {
+	fmt.Println(strings.Join(laxgpu.Benchmarks(), " "))
+	// Output:
+	// LSTM GRU VAN HYBRID IPV6 CUCKOO GMM STEM
+}

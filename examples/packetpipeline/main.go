@@ -1,0 +1,111 @@
+// packetpipeline simulates GPU-offloaded network packet processing — the
+// paper's IPV6 longest-prefix-match (40 µs deadline) and Cuckoo-hash MAC
+// lookup (600 µs deadline) workloads — using the library's lower-level
+// simulation API to build a custom mixed pipeline: both packet classes
+// share one GPU, arriving on independent Poisson processes.
+//
+// It compares deadline-blind RR, deadline-only EDF, and LAX on the mixed
+// trace, showing per-class deadline-met fractions: exactly the situation
+// where a scheduler must spend the GPU on lookups that can still make line
+// rate and shed the rest.
+//
+//	go run ./examples/packetpipeline
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+func main() {
+	cfg := cp.DefaultSystemConfig()
+	lib := workload.NewLibrary(cfg.GPU)
+
+	// Build a mixed trace: 96 IPV6 lookups at 48k/s interleaved with 32
+	// Cuckoo lookups at 6k/s, merged by arrival time.
+	set := buildMixedTrace(lib, 1)
+
+	fmt.Println("GPU packet-processing pipeline: IPV6 (40µs deadline) + CUCKOO (600µs deadline)")
+	fmt.Printf("%d mixed lookups; shared 8-CU GPU\n\n", set.Len())
+	fmt.Printf("%-6s %10s %10s %10s %12s %10s\n",
+		"sched", "IPV6 met", "CUCKOO met", "rejected", "p99", "useful%")
+
+	for _, name := range []string{"RR", "EDF", "LAX"} {
+		pol, err := sched.New(name)
+		if err != nil {
+			panic(err)
+		}
+		sys := cp.NewSystem(cfg, set, pol)
+		sys.Run()
+
+		met := map[string]int{}
+		total := map[string]int{}
+		var latencies []float64
+		for _, j := range sys.Jobs() {
+			total[j.Job.Benchmark]++
+			if j.MetDeadline() {
+				met[j.Job.Benchmark]++
+			}
+			if j.Done() {
+				latencies = append(latencies, j.Latency().Milliseconds())
+			}
+		}
+		s := metrics.Summarize(sys, name, "mixed", "custom")
+		fmt.Printf("%-6s %6d/%-3d %6d/%-3d %10d %12.3fms %9.1f%%\n",
+			name,
+			met["IPV6"], total["IPV6"],
+			met["CUCKOO"], total["CUCKOO"],
+			sys.RejectedCount(),
+			metrics.Percentile(latencies, 99),
+			100*s.UsefulWorkFrac)
+	}
+
+	fmt.Println("\nIPV6's 40µs budget leaves no room for queueing: a lookup either starts")
+	fmt.Println("almost immediately or is already dead. LAX's queueing-delay estimate")
+	fmt.Println("rejects the dead ones at the host, so the GPU serves packets that still")
+	fmt.Println("make line rate; CUCKOO's looser budget absorbs the displaced load.")
+}
+
+// buildMixedTrace merges IPV6 and CUCKOO Poisson arrivals into one job set
+// with dense IDs sorted by arrival time.
+func buildMixedTrace(lib *workload.Library, seed int64) *workload.JobSet {
+	rng := sim.NewRNG(seed)
+	type proto struct {
+		bench    string
+		kernel   string
+		deadline sim.Time
+		count    int
+		meanGap  sim.Time
+	}
+	protos := []proto{
+		{"IPV6", "IPV6Kernel", 40 * sim.Microsecond, 96, sim.Second / 48000},
+		{"CUCKOO", "cuckooKernel", 600 * sim.Microsecond, 32, sim.Second / 6000},
+	}
+	var jobs []*workload.Job
+	for _, p := range protos {
+		var t sim.Time
+		for i := 0; i < p.count; i++ {
+			if i > 0 {
+				t += rng.Exp(p.meanGap)
+			}
+			jobs = append(jobs, &workload.Job{
+				Benchmark: p.bench,
+				Arrival:   t,
+				Deadline:  p.deadline,
+				Kernels:   []*gpu.KernelDesc{lib.Kernel(p.kernel)},
+			})
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	for i, j := range jobs {
+		j.ID = i
+	}
+	return &workload.JobSet{Benchmark: "mixed", Seed: seed, Jobs: jobs}
+}

@@ -1,0 +1,3 @@
+module laxgpu
+
+go 1.22

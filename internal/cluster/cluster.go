@@ -1,0 +1,194 @@
+// Package cluster scales the single-GPU system of the paper out to a
+// multi-accelerator server: a front-end router assigns each arriving job to
+// one GPU, then every GPU runs the paper's machinery (command processor,
+// scheduler, admission) independently. This is the datacenter setting the
+// paper's introduction motivates — the pull-based overload handling of its
+// SRE citation — extended from one device to a fleet.
+//
+// Routing happens at arrival with front-end knowledge only (static job
+// size estimates and the router's own bookkeeping of what it already sent
+// where), exactly what a real load balancer has; the per-GPU schedulers
+// then see ordinary single-device traffic.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// RoutingPolicy selects how the front end spreads jobs over GPUs.
+type RoutingPolicy int
+
+const (
+	// RouteRoundRobin cycles GPUs per arrival.
+	RouteRoundRobin RoutingPolicy = iota
+	// RouteLeastLoaded sends each job to the GPU with the least estimated
+	// outstanding work (static isolated-time estimates, decayed by
+	// arrival-time progress — what a front end can actually know).
+	RouteLeastLoaded
+	// RouteJobHash pins jobs to GPUs by job ID (session affinity).
+	RouteJobHash
+)
+
+func (p RoutingPolicy) String() string {
+	switch p {
+	case RouteRoundRobin:
+		return "round-robin"
+	case RouteLeastLoaded:
+		return "least-loaded"
+	case RouteJobHash:
+		return "job-hash"
+	default:
+		return fmt.Sprintf("RoutingPolicy(%d)", int(p))
+	}
+}
+
+// Config describes the cluster.
+type Config struct {
+	// GPUs is the accelerator count (≥ 1).
+	GPUs int
+
+	// System configures each GPU (the paper's Table 2 by default).
+	System cp.SystemConfig
+
+	// Routing selects the front-end policy.
+	Routing RoutingPolicy
+
+	// Scheduler names the per-GPU queue scheduler.
+	Scheduler string
+}
+
+// Result aggregates the fleet outcome.
+type Result struct {
+	// PerGPU holds each device's summary.
+	PerGPU []metrics.Summary
+
+	// MetDeadline, Rejected, Cancelled and TotalJobs aggregate the fleet.
+	MetDeadline int
+	Rejected    int
+	Cancelled   int
+	TotalJobs   int
+
+	// Imbalance is max/min jobs routed per GPU (1.0 = perfectly even).
+	Imbalance float64
+}
+
+// DeadlineFrac is the fleet-wide deadline-met fraction.
+func (r Result) DeadlineFrac() float64 {
+	if r.TotalJobs == 0 {
+		return 0
+	}
+	return float64(r.MetDeadline) / float64(r.TotalJobs)
+}
+
+// Run routes the job set across the fleet and simulates every GPU.
+func Run(cfg Config, set *workload.JobSet) (Result, error) {
+	if cfg.GPUs < 1 {
+		return Result{}, fmt.Errorf("cluster: GPUs = %d, must be >= 1", cfg.GPUs)
+	}
+	if _, err := sched.New(cfg.Scheduler); err != nil {
+		return Result{}, err
+	}
+	subsets, err := route(cfg, set)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{TotalJobs: set.Len()}
+	minJobs, maxJobs := set.Len()+1, 0
+	for g, sub := range subsets {
+		if sub.Len() < minJobs {
+			minJobs = sub.Len()
+		}
+		if sub.Len() > maxJobs {
+			maxJobs = sub.Len()
+		}
+		pol, err := sched.New(cfg.Scheduler)
+		if err != nil {
+			return Result{}, err
+		}
+		sys := cp.NewSystem(cfg.System, sub, pol)
+		sys.Run()
+		sum := metrics.Summarize(sys, cfg.Scheduler, set.Benchmark, fmt.Sprintf("gpu%d", g))
+		res.PerGPU = append(res.PerGPU, sum)
+		res.MetDeadline += sum.MetDeadline
+		res.Rejected += sum.Rejected
+		res.Cancelled += sum.Cancelled
+	}
+	if minJobs > 0 {
+		res.Imbalance = float64(maxJobs) / float64(minJobs)
+	}
+	return res, nil
+}
+
+// route splits the trace into per-GPU job sets with dense per-GPU IDs,
+// preserving arrival times.
+func route(cfg Config, set *workload.JobSet) ([]*workload.JobSet, error) {
+	subsets := make([]*workload.JobSet, cfg.GPUs)
+	for g := range subsets {
+		subsets[g] = &workload.JobSet{
+			Benchmark: set.Benchmark,
+			Seed:      set.Seed,
+		}
+	}
+
+	// Front-end load estimates for least-loaded routing: outstanding
+	// estimated work per GPU, decayed by wall-clock progress between
+	// arrivals (work drains at ~1 device-second per second).
+	outstanding := make([]sim.Time, cfg.GPUs)
+	var lastArrival sim.Time
+
+	pick := func(i int, j *workload.Job) int {
+		switch cfg.Routing {
+		case RouteLeastLoaded:
+			elapsed := j.Arrival - lastArrival
+			for g := range outstanding {
+				outstanding[g] -= elapsed
+				if outstanding[g] < 0 {
+					outstanding[g] = 0
+				}
+			}
+			lastArrival = j.Arrival
+			best := 0
+			for g := 1; g < cfg.GPUs; g++ {
+				if outstanding[g] < outstanding[best] {
+					best = g
+				}
+			}
+			outstanding[best] += j.SerialTime(cfg.System.GPU)
+			return best
+		case RouteJobHash:
+			return j.ID % cfg.GPUs
+		default:
+			return i % cfg.GPUs
+		}
+	}
+
+	// Jobs are already arrival-sorted in generated sets; keep that order.
+	jobs := append([]*workload.Job(nil), set.Jobs...)
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	for i, j := range jobs {
+		g := pick(i, j)
+		clone := *j
+		clone.ID = subsets[g].Len()
+		subsets[g].Jobs = append(subsets[g].Jobs, &clone)
+	}
+	return subsets, nil
+}
+
+// Capacity estimates the per-GPU device-time capacity consumed by the set,
+// a quick feasibility check for sizing fleets.
+func Capacity(cfg gpu.Config, set *workload.JobSet) sim.Time {
+	var total sim.Time
+	for _, j := range set.Jobs {
+		total += j.SerialTime(cfg)
+	}
+	return total
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/workload"
+)
+
+func testSet(t *testing.T, n int) *workload.JobSet {
+	t.Helper()
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bench.Generate(lib, workload.HighRate, n, 3)
+}
+
+func baseConfig(gpus int, routing RoutingPolicy) Config {
+	return Config{
+		GPUs:      gpus,
+		System:    cp.DefaultSystemConfig(),
+		Routing:   routing,
+		Scheduler: "LAX",
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	set := testSet(t, 8)
+	if _, err := Run(Config{GPUs: 0, System: cp.DefaultSystemConfig(), Scheduler: "LAX"}, set); err == nil {
+		t.Fatal("zero GPUs accepted")
+	}
+	if _, err := Run(Config{GPUs: 1, System: cp.DefaultSystemConfig(), Scheduler: "NOPE"}, set); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestClusterSingleGPUMatchesSystem(t *testing.T) {
+	// A 1-GPU cluster must reproduce the plain single-system result.
+	set := testSet(t, 48)
+	res, err := Run(baseConfig(1, RouteRoundRobin), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sched.New("LAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+	sys.Run()
+	met := 0
+	for _, j := range sys.Jobs() {
+		if j.MetDeadline() {
+			met++
+		}
+	}
+	if res.MetDeadline != met {
+		t.Fatalf("1-GPU cluster met %d, plain system met %d", res.MetDeadline, met)
+	}
+	if len(res.PerGPU) != 1 || res.TotalJobs != 48 {
+		t.Fatalf("result shape wrong: %+v", res)
+	}
+}
+
+func TestClusterConservesJobs(t *testing.T) {
+	set := testSet(t, 64)
+	for _, routing := range []RoutingPolicy{RouteRoundRobin, RouteLeastLoaded, RouteJobHash} {
+		res, err := Run(baseConfig(4, routing), set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perGPUTotal := 0
+		for _, s := range res.PerGPU {
+			perGPUTotal += s.TotalJobs
+		}
+		if perGPUTotal != set.Len() {
+			t.Fatalf("%v: routed %d jobs of %d", routing, perGPUTotal, set.Len())
+		}
+		if res.MetDeadline > res.TotalJobs {
+			t.Fatalf("%v: met more than offered", routing)
+		}
+		if res.DeadlineFrac() < 0 || res.DeadlineFrac() > 1 {
+			t.Fatalf("%v: frac %v", routing, res.DeadlineFrac())
+		}
+	}
+}
+
+func TestClusterScalingHelps(t *testing.T) {
+	// The same overloaded trace on 1 vs 4 GPUs: more machines must meet
+	// (weakly) more deadlines.
+	set := testSet(t, 96)
+	one, err := Run(baseConfig(1, RouteLeastLoaded), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(baseConfig(4, RouteLeastLoaded), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.MetDeadline <= one.MetDeadline {
+		t.Fatalf("4 GPUs met %d <= 1 GPU met %d", four.MetDeadline, one.MetDeadline)
+	}
+}
+
+func TestRoundRobinRoutingIsBalanced(t *testing.T) {
+	set := testSet(t, 64)
+	res, err := Run(baseConfig(4, RouteRoundRobin), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance != 1.0 {
+		t.Fatalf("round-robin imbalance %v, want 1.0", res.Imbalance)
+	}
+}
+
+func TestLeastLoadedBeatsHashOnSkewedSizes(t *testing.T) {
+	// LSTM jobs vary in sequence length, so hash routing lands unlucky
+	// long-job clusters; least-loaded smooths estimated work. At minimum,
+	// least-loaded must not do worse.
+	set := testSet(t, 96)
+	hash, err := Run(baseConfig(2, RouteJobHash), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	least, err := Run(baseConfig(2, RouteLeastLoaded), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if least.MetDeadline < hash.MetDeadline {
+		t.Fatalf("least-loaded met %d < hash %d", least.MetDeadline, hash.MetDeadline)
+	}
+}
+
+func TestRoutingPolicyString(t *testing.T) {
+	if RouteRoundRobin.String() != "round-robin" ||
+		RouteLeastLoaded.String() != "least-loaded" ||
+		RouteJobHash.String() != "job-hash" ||
+		RoutingPolicy(9).String() != "RoutingPolicy(9)" {
+		t.Fatal("routing names wrong")
+	}
+}
+
+func TestCapacityEstimate(t *testing.T) {
+	set := testSet(t, 16)
+	if Capacity(gpu.DefaultConfig(), set) <= 0 {
+		t.Fatal("capacity estimate not positive")
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the paper's primary contribution: the LAX
+// laxity-aware scheduling machinery. It contains the Kernel Profiling Table
+// (dynamic per-kernel workgroup completion rates, §4.2), the job
+// remaining-time estimator driven by stream-inspected WGLists, the
+// Little's-Law queuing-delay admission test (Algorithm 1, §4.3), and the
+// laxity priority function (Algorithm 2, §4.4).
+//
+// The package is deliberately free of simulator plumbing: everything
+// operates on plain values and the device's performance counters, so each
+// algorithm is testable in isolation and reusable by the LAX, LAX-SW,
+// LAX-CPU and SRF policies.
+package core
+
+import (
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// WGEntry is one element of a job's WGList: a kernel type and the number of
+// its workgroups that have not completed. Stream inspection produces the
+// initial list; entries are decremented as WGs finish (§4.2).
+type WGEntry struct {
+	Kernel string
+	WGs    int
+}
+
+// DefaultUpdateInterval is how often the Kernel Profiling Table is
+// refreshed and priorities are recomputed — "empirically set at 100 µs"
+// (§4.2, §4.4).
+const DefaultUpdateInterval = 100 * sim.Microsecond
+
+// ProfilingTable is the Kernel Profiling Table: per-kernel-type workgroup
+// completion rates, periodically refreshed from device counters so
+// estimates "adapt quickly and effectively to changing contention levels"
+// (§4.3).
+//
+// Rates are device-aggregate (WGs per nanosecond across all CUs), so
+// dividing a WG count by the rate directly yields wall-clock time under the
+// current contention and parallelism — the quantity Algorithms 1 and 2
+// consume.
+type ProfilingTable struct {
+	// alpha is the EWMA weight given to the newest window's rate. 1 means
+	// "use only the latest window".
+	alpha float64
+
+	rates      map[string]float64 // WGs per nanosecond of device delivery
+	lastCounts map[string]uint64
+	lastBusy   map[string]sim.Time
+	lastLatSum map[string]sim.Time
+	capacity   map[string]int // max concurrently resident WGs per kernel
+	lastSample sim.Time
+}
+
+// NewProfilingTable returns an empty table. alpha in (0,1] controls
+// smoothing across 100 µs windows; the paper's description implies fast
+// adaptation, so values near 1 are appropriate.
+func NewProfilingTable(alpha float64) *ProfilingTable {
+	if alpha <= 0 || alpha > 1 {
+		panic("core: ProfilingTable alpha must be in (0,1]")
+	}
+	return &ProfilingTable{
+		alpha:      alpha,
+		rates:      make(map[string]float64),
+		lastCounts: make(map[string]uint64),
+		lastBusy:   make(map[string]sim.Time),
+		lastLatSum: make(map[string]sim.Time),
+		capacity:   make(map[string]int),
+	}
+}
+
+// SetCapacity records how many WGs of the kernel type the device can host
+// concurrently (from the kernel packet's thread/register/LDS fields). With
+// a known capacity, the profiled rate is the device's delivery capacity for
+// the kernel — capacity / mean observed WG latency — rather than the rate
+// at whatever occupancy happened to occur. The distinction matters at low
+// load: an arriving job should not be rejected because the lone job in
+// flight is using a tenth of the machine.
+func (t *ProfilingTable) SetCapacity(name string, maxConcurrentWGs int) {
+	if maxConcurrentWGs > 0 {
+		t.capacity[name] = maxConcurrentWGs
+	}
+}
+
+// Update samples the device counters at time now and refreshes each
+// kernel's completion rate from the window's observations.
+//
+// With a registered capacity, the rate is capacity / mean-WG-latency, where
+// the mean latency averages the actual dispatch-to-completion latencies of
+// the WGs that finished in the window — the device's delivery capacity for
+// the kernel under the contention actually experienced. Without one, the
+// rate falls back to completions per busy nanosecond (time with ≥1 WG in
+// flight).
+//
+// Either way the denominator is never wall time: an idle window says
+// nothing about how fast a kernel completes when scheduled, and dividing by
+// wall time would collapse the rate whenever admission control empties the
+// device (reject → lower rate → larger estimates → more rejects — a death
+// spiral). Windows with no completions leave the last rate in place.
+func (t *ProfilingTable) Update(c *gpu.Counters, now sim.Time) {
+	window := now - t.lastSample
+	if window <= 0 {
+		return
+	}
+	for _, name := range c.KernelNames() {
+		cum := c.Completed(name)
+		busy := c.Busy(name, now)
+		latSum := c.LatencySum(name)
+		delta := cum - t.lastCounts[name]
+		busyDelta := busy - t.lastBusy[name]
+		latDelta := latSum - t.lastLatSum[name]
+		t.lastCounts[name] = cum
+		t.lastBusy[name] = busy
+		t.lastLatSum[name] = latSum
+		if delta == 0 {
+			continue
+		}
+		var rate float64
+		if cap, ok := t.capacity[name]; ok && latDelta > 0 {
+			meanLatency := float64(latDelta) / float64(delta)
+			rate = float64(cap) / meanLatency
+		} else if busyDelta > 0 {
+			rate = float64(delta) / float64(busyDelta)
+		} else {
+			continue
+		}
+		if old, ok := t.rates[name]; ok {
+			t.rates[name] = t.alpha*rate + (1-t.alpha)*old
+		} else {
+			t.rates[name] = rate
+		}
+	}
+	t.lastSample = now
+}
+
+// ObserveRate force-sets a kernel's rate (WGs/ns). Used by tests and by
+// policies seeding tables from offline profiles (Prophet-style).
+func (t *ProfilingTable) ObserveRate(name string, wgsPerNs float64) {
+	if wgsPerNs > 0 {
+		t.rates[name] = wgsPerNs
+	}
+}
+
+// Rate returns the profiled completion rate for the kernel type and whether
+// one exists yet.
+func (t *ProfilingTable) Rate(name string) (float64, bool) {
+	r, ok := t.rates[name]
+	return r, ok
+}
+
+// Snapshot returns a deep copy of the table's current rates. CPU-side LAX
+// variants schedule from snapshots that lag the live table by a host-device
+// round trip (the paper's fidelity argument for extending the CP).
+func (t *ProfilingTable) Snapshot() *ProfilingTable {
+	c := NewProfilingTable(t.alpha)
+	for k, v := range t.rates {
+		c.rates[k] = v
+	}
+	for k, v := range t.lastCounts {
+		c.lastCounts[k] = v
+	}
+	for k, v := range t.lastBusy {
+		c.lastBusy[k] = v
+	}
+	for k, v := range t.lastLatSum {
+		c.lastLatSum[k] = v
+	}
+	for k, v := range t.capacity {
+		c.capacity[k] = v
+	}
+	c.lastSample = t.lastSample
+	return c
+}
+
+// KernelTime estimates how long one launch of wgs workgroups of the kernel
+// type will take under current conditions: the measured per-WG latency
+// times the number of waves the launch itself needs. The launch's effective
+// concurrency is bounded by its own WG count — a single-workgroup kernel
+// takes one WG latency no matter how many WGs of its type the device could
+// co-host. With no profiled rate yet, LAX "optimistically assumes it takes
+// no time, to avoid rejecting work it could potentially complete" (§4.3) —
+// it returns 0.
+func (t *ProfilingTable) KernelTime(name string, wgs int) sim.Time {
+	if wgs <= 0 {
+		return 0
+	}
+	rate, ok := t.rates[name]
+	if !ok || rate <= 0 {
+		return 0
+	}
+	if cap, ok := t.capacity[name]; ok && wgs < cap {
+		// rate is capacity/meanLatency; re-derive the launch-local rate
+		// wgs/meanLatency.
+		return sim.Time(float64(cap) / rate)
+	}
+	return sim.Time(float64(wgs) / rate)
+}
+
+// DrainTime estimates the kernel type's contribution to draining the whole
+// queue: wgs divided by the device's delivery capacity for the kernel. This
+// is the Little's-Law view — many jobs' identical kernels drain in
+// parallel — and feeds Algorithm 1's queuing-delay sum.
+func (t *ProfilingTable) DrainTime(name string, wgs int) sim.Time {
+	if wgs <= 0 {
+		return 0
+	}
+	rate, ok := t.rates[name]
+	if !ok || rate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(wgs) / rate)
+}
+
+// RemainingTime estimates the time for one job to finish its WGList:
+// kernels in a job are sequentially dependent, so per-kernel launch
+// estimates sum (§4.2). Used by Algorithm 2's laxity and by SRF.
+func (t *ProfilingTable) RemainingTime(list []WGEntry) sim.Time {
+	var total sim.Time
+	for _, e := range list {
+		total += t.KernelTime(e.Kernel, e.WGs)
+	}
+	return total
+}
+
+// RemainingDrain estimates a job's contribution to the system-wide queuing
+// delay (Algorithm 1 lines 8-10).
+func (t *ProfilingTable) RemainingDrain(list []WGEntry) sim.Time {
+	var total sim.Time
+	for _, e := range list {
+		total += t.DrainTime(e.Kernel, e.WGs)
+	}
+	return total
+}

@@ -1,0 +1,502 @@
+package cp
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// SystemConfig holds the offload-path parameters from §5 of the paper.
+type SystemConfig struct {
+	GPU gpu.Config
+
+	// NumQueues is the number of hardware compute queues (Table 2: 128).
+	// If more jobs are admitted than queues exist, the excess waits on the
+	// host until a queue frees.
+	NumQueues int
+
+	// ParseStreams and ParseLatency model stream inspection bandwidth: the
+	// CP "can parse four streams in parallel every 2 µs" (§5).
+	ParseStreams int
+	ParseLatency sim.Time
+
+	// PriorityLevels, when positive, quantizes job priorities into that
+	// many hardware levels at dispatch time — contemporary GPUs expose
+	// only "a limited number of priorities (e.g., high and low)" (§2.2),
+	// whereas the paper's proposal assumes the CP can order queues by full
+	// laxity values. 0 means unlimited (the paper's design).
+	PriorityLevels int
+}
+
+// DefaultSystemConfig returns the paper's simulated system.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		GPU:          gpu.DefaultConfig(),
+		NumQueues:    128,
+		ParseStreams: 4,
+		ParseLatency: 2 * sim.Microsecond,
+	}
+}
+
+// System wires a device, a command processor, a policy and a job trace into
+// a runnable simulation. It owns all job state transitions.
+type System struct {
+	cfg SystemConfig
+	eng *sim.Engine
+	dev *gpu.Device
+	pol Policy
+
+	jobs    []*JobRun // by Job.ID
+	active  []*JobRun // admitted, unfinished, holding a queue
+	hostQ   []*JobRun // admitted, waiting for a free queue
+	blocked []*JobRun // waiting on the policy's AdvanceGate
+
+	freeQueues []int
+
+	// parserFreeAt models ParseStreams parallel inspection slots.
+	parserFreeAt []sim.Time
+
+	// hostFreeAt models the host-side launch pipe for CPU-side policies: a
+	// single driver thread issues kernel launches one PerKernelLaunch
+	// round trip at a time, shared across every job. This is what caps
+	// CPU-side schedulers on many-kernel workloads — the aggregate launch
+	// demand can exceed the pipe's bandwidth.
+	hostFreeAt sim.Time
+
+	arrivalsLeft   int
+	timerArmed     bool
+	stallKickArmed bool
+
+	tracer *Tracer
+
+	completed int
+	rejected  int
+}
+
+// NewSystem builds a system for the job set under the policy. The job set
+// is not mutated; a JobRun is created per job.
+func NewSystem(cfg SystemConfig, set *workload.JobSet, pol Policy) *System {
+	if cfg.NumQueues <= 0 || cfg.ParseStreams <= 0 {
+		panic(fmt.Sprintf("cp: invalid system config %+v", cfg))
+	}
+	s := &System{
+		cfg: cfg,
+		eng: sim.NewEngine(),
+		pol: pol,
+	}
+	s.dev = gpu.New(cfg.GPU, s.eng)
+	s.dev.OnWGComplete(s.onWGComplete)
+	s.dev.OnKernelDone(s.onKernelDone)
+	s.parserFreeAt = make([]sim.Time, cfg.ParseStreams)
+	s.freeQueues = make([]int, cfg.NumQueues)
+	for i := range s.freeQueues {
+		s.freeQueues[i] = cfg.NumQueues - 1 - i // pop from the back → queue 0 first
+	}
+	s.jobs = make([]*JobRun, len(set.Jobs))
+	for i, job := range set.Jobs {
+		if job.ID != i {
+			panic(fmt.Sprintf("cp: job IDs must be dense, got %d at %d", job.ID, i))
+		}
+		s.jobs[i] = newJobRun(job, -1)
+	}
+	pol.Attach(s)
+	return s
+}
+
+// Engine returns the simulation engine (policies schedule their own events
+// through it).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Device returns the GPU model.
+func (s *System) Device() *gpu.Device { return s.dev }
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.eng.Now() }
+
+// Jobs returns every job in the trace (indexed by job ID).
+func (s *System) Jobs() []*JobRun { return s.jobs }
+
+// Active returns the jobs currently admitted and unfinished, in arrival
+// order. The caller must not retain or mutate the slice across events.
+func (s *System) Active() []*JobRun { return s.active }
+
+// Job returns the JobRun for a job ID.
+func (s *System) Job(id int) *JobRun { return s.jobs[id] }
+
+// SetTracer installs a structured run tracer (JSON lines). Pass nil to
+// disable. Must be called before Run.
+func (s *System) SetTracer(t *Tracer) { s.tracer = t }
+
+// Run schedules all arrivals and drives the simulation until every job has
+// either completed or been rejected.
+func (s *System) Run() {
+	s.arrivalsLeft = len(s.jobs)
+	for _, jr := range s.jobs {
+		jr := jr
+		s.eng.Schedule(jr.Job.Arrival, func() { s.arrive(jr) })
+	}
+	s.armTimer()
+	s.eng.Run()
+}
+
+// arrive runs the host-side offload decision for a newly arrived job.
+func (s *System) arrive(jr *JobRun) {
+	s.arrivalsLeft--
+	s.tracer.jobEvent("arrive", s.eng.Now(), jr)
+	if !s.pol.Admit(jr) {
+		jr.state = JobRejected
+		s.rejected++
+		s.tracer.jobEvent("reject", s.eng.Now(), jr)
+		return
+	}
+	jr.SubmitTime = s.eng.Now()
+	if len(s.freeQueues) == 0 {
+		s.hostQ = append(s.hostQ, jr)
+		return
+	}
+	s.bindQueue(jr)
+}
+
+// bindQueue assigns a compute queue and starts stream inspection.
+func (s *System) bindQueue(jr *JobRun) {
+	n := len(s.freeQueues)
+	qid := s.freeQueues[n-1]
+	s.freeQueues = s.freeQueues[:n-1]
+	jr.QueueID = qid
+	for _, inst := range jr.Instances {
+		inst.QueueID = qid
+	}
+	jr.state = JobInit
+	s.active = append(s.active, jr)
+	s.armTimer()
+
+	// Stream inspection: claim the earliest parser slot.
+	slot := 0
+	for i, t := range s.parserFreeAt {
+		if t < s.parserFreeAt[slot] {
+			slot = i
+		}
+	}
+	start := s.eng.Now()
+	if s.parserFreeAt[slot] > start {
+		start = s.parserFreeAt[slot]
+	}
+	done := start + s.cfg.ParseLatency
+	s.parserFreeAt[slot] = done
+
+	ov := s.pol.Overheads()
+	s.eng.Schedule(done+ov.PerJobAdmission, func() {
+		s.afterLaunch(func() {
+			if jr.state != JobInit { // defensive: policy may have mutated state
+				return
+			}
+			// The policy's AdvanceGate also guards the first kernel
+			// (BatchMaker holds new jobs until a batch forms around them).
+			if gate, ok := s.pol.(AdvanceGate); ok && !gate.CanAdvance(jr) {
+				s.blocked = append(s.blocked, jr)
+				return
+			}
+			s.makeFirstReady(jr)
+		})
+	})
+}
+
+// afterLaunch runs fn once the host launch pipe has issued one kernel
+// launch for this policy. CP-side policies (zero PerKernelLaunch) proceed
+// immediately; CPU-side policies wait for the shared pipe.
+func (s *System) afterLaunch(fn func()) {
+	d := s.pol.Overheads().PerKernelLaunch
+	if d <= 0 {
+		fn()
+		return
+	}
+	start := s.eng.Now()
+	if s.hostFreeAt > start {
+		start = s.hostFreeAt
+	}
+	s.hostFreeAt = start + d
+	s.eng.Schedule(s.hostFreeAt, fn)
+}
+
+// makeFirstReady transitions an inspected job to ready and dispatches.
+func (s *System) makeFirstReady(jr *JobRun) {
+	jr.state = JobReady
+	jr.ReadyTime = s.eng.Now()
+	jr.Current().MarkReady(s.eng.Now())
+	s.tracer.jobEvent("ready", s.eng.Now(), jr)
+	s.Dispatch()
+}
+
+// onWGComplete refills the device after every workgroup completion.
+func (s *System) onWGComplete(inst *gpu.KernelInstance) {
+	jr := s.jobs[inst.JobID]
+	jr.wgsCompleted++
+	if jr.state == JobReady && inst.CompletedWGs() > 0 {
+		jr.state = JobRunning
+	}
+	s.Dispatch()
+}
+
+// Cancel preempts an offloaded job and drops its remaining work: in-flight
+// WGs drain (their context save is the caller's concern), queued kernels
+// never execute, and the compute queue is reclaimed immediately. Terminal
+// and rejected jobs are unaffected. Policies use this to stop spending the
+// device on jobs that have already missed their deadline.
+func (s *System) Cancel(jr *JobRun) {
+	switch jr.state {
+	case JobDone, JobRejected, JobCancelled, JobPending:
+		return
+	}
+	jr.state = JobCancelled
+	jr.FinishTime = s.eng.Now()
+	s.tracer.jobEvent("cancel", s.eng.Now(), jr)
+	jr.Pause() // no further WG dispatch from any of its kernels
+	for i, a := range s.active {
+		if a == jr {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	for i, b := range s.blocked {
+		if b == jr {
+			s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
+			break
+		}
+	}
+	s.freeQueues = append(s.freeQueues, jr.QueueID)
+	if len(s.hostQ) > 0 {
+		next := s.hostQ[0]
+		s.hostQ = s.hostQ[1:]
+		s.bindQueue(next)
+	}
+	s.Dispatch()
+}
+
+// onKernelDone advances the job's kernel chain.
+func (s *System) onKernelDone(inst *gpu.KernelInstance) {
+	jr := s.jobs[inst.JobID]
+	if jr.state == JobCancelled {
+		return // draining WGs of a dropped job
+	}
+	if jr.Current() != inst {
+		panic(fmt.Sprintf("cp: out-of-order kernel completion for %v", jr))
+	}
+	s.tracer.kernelEvent("kernel_done", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+	jr.cur++
+	if jr.Current() == nil {
+		s.finish(jr)
+		return
+	}
+	s.tryAdvance(jr)
+	s.recheckBlocked()
+}
+
+// tryAdvance makes the job's next kernel ready, subject to the policy's
+// AdvanceGate and per-kernel launch overhead.
+func (s *System) tryAdvance(jr *JobRun) {
+	if gate, ok := s.pol.(AdvanceGate); ok && !gate.CanAdvance(jr) {
+		s.blocked = append(s.blocked, jr)
+		return
+	}
+	next := jr.Current()
+	s.afterLaunch(func() {
+		next.MarkReady(s.eng.Now())
+		s.Dispatch()
+	})
+}
+
+// recheckBlocked re-tests gate-blocked jobs (batch groups may have caught
+// up).
+func (s *System) recheckBlocked() {
+	if len(s.blocked) == 0 {
+		return
+	}
+	gate, _ := s.pol.(AdvanceGate)
+	still := s.blocked[:0]
+	for _, jr := range s.blocked {
+		if jr.Done() || jr.Current() == nil {
+			continue
+		}
+		if gate != nil && !gate.CanAdvance(jr) {
+			still = append(still, jr)
+			continue
+		}
+		if jr.state == JobInit {
+			// First kernel was gated at inspection time (its launch was
+			// already issued before the gate blocked it).
+			s.makeFirstReady(jr)
+			continue
+		}
+		next := jr.Current()
+		s.afterLaunch(func() {
+			next.MarkReady(s.eng.Now())
+			s.Dispatch()
+		})
+	}
+	s.blocked = still
+	s.Dispatch()
+}
+
+// finish retires a completed job, frees its queue, and pulls the next
+// host-queued job in.
+func (s *System) finish(jr *JobRun) {
+	jr.state = JobDone
+	jr.FinishTime = s.eng.Now()
+	s.completed++
+	s.tracer.jobEvent("finish", s.eng.Now(), jr)
+	for i, a := range s.active {
+		if a == jr {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.freeQueues = append(s.freeQueues, jr.QueueID)
+	if len(s.hostQ) > 0 {
+		next := s.hostQ[0]
+		s.hostQ = s.hostQ[1:]
+		s.bindQueue(next)
+	}
+	s.Dispatch()
+}
+
+// Dispatch runs one CP scheduling round: offer active jobs' current kernels
+// to the device in policy order, filling WG slots greedily ("LAX issues all
+// WGs from the highest priority job[, then] moves on to the next highest
+// priority ready job ... until all WG slots are filled", §4.4).
+func (s *System) Dispatch() {
+	if s.dev.Stalled() {
+		if !s.stallKickArmed {
+			s.stallKickArmed = true
+			s.eng.Schedule(s.dev.StallEndsAt(), func() {
+				s.stallKickArmed = false
+				s.Dispatch()
+			})
+		}
+		return
+	}
+	observer, _ := s.pol.(ServeObserver)
+	order := s.dispatchOrder()
+	for _, jr := range order {
+		inst := jr.Current()
+		if inst == nil || !inst.Dispatchable() {
+			continue
+		}
+		wasRunning := inst.State() == gpu.KernelRunning
+		if s.dev.TryDispatch(inst, -1) > 0 {
+			jr.state = JobRunning
+			if jr.FirstDispatch < 0 {
+				jr.FirstDispatch = s.eng.Now()
+			}
+			if !wasRunning {
+				s.tracer.kernelEvent("kernel_start", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+			}
+			if observer != nil {
+				observer.Served(jr)
+			}
+		}
+	}
+}
+
+// dispatchOrder returns active jobs in dispatch order: the policy's Orderer
+// if implemented, else ascending Priority with FIFO (SubmitTime, ID)
+// tie-break. With PriorityLevels set, priorities are first quantized into
+// that many hardware levels, so fine-grained laxity distinctions collapse
+// within a level and FIFO decides — the limitation of contemporary
+// priority APIs (§2.2).
+func (s *System) dispatchOrder() []*JobRun {
+	if o, ok := s.pol.(Orderer); ok {
+		return o.Order(s.active)
+	}
+	prio := func(j *JobRun) int64 { return j.Priority }
+	if s.cfg.PriorityLevels > 0 {
+		prio = s.quantizedPriority()
+	}
+	order := make([]*JobRun, len(s.active))
+	copy(order, s.active)
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		pa, pb := prio(ja), prio(jb)
+		if pa != pb {
+			return pa < pb
+		}
+		if ja.SubmitTime != jb.SubmitTime {
+			return ja.SubmitTime < jb.SubmitTime
+		}
+		return ja.Job.ID < jb.Job.ID
+	})
+	return order
+}
+
+// quantizedPriority maps the active jobs' raw priorities onto the
+// configured number of hardware levels by rank: the most urgent 1/N of the
+// span per level. Expired (INF) jobs always land in the lowest level.
+func (s *System) quantizedPriority() func(*JobRun) int64 {
+	levels := int64(s.cfg.PriorityLevels)
+	var lo, hi int64 = 1 << 62, -(1 << 62)
+	for _, j := range s.active {
+		p := j.Priority
+		if p >= int64(sim.Forever)/2 {
+			continue // expired jobs pin to the bottom level
+		}
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	span := hi - lo
+	return func(j *JobRun) int64 {
+		if j.Priority >= int64(sim.Forever)/2 {
+			return levels // below every real level
+		}
+		if span <= 0 {
+			return 0
+		}
+		q := (j.Priority - lo) * (levels - 1) / span
+		return q
+	}
+}
+
+// armTimer (re)schedules the policy's reprioritization tick. The timer
+// self-disarms when no work remains so the event queue can drain.
+func (s *System) armTimer() {
+	iv := s.pol.Interval()
+	if iv <= 0 || s.timerArmed {
+		return
+	}
+	if len(s.active) == 0 && len(s.hostQ) == 0 && s.arrivalsLeft == 0 {
+		return
+	}
+	s.timerArmed = true
+	s.eng.After(iv, func() {
+		s.timerArmed = false
+		lat := s.pol.Overheads().PriorityUpdateLatency
+		if lat > 0 {
+			// CPU-side policies: the decision lands a round trip later.
+			s.eng.After(lat, func() {
+				s.pol.Reprioritize()
+				s.recheckBlocked()
+				s.Dispatch()
+			})
+		} else {
+			s.pol.Reprioritize()
+			s.recheckBlocked()
+			s.Dispatch()
+		}
+		s.armTimer()
+	})
+}
+
+// Completed returns the number of jobs that finished (regardless of
+// deadline).
+func (s *System) Completed() int { return s.completed }
+
+// RejectedCount returns the number of jobs refused by admission control.
+func (s *System) RejectedCount() int { return s.rejected }
+
+// HostQueueLen returns the number of admitted jobs waiting for a queue.
+func (s *System) HostQueueLen() int { return len(s.hostQ) }

@@ -1,0 +1,508 @@
+package cp
+
+import (
+	"testing"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// fifoPolicy admits everything at a single priority: pure FIFO.
+type fifoPolicy struct {
+	sys      *System
+	ov       Overheads
+	interval sim.Time
+	admitFn  func(*JobRun) bool
+	reprioFn func()
+	ticks    int
+}
+
+func (p *fifoPolicy) Name() string         { return "FIFO" }
+func (p *fifoPolicy) Attach(s *System)     { p.sys = s }
+func (p *fifoPolicy) Interval() sim.Time   { return p.interval }
+func (p *fifoPolicy) Overheads() Overheads { return p.ov }
+func (p *fifoPolicy) Admit(j *JobRun) bool {
+	if p.admitFn != nil {
+		return p.admitFn(j)
+	}
+	return true
+}
+func (p *fifoPolicy) Reprioritize() {
+	p.ticks++
+	if p.reprioFn != nil {
+		p.reprioFn()
+	}
+}
+
+func testDesc(name string, wgs, threads int, base sim.Time) *gpu.KernelDesc {
+	return &gpu.KernelDesc{
+		Name: name, NumWGs: wgs, ThreadsPerWG: threads,
+		BaseWGTime: base, MemIntensity: 0, InstPerThread: 10,
+	}
+}
+
+// makeSet builds a synthetic trace: n jobs, each `chain` kernels of the
+// given descriptor, arriving gap apart with the given relative deadline.
+func makeSet(n, chain int, desc *gpu.KernelDesc, gap, deadline sim.Time) *workload.JobSet {
+	set := &workload.JobSet{Benchmark: "synthetic"}
+	for i := 0; i < n; i++ {
+		ks := make([]*gpu.KernelDesc, chain)
+		for c := range ks {
+			ks[c] = desc
+		}
+		set.Jobs = append(set.Jobs, &workload.Job{
+			ID: i, Benchmark: "synthetic",
+			Arrival: sim.Time(i) * gap, Deadline: deadline, Kernels: ks,
+		})
+	}
+	return set
+}
+
+func smallConfig() SystemConfig {
+	cfg := DefaultSystemConfig()
+	return cfg
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	desc := testDesc("k", 2, 64, 10*sim.Microsecond)
+	set := makeSet(1, 3, desc, 0, sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	sys.Run()
+
+	jr := sys.Job(0)
+	if !jr.Done() {
+		t.Fatalf("job not done: %v", jr)
+	}
+	// Parse 2µs, then 3 kernels × 10µs (2 WGs run concurrently).
+	if want := 32 * sim.Microsecond; jr.FinishTime != want {
+		t.Fatalf("finish at %v, want %v", jr.FinishTime, want)
+	}
+	if !jr.MetDeadline() {
+		t.Fatal("deadline missed")
+	}
+	if jr.Latency() != jr.FinishTime {
+		t.Fatalf("latency %v", jr.Latency())
+	}
+	if jr.WGsCompleted() != 6 {
+		t.Fatalf("WGs completed %d, want 6", jr.WGsCompleted())
+	}
+	if sys.Completed() != 1 || sys.RejectedCount() != 0 {
+		t.Fatalf("counts: completed=%d rejected=%d", sys.Completed(), sys.RejectedCount())
+	}
+}
+
+func TestKernelChainIsSequential(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(1, 5, desc, 0, sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	sys.Run()
+	jr := sys.Job(0)
+	// 5 dependent kernels cannot overlap: 2µs parse + 5×10µs.
+	if want := 52 * sim.Microsecond; jr.FinishTime != want {
+		t.Fatalf("finish at %v, want %v (kernels must serialize)", jr.FinishTime, want)
+	}
+	for i := 1; i < len(jr.Instances); i++ {
+		if jr.Instances[i].StartedAt < jr.Instances[i-1].FinishedAt {
+			t.Fatalf("kernel %d started before %d finished", i, i-1)
+		}
+	}
+}
+
+func TestIndependentJobsOverlap(t *testing.T) {
+	desc := testDesc("k", 1, 64, 100*sim.Microsecond)
+	set := makeSet(4, 1, desc, 0, sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	sys.Run()
+	// All four 1-WG kernels fit simultaneously: finish ≈ parse + 100µs,
+	// not 400µs. (Arrivals at t=0 share 4 parser slots.)
+	for i := 0; i < 4; i++ {
+		jr := sys.Job(i)
+		if jr.FinishTime > 110*sim.Microsecond {
+			t.Fatalf("job %d finished at %v; concurrent jobs should overlap", i, jr.FinishTime)
+		}
+	}
+}
+
+func TestRejectedJobNeverRuns(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(2, 1, desc, 0, sim.Millisecond)
+	pol := &fifoPolicy{admitFn: func(j *JobRun) bool { return j.Job.ID != 0 }}
+	sys := NewSystem(smallConfig(), set, pol)
+	sys.Run()
+	if !sys.Job(0).Rejected() {
+		t.Fatal("job 0 not rejected")
+	}
+	if sys.Job(0).WGsCompleted() != 0 {
+		t.Fatal("rejected job completed WGs")
+	}
+	if sys.Job(0).MetDeadline() {
+		t.Fatal("rejected job counted as meeting deadline")
+	}
+	if !sys.Job(1).Done() {
+		t.Fatal("admitted job did not finish")
+	}
+	if sys.RejectedCount() != 1 || sys.Completed() != 1 {
+		t.Fatalf("counts wrong: %d/%d", sys.RejectedCount(), sys.Completed())
+	}
+}
+
+func TestParserBandwidthSerializesInspection(t *testing.T) {
+	desc := testDesc("k", 1, 64, sim.Microsecond)
+	// 8 simultaneous arrivals through 4 parser slots of 2µs each: jobs 5-8
+	// wait for a slot, so their ready times are ≥ 4µs.
+	set := makeSet(8, 1, desc, 0, sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	sys.Run()
+	early, late := 0, 0
+	for _, jr := range sys.Jobs() {
+		switch jr.ReadyTime {
+		case 2 * sim.Microsecond:
+			early++
+		case 4 * sim.Microsecond:
+			late++
+		}
+	}
+	if early != 4 || late != 4 {
+		t.Fatalf("parser slots: %d ready at 2µs, %d at 4µs (want 4/4)", early, late)
+	}
+}
+
+func TestHostQueueWhenQueuesExhausted(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumQueues = 2
+	desc := testDesc("k", 1, 64, 50*sim.Microsecond)
+	set := makeSet(5, 1, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(cfg, set, &fifoPolicy{})
+	done := false
+	sys.Engine().Schedule(10*sim.Microsecond, func() {
+		if sys.HostQueueLen() != 3 {
+			t.Errorf("host queue length %d at 10µs, want 3", sys.HostQueueLen())
+		}
+		done = true
+	})
+	sys.Run()
+	if !done {
+		t.Fatal("probe event did not fire")
+	}
+	for _, jr := range sys.Jobs() {
+		if !jr.Done() {
+			t.Fatalf("job %d stuck: %v", jr.Job.ID, jr)
+		}
+	}
+	if sys.HostQueueLen() != 0 {
+		t.Fatal("host queue not drained")
+	}
+}
+
+func TestPriorityOrderControlsDispatch(t *testing.T) {
+	// One CU-filling kernel per job: strict priority order is observable
+	// in completion order.
+	cfg := smallConfig()
+	cfg.GPU.NumCUs = 1
+	desc := testDesc("k", 1, 2560, 100*sim.Microsecond)
+	set := makeSet(3, 1, desc, 0, 10*sim.Millisecond)
+	pol := &fifoPolicy{}
+	sys := NewSystem(cfg, set, pol)
+	// Invert priorities at attach time via a scheduled event before any
+	// kernel is ready (parse takes 2µs).
+	sys.Engine().Schedule(sim.Microsecond, func() {
+		for _, jr := range sys.Active() {
+			jr.Priority = int64(-jr.Job.ID) // job 2 most urgent
+		}
+	})
+	sys.Run()
+	// Job 0 inevitably dispatches first (its ready event fires first), but
+	// the freed slot must go to job 2 (most urgent), not job 1 (FIFO).
+	j1, j2 := sys.Job(1), sys.Job(2)
+	if j2.FinishTime >= j1.FinishTime {
+		t.Fatalf("priority ignored: job2 at %v, job1 at %v", j2.FinishTime, j1.FinishTime)
+	}
+}
+
+func TestPerKernelLaunchOverhead(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(1, 3, desc, 0, sim.Millisecond)
+	ov := Overheads{PerKernelLaunch: 4 * sim.Microsecond}
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{ov: ov})
+	sys.Run()
+	// 2µs parse + 3×(4µs launch + 10µs kernel) = 44µs.
+	if want := 44 * sim.Microsecond; sys.Job(0).FinishTime != want {
+		t.Fatalf("finish at %v, want %v", sys.Job(0).FinishTime, want)
+	}
+}
+
+func TestPerJobAdmissionOverhead(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(1, 1, desc, 0, sim.Millisecond)
+	ov := Overheads{PerJobAdmission: 50 * sim.Microsecond}
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{ov: ov})
+	sys.Run()
+	// 2µs parse + 50µs model + 10µs kernel = 62µs. A 40µs-deadline IPV6
+	// job could never make it — the paper's BAY pathology.
+	if want := 62 * sim.Microsecond; sys.Job(0).FinishTime != want {
+		t.Fatalf("finish at %v, want %v", sys.Job(0).FinishTime, want)
+	}
+}
+
+func TestReprioritizeTimerRunsAndStops(t *testing.T) {
+	desc := testDesc("k", 1, 64, 250*sim.Microsecond)
+	set := makeSet(1, 2, desc, 0, 10*sim.Millisecond)
+	pol := &fifoPolicy{interval: 100 * sim.Microsecond}
+	sys := NewSystem(smallConfig(), set, pol)
+	sys.Run()
+	// Job runs ~502µs; the timer must tick a handful of times and then
+	// stop (Run returned, so the event queue drained).
+	if pol.ticks < 4 || pol.ticks > 8 {
+		t.Fatalf("timer ticked %d times, want ≈5", pol.ticks)
+	}
+}
+
+func TestPriorityUpdateLatencyDelaysReprioritize(t *testing.T) {
+	desc := testDesc("k", 1, 64, 300*sim.Microsecond)
+	set := makeSet(1, 1, desc, 0, 10*sim.Millisecond)
+	var fireTimes []sim.Time
+	pol := &fifoPolicy{
+		interval: 100 * sim.Microsecond,
+		ov:       Overheads{PriorityUpdateLatency: 8 * sim.Microsecond},
+	}
+	var sys *System
+	pol.reprioFn = func() { fireTimes = append(fireTimes, sys.Now()) }
+	sys = NewSystem(smallConfig(), set, pol)
+	sys.Run()
+	if len(fireTimes) == 0 {
+		t.Fatal("reprioritize never fired")
+	}
+	if fireTimes[0] != 108*sim.Microsecond {
+		t.Fatalf("first reprioritize at %v, want 108µs (100µs tick + 8µs latency)", fireTimes[0])
+	}
+}
+
+// gatedPolicy blocks job advancement until released — exercises the
+// AdvanceGate path BatchMaker uses.
+type gatedPolicy struct {
+	fifoPolicy
+	open bool
+}
+
+func (p *gatedPolicy) CanAdvance(j *JobRun) bool { return p.open }
+
+func TestAdvanceGateHoldsKernelChain(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(1, 2, desc, 0, 10*sim.Millisecond)
+	pol := &gatedPolicy{fifoPolicy: fifoPolicy{interval: 100 * sim.Microsecond}}
+	pol.reprioFn = func() { pol.open = true } // open the gate at first tick
+	sys := NewSystem(smallConfig(), set, pol)
+	sys.Run()
+	jr := sys.Job(0)
+	// The gate holds even the first kernel: both kernels wait for the gate
+	// to open at the 100µs tick, then run back to back (100→110→120µs).
+	if want := 120 * sim.Microsecond; jr.FinishTime != want {
+		t.Fatalf("finish at %v, want %v (gate must hold the chain)", jr.FinishTime, want)
+	}
+}
+
+// rotPolicy implements Orderer with a fixed reversed order.
+type rotPolicy struct{ fifoPolicy }
+
+func (p *rotPolicy) Order(active []*JobRun) []*JobRun {
+	out := make([]*JobRun, len(active))
+	for i, j := range active {
+		out[len(active)-1-i] = j
+	}
+	return out
+}
+
+func TestOrdererOverridesPrioritySort(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GPU.NumCUs = 1
+	desc := testDesc("k", 1, 2560, 100*sim.Microsecond)
+	set := makeSet(3, 1, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(cfg, set, &rotPolicy{})
+	sys.Run()
+	// Job 0 wins the initial slot (ready-event order), but reversal must
+	// put job 2 ahead of job 1 for the next slot despite equal priorities.
+	if sys.Job(2).FinishTime >= sys.Job(1).FinishTime {
+		t.Fatalf("orderer ignored: job2 at %v, job1 at %v",
+			sys.Job(2).FinishTime, sys.Job(1).FinishTime)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	cfg := smallConfig()
+	desc := testDesc("k", 4, 64, 50*sim.Microsecond)
+	set := makeSet(1, 2, desc, 0, 10*sim.Millisecond)
+	pol := &fifoPolicy{}
+	sys := NewSystem(cfg, set, pol)
+	sys.Engine().Schedule(sim.Microsecond, func() {
+		sys.Job(0).Pause()
+		if !sys.Job(0).Paused() {
+			t.Error("job not paused")
+		}
+	})
+	sys.Engine().Schedule(200*sim.Microsecond, func() {
+		sys.Job(0).Resume()
+		sys.Dispatch()
+	})
+	sys.Run()
+	jr := sys.Job(0)
+	if jr.FinishTime < 300*sim.Microsecond {
+		t.Fatalf("finish at %v; pause was not honored", jr.FinishTime)
+	}
+	if !jr.Done() {
+		t.Fatal("job never finished after resume")
+	}
+}
+
+func TestDeviceStallDefersDispatch(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := makeSet(1, 1, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	sys.Engine().Schedule(0, func() { sys.Device().Stall(100 * sim.Microsecond) })
+	sys.Run()
+	// Parse at 2µs, but dispatch blocked until 100µs.
+	if want := 110 * sim.Microsecond; sys.Job(0).FinishTime != want {
+		t.Fatalf("finish at %v, want %v", sys.Job(0).FinishTime, want)
+	}
+}
+
+func TestWGListViews(t *testing.T) {
+	desc := testDesc("k", 3, 64, 10*sim.Microsecond)
+	set := makeSet(1, 2, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{})
+	jr := sys.Job(0)
+	total := jr.TotalWGList()
+	if len(total) != 2 || total[0].WGs != 3 || total[0].Kernel != "k" {
+		t.Fatalf("TotalWGList = %v", total)
+	}
+	probed := false
+	sys.Engine().Schedule(7*sim.Microsecond, func() {
+		// At 7µs: kernel 0 dispatched at 2µs, finishes at 12µs; remaining
+		// list must still show all 6 WGs (none completed yet).
+		rem := jr.RemainingWGList()
+		n := 0
+		for _, e := range rem {
+			n += e.WGs
+		}
+		if n != 6 {
+			t.Errorf("remaining WGs = %d at 7µs, want 6", n)
+		}
+		probed = true
+	})
+	sys.Run()
+	if !probed {
+		t.Fatal("probe did not fire")
+	}
+	if len(jr.RemainingWGList()) != 0 {
+		t.Fatal("remaining WGList non-empty after completion")
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		JobPending: "pending", JobInit: "init", JobReady: "ready",
+		JobRunning: "running", JobDone: "done", JobRejected: "rejected",
+		JobCancelled: "cancelled", JobState(17): "JobState(17)",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestLateArrivalRearmsTimer(t *testing.T) {
+	desc := testDesc("k", 1, 64, 10*sim.Microsecond)
+	set := &workload.JobSet{Benchmark: "synthetic"}
+	set.Jobs = append(set.Jobs,
+		&workload.Job{ID: 0, Arrival: 0, Deadline: sim.Millisecond, Kernels: []*gpu.KernelDesc{desc}},
+		// Arrives long after job 0 finished and the timer disarmed.
+		&workload.Job{ID: 1, Arrival: 5 * sim.Millisecond, Deadline: sim.Millisecond, Kernels: []*gpu.KernelDesc{desc}},
+	)
+	pol := &fifoPolicy{interval: 100 * sim.Microsecond}
+	sys := NewSystem(smallConfig(), set, pol)
+	sys.Run()
+	if !sys.Job(1).Done() {
+		t.Fatal("late job did not finish")
+	}
+}
+
+func TestPriorityQuantizationCollapsesLevels(t *testing.T) {
+	// One CU; three jobs with priorities 10, 20, 1000. With 2 hardware
+	// levels, 10 and 20 fall into the same level so FIFO decides between
+	// them, while 1000 stays behind.
+	cfg := smallConfig()
+	cfg.GPU.NumCUs = 1
+	cfg.PriorityLevels = 2
+	desc := testDesc("k", 1, 2560, 100*sim.Microsecond)
+	set := makeSet(3, 1, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(cfg, set, &fifoPolicy{})
+	sys.Engine().Schedule(sim.Microsecond, func() {
+		prios := []int64{20, 10, 1000}
+		for i, jr := range sys.Active() {
+			jr.Priority = prios[i]
+		}
+	})
+	sys.Run()
+	// Unquantized, job 1 (prio 10) would beat job 0 (prio 20) for the slot
+	// freed at 102µs. Quantized to 2 levels they tie, so FIFO runs job 1
+	// after job 0... job 0 was dispatched first anyway; the observable
+	// contract: job 2 (prio 1000, lowest level) runs LAST.
+	j2 := sys.Job(2)
+	for i := 0; i < 2; i++ {
+		if sys.Job(i).FinishTime >= j2.FinishTime {
+			t.Fatalf("low-priority job 2 (at %v) did not run last (job %d at %v)",
+				j2.FinishTime, i, sys.Job(i).FinishTime)
+		}
+	}
+	// And within the top level, FIFO order rules despite job 1's better
+	// raw priority: job 1 (submitted later... same time, ID order) — the
+	// key assertion is ordering by ID among quantized ties:
+	if sys.Job(1).FinishTime < sys.Job(0).FinishTime {
+		t.Fatalf("quantized tie broke by raw priority, not FIFO")
+	}
+}
+
+func TestPriorityQuantizationExpiredJobsBottom(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GPU.NumCUs = 1
+	cfg.PriorityLevels = 4
+	desc := testDesc("k", 1, 2560, 50*sim.Microsecond)
+	set := makeSet(2, 1, desc, 0, 10*sim.Millisecond)
+	sys := NewSystem(cfg, set, &fifoPolicy{})
+	sys.Engine().Schedule(sim.Microsecond, func() {
+		if len(sys.Active()) == 2 {
+			sys.Active()[0].Priority = int64(sim.Forever) // expired
+			sys.Active()[1].Priority = 5
+		}
+	})
+	sys.Run()
+	// Job 0 grabbed the device at 2µs (before priorities were set); the
+	// expired marking affects the next grant: job 1 must not be delayed
+	// beyond one service time.
+	if sys.Job(1).FinishTime > 110*sim.Microsecond {
+		t.Fatalf("live job starved behind expired job: %v", sys.Job(1).FinishTime)
+	}
+}
+
+func TestHostLaunchPipeSerializesAcrossJobs(t *testing.T) {
+	// Two jobs, chains of 3 kernels, CPU-side policy: 6 launches share one
+	// 4µs pipe. The last kernel launch cannot have been issued before
+	// 6×4µs of pipe time has elapsed (plus parse), observable as a minimum
+	// finish time for the second job.
+	desc := testDesc("k", 1, 64, sim.Microsecond)
+	set := makeSet(2, 3, desc, 0, 10*sim.Millisecond)
+	ov := Overheads{PerKernelLaunch: 4 * sim.Microsecond}
+	sys := NewSystem(smallConfig(), set, &fifoPolicy{ov: ov})
+	sys.Run()
+	// Serial pipe: launches at 6,10,14,18,22,26µs (parse ends 2µs);
+	// kernels take 1µs after their launch. Last finish ≥ 27µs. A parallel
+	// (per-job) model would finish both by ~2+3×5=17µs.
+	latest := sys.Job(0).FinishTime
+	if sys.Job(1).FinishTime > latest {
+		latest = sys.Job(1).FinishTime
+	}
+	if latest < 27*sim.Microsecond {
+		t.Fatalf("last finish %v; host launch pipe not serialized across jobs", latest)
+	}
+}

@@ -1,0 +1,106 @@
+package cp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"laxgpu/internal/sim"
+)
+
+// TraceEvent is one line of a structured run trace: the job-level schedule
+// a simulation produced, suitable for timeline visualization or offline
+// analysis. Events are encoded as JSON lines.
+type TraceEvent struct {
+	// At is the event time in nanoseconds from simulation start.
+	At int64 `json:"at_ns"`
+
+	// Kind is one of "arrive", "reject", "ready", "kernel_start",
+	// "kernel_done", "finish", "cancel".
+	Kind string `json:"kind"`
+
+	JobID     int    `json:"job"`
+	Benchmark string `json:"benchmark,omitempty"`
+	QueueID   int    `json:"queue,omitempty"`
+
+	// Kernel and KernelIdx identify the kernel for kernel_* events.
+	Kernel    string `json:"kernel,omitempty"`
+	KernelIdx int    `json:"kernel_idx,omitempty"`
+
+	// Deadline is the job's absolute deadline (arrive events).
+	Deadline int64 `json:"deadline_ns,omitempty"`
+
+	// Met reports deadline success (finish events).
+	Met bool `json:"met,omitempty"`
+}
+
+// Tracer collects TraceEvents during a run. A nil Tracer is inert, so call
+// sites need no guards.
+type Tracer struct {
+	w      io.Writer
+	enc    *json.Encoder
+	events int
+	err    error
+}
+
+// NewTracer returns a tracer writing JSON lines to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Events returns the number of events emitted.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return t.events
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+func (t *Tracer) emit(e TraceEvent) {
+	if t == nil || t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = fmt.Errorf("cp: trace write: %w", err)
+		return
+	}
+	t.events++
+}
+
+// jobEvent emits a job-level event.
+func (t *Tracer) jobEvent(kind string, now sim.Time, jr *JobRun) {
+	if t == nil {
+		return
+	}
+	e := TraceEvent{
+		At: int64(now), Kind: kind,
+		JobID: jr.Job.ID, Benchmark: jr.Job.Benchmark, QueueID: jr.QueueID,
+	}
+	switch kind {
+	case "arrive":
+		e.Deadline = int64(jr.Job.AbsoluteDeadline())
+	case "finish":
+		e.Met = jr.MetDeadline()
+	}
+	t.emit(e)
+}
+
+// kernelEvent emits a kernel-level event.
+func (t *Tracer) kernelEvent(kind string, now sim.Time, jr *JobRun, kernel string, idx int) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{
+		At: int64(now), Kind: kind,
+		JobID: jr.Job.ID, QueueID: jr.QueueID,
+		Kernel: kernel, KernelIdx: idx,
+	})
+}

@@ -1,0 +1,144 @@
+package gpu
+
+import "laxgpu/internal/sim"
+
+// KernelCounter accumulates per-kernel-type dispatch/completion counts and
+// the kernel's busy time (wall-clock with at least one WG of this type in
+// flight). The command processor samples these to maintain the Kernel
+// Profiling Table's WG completion rates (§4.2). Rates are computed against
+// busy time, not wall time: a window in which the kernel never ran says
+// nothing about how fast it completes when scheduled, only contention while
+// running should move the rate.
+type KernelCounter struct {
+	Name           string
+	WGsDispatched  uint64
+	WGsCompleted   uint64
+	LastCompletion sim.Time
+
+	inFlight  int
+	busyNs    sim.Time
+	busySince sim.Time
+
+	// latencySumNs accumulates the actual dispatch-to-completion latency of
+	// every finished WG; windowed ΔlatencySum/Δcompletions is the exact
+	// mean latency of the WGs that completed in the window.
+	latencySumNs sim.Time
+
+	// wgNs integrates (in-flight WGs × time): the denominator of the mean
+	// WG latency estimate Δcompletions/ΔwgNs.
+	wgNs      sim.Time
+	lastEvent sim.Time
+}
+
+// BusyTime returns the cumulative time the kernel type had WGs in flight,
+// up to now.
+func (k *KernelCounter) BusyTime(now sim.Time) sim.Time {
+	b := k.busyNs
+	if k.inFlight > 0 {
+		b += now - k.busySince
+	}
+	return b
+}
+
+// WGTime returns the cumulative WG-time integral (Σ in-flight WGs over
+// time) up to now. Completions divided by this integral give the inverse
+// mean per-WG latency under the contention actually experienced.
+func (k *KernelCounter) WGTime(now sim.Time) sim.Time {
+	return k.wgNs + sim.Time(k.inFlight)*(now-k.lastEvent)
+}
+
+func (k *KernelCounter) accumulate(now sim.Time) {
+	k.wgNs += sim.Time(k.inFlight) * (now - k.lastEvent)
+	k.lastEvent = now
+}
+
+// Counters is the device's performance-counter block.
+type Counters struct {
+	perKernel       map[string]*KernelCounter
+	totalWGs        uint64
+	totalDispatched uint64
+}
+
+func (c *Counters) noteDispatch(name string, now sim.Time) {
+	k := c.kernel(name)
+	k.accumulate(now)
+	k.WGsDispatched++
+	if k.inFlight == 0 {
+		k.busySince = now
+	}
+	k.inFlight++
+	c.totalDispatched++
+}
+
+func (c *Counters) noteComplete(name string, now, latency sim.Time) {
+	k := c.kernel(name)
+	k.accumulate(now)
+	k.WGsCompleted++
+	k.LastCompletion = now
+	k.latencySumNs += latency
+	k.inFlight--
+	if k.inFlight == 0 {
+		k.busyNs += now - k.busySince
+	}
+	c.totalWGs++
+}
+
+func (c *Counters) kernel(name string) *KernelCounter {
+	k := c.perKernel[name]
+	if k == nil {
+		k = &KernelCounter{Name: name}
+		c.perKernel[name] = k
+	}
+	return k
+}
+
+// Completed returns the cumulative WG completion count for the kernel type,
+// or zero if the kernel has never run.
+func (c *Counters) Completed(name string) uint64 {
+	if k := c.perKernel[name]; k != nil {
+		return k.WGsCompleted
+	}
+	return 0
+}
+
+// Busy returns the kernel type's cumulative busy time up to now, or zero if
+// the kernel has never run.
+func (c *Counters) Busy(name string, now sim.Time) sim.Time {
+	if k := c.perKernel[name]; k != nil {
+		return k.BusyTime(now)
+	}
+	return 0
+}
+
+// WGTime returns the kernel type's cumulative WG-time integral up to now,
+// or zero if the kernel has never run.
+func (c *Counters) WGTime(name string, now sim.Time) sim.Time {
+	if k := c.perKernel[name]; k != nil {
+		return k.WGTime(now)
+	}
+	return 0
+}
+
+// LatencySum returns the summed dispatch-to-completion latencies of the
+// kernel type's finished WGs, or zero if the kernel has never run.
+func (c *Counters) LatencySum(name string) sim.Time {
+	if k := c.perKernel[name]; k != nil {
+		return k.latencySumNs
+	}
+	return 0
+}
+
+// TotalCompleted returns the cumulative WG completions across all kernels.
+func (c *Counters) TotalCompleted() uint64 { return c.totalWGs }
+
+// TotalDispatched returns the cumulative WG dispatches across all kernels.
+func (c *Counters) TotalDispatched() uint64 { return c.totalDispatched }
+
+// KernelNames returns the set of kernel types the counters have observed.
+func (c *Counters) KernelNames() []string {
+	names := make([]string, 0, len(c.perKernel))
+	for n := range c.perKernel {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,297 @@
+package gpu
+
+import (
+	"fmt"
+
+	"laxgpu/internal/sim"
+)
+
+// Device is the workgroup-granular GPU model. The command processor decides
+// *which* kernel instances may dispatch and in what order (that is the
+// entire subject of the paper); the device decides *where* WGs fit and *how
+// long* they take given current memory contention, and reports completions.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+	cus []*computeUnit
+
+	// activeMemDemand is Σ over in-flight WGs of MemIntensity×ThreadsPerWG.
+	// With the two-level model enabled it carries only the DRAM (L2-miss)
+	// share, and activeL2Demand carries the L2-hit share.
+	activeMemDemand float64
+	activeL2Demand  float64
+
+	// stallUntil blocks new WG dispatch until the given time; used to model
+	// preemption context save/restore (PREMA) without tearing down state.
+	stallUntil sim.Time
+
+	// rrCursor is RoundRobin placement's scan start.
+	rrCursor int
+
+	counters Counters
+	energy   EnergyMeter
+
+	// onWGComplete is invoked after each WG completion (resources already
+	// released), letting the command processor refill the device.
+	onWGComplete func(*KernelInstance)
+
+	// onKernelDone is invoked when an instance's last WG completes.
+	onKernelDone func(*KernelInstance)
+}
+
+// New constructs a device for the configuration. It panics on an invalid
+// configuration: device construction happens once at experiment setup and a
+// bad machine description is unrecoverable.
+func New(cfg Config, eng *sim.Engine) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{cfg: cfg, eng: eng}
+	d.cus = make([]*computeUnit, cfg.NumCUs)
+	for i := range d.cus {
+		d.cus[i] = newComputeUnit(i, cfg)
+	}
+	d.counters.perKernel = make(map[string]*KernelCounter)
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Counters exposes the performance counters the CP reads. The paper extends
+// the GPU with "a new counter that tracks the WG completion rate" (§4.1.1);
+// Counters is that hardware.
+func (d *Device) Counters() *Counters { return &d.counters }
+
+// Energy exposes the per-instruction energy meter.
+func (d *Device) Energy() *EnergyMeter { return &d.energy }
+
+// OnWGComplete registers the callback fired after every WG completion.
+func (d *Device) OnWGComplete(fn func(*KernelInstance)) { d.onWGComplete = fn }
+
+// OnKernelDone registers the callback fired when an instance finishes.
+func (d *Device) OnKernelDone(fn func(*KernelInstance)) { d.onKernelDone = fn }
+
+// Stall blocks new WG dispatch for the given duration from now. In-flight
+// WGs are unaffected (they drain naturally). Overlapping stalls extend to
+// the later deadline. Models preemption save/restore cost.
+func (d *Device) Stall(duration sim.Time) {
+	until := d.eng.Now() + duration
+	if until > d.stallUntil {
+		d.stallUntil = until
+	}
+}
+
+// Stalled reports whether dispatch is currently blocked by a Stall.
+func (d *Device) Stalled() bool { return d.eng.Now() < d.stallUntil }
+
+// StallEndsAt returns the time at which the current stall expires (zero if
+// none is pending).
+func (d *Device) StallEndsAt() sim.Time { return d.stallUntil }
+
+// TryDispatch places as many WGs of inst as currently fit (up to limit;
+// limit < 0 means no limit) and returns the number placed. It panics if the
+// kernel could never fit on an empty CU — a workload-definition bug.
+func (d *Device) TryDispatch(inst *KernelInstance, limit int) int {
+	if d.Stalled() || !inst.Dispatchable() {
+		return 0
+	}
+	f := footprintOf(inst.Desc, d.cfg.WavefrontSize)
+	if !d.cus[0].canEverFit(f) {
+		panic(fmt.Sprintf("gpu: kernel %s WG footprint %+v exceeds CU capacity", inst.Desc.Name, f))
+	}
+	placed := 0
+	for inst.RemainingWGs() > 0 && (limit < 0 || placed < limit) {
+		cu := d.pickCU(f)
+		if cu == nil {
+			break
+		}
+		d.startWG(inst, cu, f)
+		placed++
+	}
+	return placed
+}
+
+// pickCU selects a CU with room for the footprint per the configured
+// placement policy, or nil when nothing fits.
+func (d *Device) pickCU(f wgFootprint) *computeUnit {
+	switch d.cfg.Placement {
+	case BestFit:
+		var best *computeUnit
+		for _, cu := range d.cus {
+			if !cu.fits(f) {
+				continue
+			}
+			if best == nil || cu.threadsFree < best.threadsFree {
+				best = cu
+			}
+		}
+		return best
+	case RoundRobin:
+		n := len(d.cus)
+		for i := 0; i < n; i++ {
+			cu := d.cus[(d.rrCursor+i)%n]
+			if cu.fits(f) {
+				d.rrCursor = (d.rrCursor + i + 1) % n
+				return cu
+			}
+		}
+		return nil
+	default: // FirstFit
+		for _, cu := range d.cus {
+			if cu.fits(f) {
+				return cu
+			}
+		}
+		return nil
+	}
+}
+
+// startWG reserves resources and schedules the WG's completion. The latency
+// is fixed at dispatch: base × ((1−m) + m×slowdown(now)), with slowdown the
+// ratio of aggregate active memory demand (including this WG) to the memory
+// system's no-slowdown capacity, floored at 1.
+func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
+	now := d.eng.Now()
+	cu.reserve(f)
+	inst.noteDispatch(now)
+
+	demand := inst.Desc.MemIntensity * float64(inst.Desc.ThreadsPerWG)
+	l2Demand := 0.0
+	if d.cfg.L2BandwidthDemand > 0 {
+		l2Demand = demand * inst.Desc.L2HitFrac
+		demand -= l2Demand
+	}
+	d.activeMemDemand += demand
+	d.activeL2Demand += l2Demand
+
+	lat := d.wgLatency(inst.Desc)
+	d.counters.noteDispatch(inst.Desc.Name, now)
+
+	d.eng.Schedule(now+lat, func() {
+		cu.release(f)
+		d.activeMemDemand -= demand
+		d.activeL2Demand -= l2Demand
+		if d.activeMemDemand < 1e-9 {
+			d.activeMemDemand = 0
+		}
+		if d.activeL2Demand < 1e-9 {
+			d.activeL2Demand = 0
+		}
+		inst.noteComplete(d.eng.Now())
+		d.counters.noteComplete(inst.Desc.Name, d.eng.Now(), lat)
+		d.energy.addWG(inst.Desc, d.cfg.EnergyPerInstPJ)
+		if d.onWGComplete != nil {
+			d.onWGComplete(inst)
+		}
+		if inst.Done() && d.onKernelDone != nil {
+			d.onKernelDone(inst)
+		}
+	})
+}
+
+// wgLatency computes the contention-stretched latency of one WG of desc if
+// it were dispatched now. Under the single-level model the whole memory
+// fraction stretches with DRAM contention; under the two-level model the
+// kernel's L2-hit share stretches with L2-pool contention and the miss
+// share with DRAM contention.
+func (d *Device) wgLatency(desc *KernelDesc) sim.Time {
+	dramSlow := d.activeMemDemand / d.cfg.MemBandwidthDemand
+	if dramSlow < 1 {
+		dramSlow = 1
+	}
+	base := float64(desc.BaseWGTime)
+	m := desc.MemIntensity
+	if d.cfg.L2BandwidthDemand <= 0 {
+		return sim.Time(base * ((1 - m) + m*dramSlow))
+	}
+	l2Slow := d.activeL2Demand / d.cfg.L2BandwidthDemand
+	if l2Slow < 1 {
+		l2Slow = 1
+	}
+	h := desc.L2HitFrac
+	memStretch := h*l2Slow + (1-h)*dramSlow
+	return sim.Time(base * ((1 - m) + m*memStretch))
+}
+
+// Slowdown returns the current memory contention factor (≥ 1).
+func (d *Device) Slowdown() float64 {
+	slow := d.activeMemDemand / d.cfg.MemBandwidthDemand
+	if slow < 1 {
+		return 1
+	}
+	return slow
+}
+
+// ActiveWGs returns the number of in-flight workgroups across all CUs.
+func (d *Device) ActiveWGs() int {
+	n := 0
+	for _, cu := range d.cus {
+		n += cu.activeWGs
+	}
+	return n
+}
+
+// Utilization returns the fraction of device thread contexts occupied.
+func (d *Device) Utilization() float64 {
+	var sum float64
+	for _, cu := range d.cus {
+		sum += cu.utilization()
+	}
+	return sum / float64(len(d.cus))
+}
+
+// FreeThreads returns the number of unoccupied thread contexts device-wide.
+func (d *Device) FreeThreads() int {
+	n := 0
+	for _, cu := range d.cus {
+		n += cu.threadsFree
+	}
+	return n
+}
+
+// MaxConcurrentWGs returns how many WGs of desc an idle device could host
+// simultaneously — used to calibrate BaseWGTime from isolated kernel
+// execution times and by admission heuristics.
+func (d *Device) MaxConcurrentWGs(desc *KernelDesc) int {
+	return MaxConcurrentWGs(d.cfg, desc)
+}
+
+// MaxConcurrentWGs computes, for an idle device with the given config, the
+// number of WGs of desc that fit simultaneously.
+func MaxConcurrentWGs(cfg Config, desc *KernelDesc) int {
+	f := footprintOf(desc, cfg.WavefrontSize)
+	perCU := cfg.ThreadsPerCU / max(1, f.threads)
+	if f.wavefronts > 0 {
+		perCU = min(perCU, cfg.WavefrontsPerCU()/f.wavefronts)
+	}
+	if f.vgpr > 0 {
+		perCU = min(perCU, cfg.VGPRBytesPerCU/f.vgpr)
+	}
+	if f.lds > 0 {
+		perCU = min(perCU, cfg.LDSBytesPerCU/f.lds)
+	}
+	return perCU * cfg.NumCUs
+}
+
+// IsolatedKernelTime returns the time one launch of desc takes on an
+// otherwise idle device: WGs run in ceil(NumWGs / maxConcurrent) waves of
+// BaseWGTime each (memory slowdown from the kernel's own WGs included).
+func IsolatedKernelTime(cfg Config, desc *KernelDesc) sim.Time {
+	conc := MaxConcurrentWGs(cfg, desc)
+	if conc <= 0 {
+		return sim.Forever
+	}
+	if conc > desc.NumWGs {
+		conc = desc.NumWGs
+	}
+	waves := (desc.NumWGs + conc - 1) / conc
+	demand := float64(conc) * desc.MemIntensity * float64(desc.ThreadsPerWG)
+	slow := demand / cfg.MemBandwidthDemand
+	if slow < 1 {
+		slow = 1
+	}
+	m := desc.MemIntensity
+	perWave := sim.Time(float64(desc.BaseWGTime) * ((1 - m) + m*slow))
+	return sim.Time(waves) * perWave
+}

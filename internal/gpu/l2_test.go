@@ -1,0 +1,146 @@
+package gpu
+
+import (
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+// l2Config enables the two-level memory model with a 4x-wider L2 pool.
+func l2Config() Config {
+	cfg := DefaultConfig()
+	cfg.L2BandwidthDemand = 4 * cfg.MemBandwidthDemand
+	return cfg
+}
+
+func TestL2DisabledMatchesSingleLevel(t *testing.T) {
+	// With L2 disabled, a kernel carrying an L2HitFrac must behave exactly
+	// as the single-level model.
+	k := testKernel("k", 8, 2048, 10*sim.Microsecond, 1.0)
+	k.L2HitFrac = 0.9
+
+	run := func(cfg Config) sim.Time {
+		eng := sim.NewEngine()
+		d := New(cfg, eng)
+		inst := NewKernelInstance(k, 0, 0, 0)
+		inst.MarkReady(0)
+		d.OnWGComplete(func(*KernelInstance) { d.TryDispatch(inst, -1) })
+		d.TryDispatch(inst, -1)
+		eng.Run()
+		return eng.Now()
+	}
+	base := DefaultConfig()
+	noHit := *k
+	noHit.L2HitFrac = 0
+	if run(base) != run(base) {
+		t.Fatal("nondeterministic run")
+	}
+	// Same kernel, same config, hit frac irrelevant when L2 disabled: the
+	// kernel with and without a hit fraction must take identical time.
+	k2 := noHit
+	eng := sim.NewEngine()
+	d := New(base, eng)
+	inst := NewKernelInstance(&k2, 0, 0, 0)
+	inst.MarkReady(0)
+	d.OnWGComplete(func(*KernelInstance) { d.TryDispatch(inst, -1) })
+	d.TryDispatch(inst, -1)
+	eng.Run()
+	if got := eng.Now(); got != run(base) {
+		t.Fatalf("L2HitFrac changed single-level timing: %v vs %v", got, run(base))
+	}
+}
+
+func TestL2HitsReduceDRAMContention(t *testing.T) {
+	// Memory-saturating kernel: with 90% L2 hits under the two-level
+	// model, only 10% of demand hits DRAM, so the slowdown collapses.
+	mk := func(hit float64) *KernelDesc {
+		k := testKernel("k", 8, 2048, 10*sim.Microsecond, 1.0)
+		k.L2HitFrac = hit
+		return k
+	}
+	run := func(cfg Config, k *KernelDesc) sim.Time {
+		eng := sim.NewEngine()
+		d := New(cfg, eng)
+		inst := NewKernelInstance(k, 0, 0, 0)
+		inst.MarkReady(0)
+		d.OnWGComplete(func(*KernelInstance) { d.TryDispatch(inst, -1) })
+		d.TryDispatch(inst, -1)
+		eng.Run()
+		return eng.Now()
+	}
+	cfg := l2Config()
+	cold := run(cfg, mk(0))   // all traffic to DRAM
+	warm := run(cfg, mk(0.9)) // 90% absorbed by the wide L2
+	if warm >= cold {
+		t.Fatalf("L2 hits did not reduce contention: warm %v >= cold %v", warm, cold)
+	}
+}
+
+func TestL2PoolItselfSaturates(t *testing.T) {
+	// A narrow L2 pool must stretch hit traffic too.
+	cfg := DefaultConfig()
+	cfg.L2BandwidthDemand = cfg.MemBandwidthDemand / 4 // narrower than DRAM
+	k := testKernel("k", 8, 2048, 10*sim.Microsecond, 1.0)
+	k.L2HitFrac = 1.0
+
+	eng := sim.NewEngine()
+	d := New(cfg, eng)
+	inst := NewKernelInstance(k, 0, 0, 0)
+	inst.MarkReady(0)
+	d.OnWGComplete(func(*KernelInstance) { d.TryDispatch(inst, -1) })
+	d.TryDispatch(inst, -1)
+	eng.Run()
+	// 8 WGs × 2048 demand = 16384 over an L2 pool of 3072 → slowdown 5.3×;
+	// 8 WGs fit at once, so one wave ≥ 50µs.
+	if eng.Now() < 50*sim.Microsecond {
+		t.Fatalf("narrow L2 pool did not stretch latency: %v", eng.Now())
+	}
+}
+
+func TestL2HitFracValidation(t *testing.T) {
+	k := testKernel("k", 1, 64, sim.Microsecond, 0.5)
+	k.L2HitFrac = 1.5
+	if err := k.Validate(); err == nil {
+		t.Fatal("hit fraction > 1 accepted")
+	}
+	k.L2HitFrac = -0.1
+	if err := k.Validate(); err == nil {
+		t.Fatal("negative hit fraction accepted")
+	}
+	k.L2HitFrac = 0.5
+	if err := k.Validate(); err != nil {
+		t.Fatalf("valid hit fraction rejected: %v", err)
+	}
+}
+
+func TestL2DemandConservation(t *testing.T) {
+	// After a mixed run under the two-level model, both demand pools must
+	// return to zero.
+	cfg := l2Config()
+	eng := sim.NewEngine()
+	d := New(cfg, eng)
+	a := testKernel("a", 16, 1024, 20*sim.Microsecond, 0.8)
+	a.L2HitFrac = 0.7
+	b := testKernel("b", 8, 256, 5*sim.Microsecond, 0.4)
+	b.L2HitFrac = 0.2
+	ia := NewKernelInstance(a, 0, 0, 0)
+	ib := NewKernelInstance(b, 1, 1, 0)
+	ia.MarkReady(0)
+	ib.MarkReady(0)
+	d.OnWGComplete(func(*KernelInstance) {
+		d.TryDispatch(ia, -1)
+		d.TryDispatch(ib, -1)
+	})
+	d.TryDispatch(ia, -1)
+	d.TryDispatch(ib, -1)
+	eng.Run()
+	if !ia.Done() || !ib.Done() {
+		t.Fatal("kernels did not finish")
+	}
+	if d.Slowdown() != 1 {
+		t.Fatalf("DRAM demand did not drain: slowdown %v", d.Slowdown())
+	}
+	if d.activeL2Demand != 0 {
+		t.Fatalf("L2 demand did not drain: %v", d.activeL2Demand)
+	}
+}

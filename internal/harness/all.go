@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiments maps experiment IDs (the paper's table/figure numbers) to
+// their generator functions.
+var Experiments = map[string]func(*Runner) *Report{
+	"table1":   Table1,
+	"figure1":  Figure1,
+	"figure3":  func(*Runner) *Report { return Figure3() },
+	"figure4":  Figure4,
+	"figure6":  Figure6,
+	"figure7":  Figure7,
+	"figure8":  Figure8,
+	"figure9":  Figure9,
+	"figure10": Figure10,
+	"table5":   Table5,
+	"ablation": Ablation,
+	"analysis": Sensitivity,
+	"seeds":    Seeds,
+	"scaling":  Scaling,
+}
+
+// experimentOrder is the rendering order (paper order).
+var experimentOrder = []string{
+	"table1", "figure1", "figure3", "figure4",
+	"figure6", "figure7", "figure8", "figure9", "figure10", "table5",
+	"ablation", "analysis", "seeds", "scaling",
+}
+
+// ExperimentIDs returns the known experiment IDs in paper order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// RunExperiment generates the report for one experiment ID.
+func RunExperiment(r *Runner, id string) (*Report, error) {
+	f, ok := Experiments[id]
+	if !ok {
+		valid := ExperimentIDs()
+		sort.Strings(valid)
+		return nil, fmt.Errorf("harness: unknown experiment %q (valid: %v)", id, valid)
+	}
+	return f(r), nil
+}
+
+// All generates every report in paper order.
+func All(r *Runner) []*Report {
+	out := make([]*Report, 0, len(experimentOrder))
+	for _, id := range experimentOrder {
+		out = append(out, Experiments[id](r))
+	}
+	return out
+}

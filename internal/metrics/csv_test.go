@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+func TestWriteCSV(t *testing.T) {
+	summaries := []Summary{
+		{
+			Scheduler: "LAX", Benchmark: "LSTM", Rate: "high",
+			TotalJobs: 128, MetDeadline: 57, Completed: 59, Rejected: 69,
+			Makespan: 30 * sim.Millisecond, ThroughputJobsPerSec: 1900,
+			P99LatencyMs: 6.8, MeanLatencyMs: 4.2,
+			EnergyPerSuccessMJ: 93.8, UsefulWorkFrac: 0.96, WGsCompleted: 20000,
+		},
+		{
+			Scheduler: "RR", Benchmark: "IPV6", Rate: "low",
+			TotalJobs: 128, MetDeadline: 120, Completed: 128,
+			Makespan: 8 * sim.Millisecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, summaries); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(rows))
+	}
+	header := rows[0]
+	if header[0] != "scheduler" || header[len(header)-1] != "wgs_completed" {
+		t.Fatalf("header wrong: %v", header)
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("row width %d != header %d", len(row), len(header))
+		}
+	}
+	if rows[1][0] != "LAX" || rows[1][1] != "LSTM" {
+		t.Fatalf("first row wrong: %v", rows[1])
+	}
+	if !strings.Contains(rows[1][8], "0.445") { // 57/128
+		t.Fatalf("deadline_frac cell %q", rows[1][8])
+	}
+	if rows[2][4] != "120" {
+		t.Fatalf("met_deadline cell %q", rows[2][4])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1
+	if lines != 1 {
+		t.Fatalf("empty CSV should be header only, got %d lines", lines)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin distribution summary used for latency analysis:
+// the full shape behind Table 5's single p99 number.
+type Histogram struct {
+	// Edges are the bin boundaries (len = bins+1); bin i covers
+	// [Edges[i], Edges[i+1]).
+	Edges []float64
+
+	// Counts holds the per-bin sample counts.
+	Counts []int
+
+	// N is the total sample count (including clamped outliers).
+	N int
+
+	Min, Max, MeanV float64
+}
+
+// NewHistogram builds a histogram with the given number of equal-width bins
+// spanning the data. Values outside [min,max] cannot occur by construction;
+// an empty input yields an empty histogram.
+func NewHistogram(values []float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 10
+	}
+	h := &Histogram{}
+	if len(values) == 0 {
+		return h
+	}
+	h.N = len(values)
+	h.Min, h.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+		sum += v
+	}
+	h.MeanV = sum / float64(len(values))
+
+	span := h.Max - h.Min
+	if span == 0 {
+		span = 1
+	}
+	h.Edges = make([]float64, bins+1)
+	for i := range h.Edges {
+		h.Edges[i] = h.Min + span*float64(i)/float64(bins)
+	}
+	h.Counts = make([]int, bins)
+	for _, v := range values {
+		idx := int((v - h.Min) / span * float64(bins))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// Render writes an ASCII bar chart of the distribution.
+func (h *Histogram) Render(w io.Writer, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	if h.N == 0 {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(w, "%10.3f–%-10.3f %6d %s\n",
+			h.Edges[i], h.Edges[i+1], c, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(w, "n=%d min=%.3f mean=%.3f max=%.3f\n", h.N, h.Min, h.MeanV, h.Max)
+}
+
+// CDF computes the empirical cumulative distribution at the requested
+// quantile points, returning the value at each quantile. Quantiles are in
+// [0,1].
+func CDF(values []float64, quantiles []float64) []float64 {
+	out := make([]float64, len(quantiles))
+	for i, q := range quantiles {
+		out[i] = Percentile(values, q*100)
+	}
+	return out
+}
+
+// TailRatio returns p99/p50 — a standard dispersion measure for service
+// latency (1.0 = perfectly uniform service; large values = heavy tail).
+func TailRatio(values []float64) float64 {
+	p50 := Percentile(values, 50)
+	if p50 == 0 {
+		return 0
+	}
+	return Percentile(values, 99) / p50
+}
+
+// Summary statistics helpers for cross-run aggregation.
+
+// Stdev returns the sample standard deviation (0 for fewer than 2 values).
+func Stdev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var sq float64
+	for _, v := range values {
+		d := v - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(len(values)-1))
+}
+
+// Median returns the 50th percentile.
+func Median(values []float64) float64 { return Percentile(values, 50) }
+
+// MinMax returns the extrema (zeros for empty input).
+func MinMax(values []float64) (min, max float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return sorted[0], sorted[len(sorted)-1]
+}

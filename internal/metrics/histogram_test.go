@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	values := []float64{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+	h := NewHistogram(values, 3)
+	if h.N != 10 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Min != 1 || h.Max != 4 {
+		t.Fatalf("range [%v,%v]", h.Min, h.Max)
+	}
+	if math.Abs(h.MeanV-3.0) > 1e-9 {
+		t.Fatalf("mean %v", h.MeanV)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("bin counts sum to %d", total)
+	}
+	if len(h.Edges) != 4 {
+		t.Fatalf("%d edges for 3 bins", len(h.Edges))
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if h := NewHistogram(nil, 5); h.N != 0 {
+		t.Fatal("empty histogram has samples")
+	}
+	// Constant data: everything in one bin, no division by zero.
+	h := NewHistogram([]float64{7, 7, 7}, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("constant data lost samples: %d", total)
+	}
+	// Non-positive bin count falls back to a sane default.
+	if h := NewHistogram([]float64{1, 2}, 0); len(h.Counts) == 0 {
+		t.Fatal("zero-bin request produced no bins")
+	}
+}
+
+// Property: every sample lands in exactly one bin.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		h := NewHistogram(vals, 7)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(vals) && h.N == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var buf bytes.Buffer
+	NewHistogram([]float64{1, 1, 2, 5}, 2).Render(&buf, 20)
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "n=4") {
+		t.Fatalf("render output wrong:\n%s", out)
+	}
+	buf.Reset()
+	NewHistogram(nil, 2).Render(&buf, 20)
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Fatal("empty render wrong")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := CDF(values, []float64{0, 0.5, 1})
+	if got[0] != 1 || got[2] != 10 {
+		t.Fatalf("CDF extremes: %v", got)
+	}
+	if got[1] < 5 || got[1] > 6 {
+		t.Fatalf("CDF median: %v", got[1])
+	}
+}
+
+func TestTailRatio(t *testing.T) {
+	uniform := []float64{5, 5, 5, 5}
+	if r := TailRatio(uniform); r != 1 {
+		t.Fatalf("uniform tail ratio %v", r)
+	}
+	var heavy []float64
+	for i := 0; i < 95; i++ {
+		heavy = append(heavy, 1)
+	}
+	for i := 0; i < 5; i++ {
+		heavy = append(heavy, 100)
+	}
+	if r := TailRatio(heavy); r < 10 {
+		t.Fatalf("heavy tail ratio %v, want large", r)
+	}
+	if TailRatio([]float64{0, 0}) != 0 {
+		t.Fatal("zero-median tail ratio should be 0")
+	}
+}
+
+func TestStdevMedianMinMax(t *testing.T) {
+	values := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if s := Stdev(values); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stdev %v", s)
+	}
+	if Stdev([]float64{1}) != 0 {
+		t.Fatal("single-sample stdev")
+	}
+	if m := Median(values); m < 4 || m > 5 {
+		t.Fatalf("median %v", m)
+	}
+	min, max := MinMax(values)
+	if min != 2 || max != 9 {
+		t.Fatalf("minmax %v %v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty minmax")
+	}
+	// MinMax must not mutate input.
+	in := []float64{3, 1, 2}
+	MinMax(in)
+	if in[0] != 3 {
+		t.Fatal("MinMax mutated input")
+	}
+}

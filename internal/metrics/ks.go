@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic computes the one-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDF of the samples and
+// the reference CDF. Used to validate that generated arrival processes
+// actually follow their nominal distributions (the paper's evaluation
+// hinges on Poisson arrivals, §5.3).
+func KSStatistic(samples []float64, cdf func(float64) float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the approximate critical KS statistic at the 1%
+// significance level for n samples (asymptotic formula, valid for n ≳ 35):
+// samples with a statistic above it are inconsistent with the reference
+// distribution.
+func KSCriticalValue(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return 1.63 / math.Sqrt(float64(n))
+}
+
+// ExpCDF returns the CDF of the exponential distribution with the given
+// mean.
+func ExpCDF(mean float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 || mean <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	}
+}
+
+// UniformCDF returns the CDF of the uniform distribution on [0, max].
+func UniformCDF(max float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case x <= 0 || max <= 0:
+			return 0
+		case x >= max:
+			return 1
+		default:
+			return x / max
+		}
+	}
+}

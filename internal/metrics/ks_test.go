@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"testing"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	rng := sim.NewRNG(3)
+	const n = 5000
+	mean := 125000.0 // ns
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(rng.Exp(sim.Time(mean)))
+	}
+	d := KSStatistic(samples, ExpCDF(mean))
+	if crit := KSCriticalValue(n); d > crit {
+		t.Fatalf("exponential samples rejected: D=%.4f > %.4f", d, crit)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := sim.NewRNG(4)
+	const n = 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.Float64() * 1000 // uniform, not exponential
+	}
+	d := KSStatistic(samples, ExpCDF(500))
+	if crit := KSCriticalValue(n); d <= crit {
+		t.Fatalf("uniform samples accepted as exponential: D=%.4f <= %.4f", d, crit)
+	}
+	// And accepted against their true distribution.
+	if d := KSStatistic(samples, UniformCDF(1000)); d > KSCriticalValue(n) {
+		t.Fatalf("uniform samples rejected as uniform: D=%.4f", d)
+	}
+}
+
+// The arrival processes the whole evaluation rests on really are Poisson:
+// inter-arrival gaps pass a KS test against the exponential distribution at
+// the configured rate.
+func TestGeneratedArrivalsAreExponential(t *testing.T) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("STEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	set := bench.Generate(lib, workload.HighRate, n, 9)
+	var gaps []float64
+	for i := 1; i < set.Len(); i++ {
+		gaps = append(gaps, float64(set.Jobs[i].Arrival-set.Jobs[i-1].Arrival))
+	}
+	mean := float64(sim.Second) / float64(bench.JobsPerSecond(workload.HighRate))
+	d := KSStatistic(gaps, ExpCDF(mean))
+	if crit := KSCriticalValue(len(gaps)); d > crit {
+		t.Fatalf("arrival gaps not exponential: D=%.4f > %.4f", d, crit)
+	}
+	// Bursty arrivals at the same mean must FAIL the same test (that is
+	// their entire point).
+	bursty := bench.GenerateBursty(lib, bench.JobsPerSecond(workload.HighRate), 8, 12, n, 9)
+	gaps = gaps[:0]
+	for i := 1; i < bursty.Len(); i++ {
+		gaps = append(gaps, float64(bursty.Jobs[i].Arrival-bursty.Jobs[i-1].Arrival))
+	}
+	if d := KSStatistic(gaps, ExpCDF(mean)); d <= KSCriticalValue(len(gaps)) {
+		t.Fatalf("bursty gaps indistinguishable from Poisson: D=%.4f", d)
+	}
+}
+
+func TestKSEdgeCases(t *testing.T) {
+	if KSStatistic(nil, ExpCDF(1)) != 0 {
+		t.Fatal("empty sample KS should be 0")
+	}
+	if KSCriticalValue(0) != 1 {
+		t.Fatal("degenerate critical value")
+	}
+	if ExpCDF(1)(-5) != 0 || ExpCDF(0)(5) != 0 {
+		t.Fatal("ExpCDF edge cases")
+	}
+	if UniformCDF(10)(-1) != 0 || UniformCDF(10)(20) != 1 || UniformCDF(0)(1) != 0 {
+		t.Fatal("UniformCDF edge cases")
+	}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sim"
+)
+
+// Summary aggregates one simulation run: the row a scheduler contributes to
+// the paper's figures and to Table 5 for one (benchmark, rate) cell.
+type Summary struct {
+	Scheduler string
+	Benchmark string
+	Rate      string
+
+	TotalJobs   int
+	Completed   int // ran to completion (regardless of deadline)
+	MetDeadline int // "successful" jobs
+	Rejected    int // refused by admission control
+	Cancelled   int // preempted and dropped mid-flight
+
+	// Makespan is the completion time of the last finished job.
+	Makespan sim.Time
+
+	// ThroughputJobsPerSec is successful jobs per second of makespan
+	// (Table 5a).
+	ThroughputJobsPerSec float64
+
+	// P99LatencyMs is the 99-percentile of completed-job latency in
+	// milliseconds (Table 5b).
+	P99LatencyMs float64
+
+	// MeanLatencyMs is the mean completed-job latency.
+	MeanLatencyMs float64
+
+	// EnergyPerSuccessMJ is total energy over successful jobs in mJ
+	// (Table 5c); +Inf when no job succeeded.
+	EnergyPerSuccessMJ float64
+
+	// UsefulWorkFrac is Figure 9's metric: the fraction of completed WGs
+	// that belong to jobs that met their deadline.
+	UsefulWorkFrac float64
+
+	// WGsCompleted is the total workgroups executed.
+	WGsCompleted int
+}
+
+// WastedWorkFrac is the complement of UsefulWorkFrac.
+func (s Summary) WastedWorkFrac() float64 { return 1 - s.UsefulWorkFrac }
+
+// DeadlineFrac is the fraction of offered jobs that met their deadline.
+func (s Summary) DeadlineFrac() float64 {
+	if s.TotalJobs == 0 {
+		return 0
+	}
+	return float64(s.MetDeadline) / float64(s.TotalJobs)
+}
+
+// Summarize computes the Summary for a finished run.
+func Summarize(sys *cp.System, scheduler, benchmark, rate string) Summary {
+	s := Summary{
+		Scheduler: scheduler,
+		Benchmark: benchmark,
+		Rate:      rate,
+		TotalJobs: len(sys.Jobs()),
+	}
+	var latencies []float64
+	usefulWGs := 0
+	for _, j := range sys.Jobs() {
+		switch {
+		case j.Rejected():
+			s.Rejected++
+			continue
+		case j.Cancelled():
+			// Dropped mid-flight: its executed WGs are pure waste.
+			s.Cancelled++
+			s.WGsCompleted += j.WGsCompleted()
+			continue
+		case !j.Done():
+			continue
+		}
+		s.Completed++
+		s.WGsCompleted += j.WGsCompleted()
+		if j.FinishTime > s.Makespan {
+			s.Makespan = j.FinishTime
+		}
+		latencies = append(latencies, j.Latency().Milliseconds())
+		if j.MetDeadline() {
+			s.MetDeadline++
+			usefulWGs += j.WGsCompleted()
+		}
+	}
+
+	if s.Makespan > 0 {
+		s.ThroughputJobsPerSec = float64(s.MetDeadline) / s.Makespan.Seconds()
+	}
+	s.P99LatencyMs = Percentile(latencies, 99)
+	s.MeanLatencyMs = Mean(latencies)
+	if s.WGsCompleted > 0 {
+		s.UsefulWorkFrac = float64(usefulWGs) / float64(s.WGsCompleted)
+	}
+
+	cfg := sys.Device().Config()
+	totalMJ := sys.Device().Energy().TotalMillijoules(s.Makespan, cfg.StaticPowerWatts)
+	if s.MetDeadline > 0 {
+		s.EnergyPerSuccessMJ = totalMJ / float64(s.MetDeadline)
+	} else {
+		s.EnergyPerSuccessMJ = math.Inf(1)
+	}
+	return s
+}

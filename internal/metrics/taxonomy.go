@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sim"
+)
+
+// MissKind classifies why a job failed to meet its deadline — the
+// diagnostic behind the schedulers' aggregate numbers. A queue-dominated
+// miss indicts admission/ordering; a contention-dominated miss indicts
+// co-scheduling; rejected and cancelled misses are deliberate policy
+// decisions.
+type MissKind int
+
+const (
+	// MissRejected: admission control refused the job.
+	MissRejected MissKind = iota
+	// MissCancelled: the job was preempted and dropped mid-flight.
+	MissCancelled
+	// MissStarved: the job completed (late) without ever being dispatched
+	// before its deadline passed, or never ran at all before finishing
+	// late — it waited out its entire budget.
+	MissStarved
+	// MissQueued: the job ran, but spent more of its budget waiting for
+	// its first workgroup than executing.
+	MissQueued
+	// MissContended: the job started promptly but executed too slowly
+	// (co-runner contention or sheer size).
+	MissContended
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissRejected:
+		return "rejected"
+	case MissCancelled:
+		return "cancelled"
+	case MissStarved:
+		return "starved"
+	case MissQueued:
+		return "queued"
+	case MissContended:
+		return "contended"
+	default:
+		return "unknown"
+	}
+}
+
+// MissKinds enumerates the taxonomy in display order.
+func MissKinds() []MissKind {
+	return []MissKind{MissRejected, MissCancelled, MissStarved, MissQueued, MissContended}
+}
+
+// ClassifyMiss returns the miss kind for a job that did not meet its
+// deadline. It must only be called for such jobs (met-deadline jobs have no
+// miss kind).
+func ClassifyMiss(j *cp.JobRun) MissKind {
+	switch {
+	case j.Rejected():
+		return MissRejected
+	case j.Cancelled():
+		return MissCancelled
+	case j.FirstDispatch < 0 || j.FirstDispatch > j.Job.AbsoluteDeadline():
+		return MissStarved
+	}
+	wait := j.FirstDispatch - j.SubmitTime
+	exec := j.FinishTime - j.FirstDispatch
+	if wait > exec {
+		return MissQueued
+	}
+	return MissContended
+}
+
+// MissBreakdown tallies the misses of a finished run by kind.
+func MissBreakdown(sys *cp.System) map[MissKind]int {
+	out := make(map[MissKind]int)
+	for _, j := range sys.Jobs() {
+		if j.MetDeadline() {
+			continue
+		}
+		out[ClassifyMiss(j)]++
+	}
+	return out
+}
+
+// WaitAndExec returns a completed job's decomposed latency: time queued
+// before its first workgroup and time from first workgroup to completion.
+// Zeroes for jobs that never ran.
+func WaitAndExec(j *cp.JobRun) (wait, exec sim.Time) {
+	if j.FirstDispatch < 0 || !j.Done() {
+		return 0, 0
+	}
+	return j.FirstDispatch - j.SubmitTime, j.FinishTime - j.FirstDispatch
+}

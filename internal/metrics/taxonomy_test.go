@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// rejectFirst rejects job 0, admits the rest.
+type rejectFirst struct{}
+
+func (rejectFirst) Name() string            { return "t" }
+func (rejectFirst) Attach(*cp.System)       {}
+func (rejectFirst) Admit(j *cp.JobRun) bool { return j.Job.ID != 0 }
+func (rejectFirst) Reprioritize()           {}
+func (rejectFirst) Interval() sim.Time      { return 0 }
+func (rejectFirst) Overheads() cp.Overheads { return cp.Overheads{} }
+
+func TestClassifyMissKinds(t *testing.T) {
+	// One CU so jobs serialize: job 1 runs long (contended/size miss),
+	// job 2 queues behind it (queued miss), job 0 is rejected.
+	cfg := cp.DefaultSystemConfig()
+	cfg.GPU.NumCUs = 1
+	long := &gpu.KernelDesc{Name: "long", NumWGs: 1, ThreadsPerWG: 2560,
+		BaseWGTime: 500 * sim.Microsecond, InstPerThread: 1}
+	quick := &gpu.KernelDesc{Name: "quick", NumWGs: 1, ThreadsPerWG: 2560,
+		BaseWGTime: 100 * sim.Microsecond, InstPerThread: 1}
+	set := &workload.JobSet{Benchmark: "syn", Jobs: []*workload.Job{
+		{ID: 0, Arrival: 0, Deadline: sim.Millisecond, Kernels: []*gpu.KernelDesc{quick}},
+		// Starts immediately, executes past its own deadline.
+		{ID: 1, Arrival: 0, Deadline: 300 * sim.Microsecond, Kernels: []*gpu.KernelDesc{long}},
+		// Waits ~500µs behind job 1 (dispatching just before its 550µs
+		// deadline), then runs 100µs: wait >> exec → queued miss.
+		{ID: 2, Arrival: 0, Deadline: 550 * sim.Microsecond, Kernels: []*gpu.KernelDesc{quick}},
+	}}
+	sys := cp.NewSystem(cfg, set, rejectFirst{})
+	sys.Run()
+
+	if got := ClassifyMiss(sys.Job(0)); got != MissRejected {
+		t.Fatalf("job 0: %v, want rejected", got)
+	}
+	if got := ClassifyMiss(sys.Job(1)); got != MissContended {
+		t.Fatalf("job 1: %v, want contended", got)
+	}
+	if got := ClassifyMiss(sys.Job(2)); got != MissQueued {
+		t.Fatalf("job 2: %v, want queued", got)
+	}
+
+	breakdown := MissBreakdown(sys)
+	total := 0
+	for _, n := range breakdown {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("breakdown counts %d misses, want 3: %v", total, breakdown)
+	}
+
+	wait, exec := WaitAndExec(sys.Job(2))
+	if wait <= exec {
+		t.Fatalf("job 2 wait %v <= exec %v", wait, exec)
+	}
+	if w, e := WaitAndExec(sys.Job(0)); w != 0 || e != 0 {
+		t.Fatal("rejected job has wait/exec")
+	}
+}
+
+func TestClassifyMissStarved(t *testing.T) {
+	// Job 1's first dispatch lands after its deadline entirely.
+	cfg := cp.DefaultSystemConfig()
+	cfg.GPU.NumCUs = 1
+	long := &gpu.KernelDesc{Name: "long", NumWGs: 1, ThreadsPerWG: 2560,
+		BaseWGTime: sim.Millisecond, InstPerThread: 1}
+	quick := &gpu.KernelDesc{Name: "quick", NumWGs: 1, ThreadsPerWG: 2560,
+		BaseWGTime: 10 * sim.Microsecond, InstPerThread: 1}
+	set := &workload.JobSet{Benchmark: "syn", Jobs: []*workload.Job{
+		{ID: 0, Arrival: 0, Deadline: 10 * sim.Millisecond, Kernels: []*gpu.KernelDesc{long}},
+		{ID: 1, Arrival: 0, Deadline: 200 * sim.Microsecond, Kernels: []*gpu.KernelDesc{quick}},
+	}}
+	sys := cp.NewSystem(cfg, set, rejectFirst{})
+	// rejectFirst rejects ID 0? No — we want job 0 admitted here. Use a
+	// fresh accept-all policy instead.
+	sys = cp.NewSystem(cfg, set, acceptAllPolicy{})
+	sys.Run()
+	if got := ClassifyMiss(sys.Job(1)); got != MissStarved {
+		t.Fatalf("job 1: %v, want starved (first dispatch at %v, deadline %v)",
+			got, sys.Job(1).FirstDispatch, sys.Job(1).Job.AbsoluteDeadline())
+	}
+}
+
+type acceptAllPolicy struct{}
+
+func (acceptAllPolicy) Name() string            { return "t" }
+func (acceptAllPolicy) Attach(*cp.System)       {}
+func (acceptAllPolicy) Admit(*cp.JobRun) bool   { return true }
+func (acceptAllPolicy) Reprioritize()           {}
+func (acceptAllPolicy) Interval() sim.Time      { return 0 }
+func (acceptAllPolicy) Overheads() cp.Overheads { return cp.Overheads{} }
+
+func TestMissKindStrings(t *testing.T) {
+	want := map[MissKind]string{
+		MissRejected: "rejected", MissCancelled: "cancelled",
+		MissStarved: "starved", MissQueued: "queued", MissContended: "contended",
+		MissKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d: %q", int(k), k.String())
+		}
+	}
+	if len(MissKinds()) != 5 {
+		t.Fatal("MissKinds enumeration wrong")
+	}
+}

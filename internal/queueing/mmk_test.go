@@ -1,0 +1,145 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1 with ρ = 0.5: P(wait) = ρ = 0.5.
+	q := MMK{Lambda: 5, ServiceTime: 100 * sim.Millisecond, K: 1}
+	c, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("M/M/1 rho=0.5 ErlangC = %v, want 0.5", c)
+	}
+	// Textbook value: M/M/2 with a = 1 Erlang → C = 1/3.
+	q = MMK{Lambda: 10, ServiceTime: 100 * sim.Millisecond, K: 2}
+	c, err = q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1.0/3) > 1e-9 {
+		t.Fatalf("M/M/2 a=1 ErlangC = %v, want 1/3", c)
+	}
+}
+
+func TestErlangCUnstable(t *testing.T) {
+	q := MMK{Lambda: 100, ServiceTime: 100 * sim.Millisecond, K: 2} // a=10 > 2
+	if _, err := q.ErlangC(); err == nil {
+		t.Fatal("unstable queue accepted")
+	}
+	if q.Stable() {
+		t.Fatal("Stable() wrong")
+	}
+	if math.Abs(q.Offered()-10) > 1e-9 || math.Abs(q.Utilization()-5) > 1e-9 {
+		t.Fatalf("offered/utilization wrong: %v %v", q.Offered(), q.Utilization())
+	}
+}
+
+func TestWaitExceedsDecays(t *testing.T) {
+	q := MMK{Lambda: 8, ServiceTime: 100 * sim.Millisecond, K: 2}
+	p0, _ := q.WaitExceeds(0)
+	p1, _ := q.WaitExceeds(100 * sim.Millisecond)
+	p2, _ := q.WaitExceeds(sim.Second)
+	if !(p0 > p1 && p1 > p2) {
+		t.Fatalf("wait tail not decaying: %v %v %v", p0, p1, p2)
+	}
+	c, _ := q.ErlangC()
+	if p0 != c {
+		t.Fatalf("P(W>0) = %v, want ErlangC %v", p0, c)
+	}
+}
+
+func TestDeadlineMetFracBounds(t *testing.T) {
+	q := MMK{Lambda: 8, ServiceTime: 100 * sim.Millisecond, K: 2}
+	// Deadline below the service time: impossible.
+	if f, _ := q.DeadlineMetFrac(50 * sim.Millisecond); f != 0 {
+		t.Fatalf("sub-service deadline met frac %v", f)
+	}
+	// Generous deadline: nearly all.
+	f, err := q.DeadlineMetFrac(10 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.999 {
+		t.Fatalf("generous deadline met frac %v", f)
+	}
+	// Monotone in deadline.
+	f1, _ := q.DeadlineMetFrac(150 * sim.Millisecond)
+	f2, _ := q.DeadlineMetFrac(300 * sim.Millisecond)
+	if f2 < f1 {
+		t.Fatal("met frac not monotone in deadline")
+	}
+}
+
+// TestTheoryMatchesSimulation is the module's reason to exist: for a
+// stable single-kernel queue under FCFS, the analytical deadline-met
+// fraction must land near the simulated one.
+func TestTheoryMatchesSimulation(t *testing.T) {
+	cfg := cp.DefaultSystemConfig()
+	lib := workload.NewLibrary(cfg.GPU)
+	bench, err := workload.FindBenchmark("CUCKOO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := lib.Kernel("cuckooKernel")
+
+	// Pick a clearly stable rate: half the benchmark's low rate.
+	rate := bench.JobsPerSecond(workload.LowRate) / 2
+	model := ForKernel(cfg.GPU, desc, rate)
+	if !model.Stable() {
+		t.Skipf("model unstable at %d jobs/s (rho=%.2f)", rate, model.Utilization())
+	}
+	predicted, err := model.DeadlineMetFrac(bench.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 600
+	set := bench.GenerateCustom(lib, rate, jobs, 11)
+	pol, err := sched.New("FCFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cp.NewSystem(cfg, set, pol)
+	sys.Run()
+	met := 0
+	for _, j := range sys.Jobs() {
+		if j.MetDeadline() {
+			met++
+		}
+	}
+	simulated := float64(met) / jobs
+
+	// M/M/k has exponential service; our kernels are deterministic, so
+	// theory over-predicts waits (conservative). Accept a generous band
+	// but demand the same ballpark.
+	if diff := math.Abs(simulated - predicted); diff > 0.15 {
+		t.Fatalf("simulated %.3f vs predicted %.3f (diff %.3f): substrate and theory disagree",
+			simulated, predicted, diff)
+	}
+}
+
+func TestForKernelShape(t *testing.T) {
+	cfg := gpu.DefaultConfig()
+	lib := workload.NewLibrary(cfg)
+	m := ForKernel(cfg, lib.Kernel("IPV6Kernel"), 16000)
+	if m.K < 1 {
+		t.Fatalf("K = %d", m.K)
+	}
+	if m.ServiceTime < 25*sim.Microsecond {
+		t.Fatalf("service %v below isolated time", m.ServiceTime)
+	}
+	if m.Lambda != 16000 {
+		t.Fatalf("lambda %v", m.Lambda)
+	}
+}

@@ -1,0 +1,68 @@
+// Package sched implements every queue-scheduling policy evaluated in the
+// paper (Table 3): the contemporary round-robin baseline, three
+// state-of-the-art CPU-side schedulers (BatchMaker, Baymax, Prophet), five
+// advanced command-processor schedulers (MLFQ, EDF, SJF, SRF, LJF), the
+// preemptive PREMA, and the three laxity-aware variants (LAX, LAX-SW,
+// LAX-CPU) built on internal/core.
+package sched
+
+import (
+	"laxgpu/internal/core"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// Host-side communication costs from §5.1 of the paper.
+const (
+	// HostLaunchOverhead is the host↔device round trip CPU-side schedulers
+	// pay per kernel in a job ("this adds 4 µs of host-device communication
+	// overhead per kernel").
+	HostLaunchOverhead = 4 * sim.Microsecond
+
+	// BaymaxModelOverhead is Baymax's per-job regression-model cost ("we
+	// add 50 µs of overhead to BAY for calls to its regression model").
+	BaymaxModelOverhead = 50 * sim.Microsecond
+
+	// MMIOWriteLatency is the cost of LAX-CPU's user-level priority write
+	// to the queue's memory-mapped priority register.
+	MMIOWriteLatency = 1 * sim.Microsecond
+)
+
+// staticJobTime is the offline-profiled prediction of a job's isolated
+// execution time: the sum of its kernels' isolated times on the configured
+// device. BAY's regression model, PRO's offline profiles, and the static
+// SJF/LJF orderings all key off this quantity.
+func staticJobTime(cfg gpu.Config, j *cp.JobRun) sim.Time {
+	var t sim.Time
+	for _, inst := range j.Instances {
+		t += gpu.IsolatedKernelTime(cfg, inst.Desc)
+	}
+	return t
+}
+
+// staticRemainingTime is the offline prediction restricted to kernels that
+// have not completed yet.
+func staticRemainingTime(cfg gpu.Config, j *cp.JobRun) sim.Time {
+	var t sim.Time
+	for i := j.CurrentIndex(); i < len(j.Instances); i++ {
+		t += gpu.IsolatedKernelTime(cfg, j.Instances[i].Desc)
+	}
+	return t
+}
+
+// clampPriority converts a signed time-like value to a priority, saturating
+// instead of overflowing.
+func clampPriority(v sim.Time) int64 {
+	return int64(v)
+}
+
+// registerCapacities tells the profiling table how many WGs of each of the
+// job's kernel types fit on the device at once. Stream inspection reads
+// exactly these fields (thread dimensions, register usage, LDS size) from
+// the queue packets (§2.1), so the CP has them for free.
+func registerCapacities(pt *core.ProfilingTable, cfg gpu.Config, j *cp.JobRun) {
+	for _, inst := range j.Instances {
+		pt.SetCapacity(inst.Desc.Name, gpu.MaxConcurrentWGs(cfg, inst.Desc))
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"testing"
+
+	"laxgpu/internal/core"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// TestLAXPREMAPreemptsExpiredForUrgent builds the situation the hybrid
+// targets: an already-expired memory-hungry job keeps issuing waves of WGs
+// that slow down a co-resident job with tight laxity. Plain LAX only
+// deprioritizes the expired job — its waves keep competing for bandwidth;
+// LAX-PREMA pauses it, so the urgent job's workgroups run uncontended and
+// it finishes strictly earlier.
+func TestLAXPREMAPreemptsExpiredForUrgent(t *testing.T) {
+	cfg := cp.DefaultSystemConfig()
+
+	// Expired hog: long chain of memory-saturating wave kernels, hopeless
+	// deadline (admitted thanks to cold-start optimism, expired almost
+	// immediately).
+	hog := &gpu.KernelDesc{Name: "hog", NumWGs: 64, ThreadsPerWG: 1024,
+		BaseWGTime: 2 * sim.Millisecond, MemIntensity: 1.0, InstPerThread: 1}
+	// Urgent job class: memory-sensitive, tight deadline.
+	quick := &gpu.KernelDesc{Name: "quick", NumWGs: 8, ThreadsPerWG: 1024,
+		BaseWGTime: sim.Millisecond, MemIntensity: 0.8, InstPerThread: 1}
+
+	// Job 1 is a warm-up of the urgent class (so the profiling table knows
+	// its rate by the time it matters); job 2 is the urgent arrival.
+	set := buildSet([]jobSpec{
+		{0, 10 * sim.Microsecond, []*gpu.KernelDesc{hog, hog, hog}},
+		{0, 50 * sim.Millisecond, []*gpu.KernelDesc{quick}},
+		{5 * sim.Millisecond, 2 * sim.Millisecond, []*gpu.KernelDesc{quick}},
+	})
+
+	run := func(pol cp.Policy) *cp.System {
+		sys := cp.NewSystem(cfg, set, pol)
+		sys.Run()
+		return sys
+	}
+
+	// Admission stays off in both configurations: the point under test is
+	// the preemption delta, not Algorithm 1 (which would never have let the
+	// hog in with warm estimates).
+	laxSys := run(NewLAXWithConfig(LAXConfig{DisableAdmission: true}))
+	hybSys := run(&LAXPREMA{LAX: NewLAXWithConfig(LAXConfig{
+		Name: "LAX-PREMA", DisableAdmission: true,
+	})})
+
+	// The hybrid must strictly accelerate the urgent job by cancelling the
+	// expired hog's remaining waves while the urgent job runs.
+	if hybSys.Job(2).FinishTime >= laxSys.Job(2).FinishTime {
+		t.Fatalf("hybrid did not accelerate the urgent job: hybrid=%v lax=%v",
+			hybSys.Job(2).FinishTime, laxSys.Job(2).FinishTime)
+	}
+	if !hybSys.Job(0).Cancelled() {
+		t.Fatalf("expired hog not cancelled under the hybrid (state %v)", hybSys.Job(0).State())
+	}
+	// Under plain LAX the hog runs to (useless) completion.
+	if !laxSys.Job(0).Done() {
+		t.Fatalf("hog did not finish under plain LAX (state %v)", laxSys.Job(0).State())
+	}
+}
+
+func TestLAXPREMAName(t *testing.T) {
+	p := NewLAXPREMA()
+	if p.Name() != "LAX-PREMA" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	if p.Interval() != core.DefaultUpdateInterval {
+		t.Fatalf("Interval() = %v", p.Interval())
+	}
+}
+
+func TestLAXConfigDefaults(t *testing.T) {
+	p := NewLAXWithConfig(LAXConfig{})
+	if p.Interval() != core.DefaultUpdateInterval {
+		t.Fatalf("default interval %v", p.Interval())
+	}
+	p = NewLAXWithConfig(LAXConfig{UpdateInterval: 50 * sim.Microsecond})
+	if p.Interval() != 50*sim.Microsecond {
+		t.Fatalf("custom interval %v", p.Interval())
+	}
+	p = NewLAXWithConfig(LAXConfig{Name: "X"})
+	if p.Name() != "X" {
+		t.Fatalf("name override %q", p.Name())
+	}
+	// Invalid alpha falls back to 1 (constructor must not panic).
+	NewLAXWithConfig(LAXConfig{Alpha: -3}).Attach(
+		cp.NewSystem(cp.DefaultSystemConfig(), buildSet([]jobSpec{}), NewRR()))
+}
+
+func TestLAXNoAdmissionAdmitsEverything(t *testing.T) {
+	k := kdesc("k", 64, 2560, 500*sim.Microsecond, 0)
+	specs := make([]jobSpec, 10)
+	for i := range specs {
+		specs[i] = jobSpec{0, sim.Millisecond, []*gpu.KernelDesc{k}}
+	}
+	pol := NewLAXWithConfig(LAXConfig{Name: "LAX-NOADMIT", DisableAdmission: true})
+	sys := runPolicy(t, pol, buildSet(specs))
+	if sys.RejectedCount() != 0 {
+		t.Fatalf("no-admission variant rejected %d jobs", sys.RejectedCount())
+	}
+}
+
+func TestLAXFIFOKeepsInitialPriorities(t *testing.T) {
+	k := kdesc("k", 16, 2560, 200*sim.Microsecond, 0)
+	set := buildSet([]jobSpec{
+		{0, 100 * sim.Millisecond, []*gpu.KernelDesc{k, k, k}},
+		{0, 100 * sim.Millisecond, []*gpu.KernelDesc{k}},
+	})
+	pol := NewLAXWithConfig(LAXConfig{Name: "LAX-FIFO", DisableLaxity: true})
+	sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+	probed := false
+	sys.Engine().Schedule(500*sim.Microsecond, func() {
+		for _, j := range sys.Active() {
+			if j.Priority != core.HighestPriority {
+				t.Errorf("job %d priority %d; laxity-disabled variant must not reprioritize",
+					j.Job.ID, j.Priority)
+			}
+		}
+		probed = true
+	})
+	sys.Run()
+	if !probed {
+		t.Skip("jobs finished before probe")
+	}
+}
+
+func TestLAXInitialPriorityModes(t *testing.T) {
+	k := kdesc("k", 1, 64, 10*sim.Microsecond, 0)
+	set := buildSet([]jobSpec{{0, sim.Millisecond, []*gpu.KernelDesc{k}}})
+
+	for _, tc := range []struct {
+		mode InitialPriorityMode
+		want func(int64) bool
+		desc string
+	}{
+		{InitHighest, func(p int64) bool { return p == core.HighestPriority }, "highest"},
+		{InitLowest, func(p int64) bool { return p == initLowestPriority }, "lowest"},
+		// With no profiling data, the initial laxity estimate is
+		// deadline − 0 − 0 = the full deadline.
+		{InitLaxity, func(p int64) bool { return p == int64(sim.Millisecond) }, "laxity"},
+	} {
+		pol := NewLAXWithConfig(LAXConfig{InitialPriority: tc.mode})
+		sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+		var got int64 = -999
+		sys.Engine().Schedule(sim.Microsecond, func() {
+			if len(sys.Active()) == 1 {
+				got = sys.Active()[0].Priority
+			}
+		})
+		sys.Run()
+		if !tc.want(got) {
+			t.Errorf("init=%s: priority %d", tc.desc, got)
+		}
+	}
+}

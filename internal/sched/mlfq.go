@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"laxgpu/internal/core"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sim"
+)
+
+// Priority levels for MLFQ's two queues.
+const (
+	mlfqHigh = int64(0)
+	mlfqLow  = int64(1)
+)
+
+// MLFQ is the two-level multi-level feedback queue of Table 3 [64], tuned
+// as in §5.1: a job is demoted to the low-priority queue once its runtime
+// exceeds 1/3 of its deadline and promoted back once runtime exceeds 2/3 of
+// its deadline. The paper notes the resulting pathology: long-running jobs
+// promoted back "take up high priority resources even after their
+// deadline" — which this implementation reproduces.
+type MLFQ struct {
+	sys     *cp.System
+	current *cp.JobRun // high-queue entry in service
+}
+
+// NewMLFQ returns the multi-level feedback queue scheduler.
+func NewMLFQ() *MLFQ { return &MLFQ{} }
+
+// Name implements cp.Policy.
+func (p *MLFQ) Name() string { return "MLFQ" }
+
+// Attach implements cp.Policy.
+func (p *MLFQ) Attach(s *cp.System) { p.sys = s }
+
+// Admit implements cp.Policy: jobs enter the high-priority queue.
+func (p *MLFQ) Admit(j *cp.JobRun) bool {
+	j.Priority = mlfqHigh
+	return true
+}
+
+// Reprioritize implements cp.Policy: apply the runtime-threshold demotion
+// and promotion rules.
+func (p *MLFQ) Reprioritize() {
+	now := p.sys.Now()
+	for _, j := range p.sys.Active() {
+		runtime := now - j.SubmitTime
+		d := j.Job.Deadline
+		switch {
+		case runtime > 2*d/3:
+			j.Priority = mlfqHigh // promoted back near (or past) the deadline
+		case runtime > d/3:
+			j.Priority = mlfqLow
+		default:
+			j.Priority = mlfqHigh
+		}
+	}
+}
+
+// Interval implements cp.Policy.
+func (p *MLFQ) Interval() sim.Time { return core.DefaultUpdateInterval }
+
+// Overheads implements cp.Policy: MLFQ extends the CP.
+func (p *MLFQ) Overheads() cp.Overheads { return cp.Overheads{} }
+
+// Order implements cp.Orderer: high queue before low queue, cyclic service
+// within the high queue ("uses RR to schedule jobs in the high priority
+// queue", Table 3) with the same keep-until-issued pointer as RR.
+func (p *MLFQ) Order(active []*cp.JobRun) []*cp.JobRun {
+	var high, low []*cp.JobRun
+	for _, j := range active {
+		if j.Priority == mlfqHigh {
+			high = append(high, j)
+		} else {
+			low = append(low, j)
+		}
+	}
+	if len(high) > 1 && p.current != nil {
+		for i, j := range high {
+			if j != p.current {
+				continue
+			}
+			s := i
+			if k := j.Current(); k == nil || k.RemainingWGs() == 0 || j.Paused() {
+				s = (i + 1) % len(high)
+			}
+			rotated := make([]*cp.JobRun, 0, len(high))
+			rotated = append(rotated, high[s:]...)
+			rotated = append(rotated, high[:s]...)
+			high = rotated
+			break
+		}
+	}
+	return append(high, low...)
+}
+
+// Served implements cp.ServeObserver.
+func (p *MLFQ) Served(j *cp.JobRun) {
+	if j.Priority == mlfqHigh {
+		p.current = j
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"sort"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sim"
+)
+
+// premaInterval is PREMA's scheduling epoch ("Like the authors, we use a
+// 250 µs preemption interval", §5.1).
+const premaInterval = 250 * sim.Microsecond
+
+// premaSaveRestoreBytesPerNs is the context save/restore bandwidth used to
+// charge preemption cost: ~100 GB/s of on-package bandwidth moving the
+// preempted kernel's register/LDS context (Table 1 context sizes).
+const premaSaveRestoreBytesPerNs = 100
+
+// PREMA is the predictive multi-task preemptive scheduler of [79], adapted
+// as in §5.1: originally designed for an NPU running one large job, it is
+// extended here to run multiple concurrent jobs (our workloads underfill
+// the GPU). Every 250 µs it computes a token per job — the product of its
+// (uniform) user priority and its predicted slowdown — and grants the
+// device to the highest-token jobs, preempting the rest at a context
+// save/restore cost.
+type PREMA struct {
+	sys *cp.System
+}
+
+// NewPREMA returns the PREMA scheduler.
+func NewPREMA() *PREMA { return &PREMA{} }
+
+// Name implements cp.Policy.
+func (p *PREMA) Name() string { return "PREMA" }
+
+// Attach implements cp.Policy.
+func (p *PREMA) Attach(s *cp.System) { p.sys = s }
+
+// Admit implements cp.Policy: PREMA has no deadline-based admission.
+func (p *PREMA) Admit(j *cp.JobRun) bool {
+	j.Priority = 0
+	return true
+}
+
+// token computes PREMA's scheduling token: slowdown = elapsed / predicted
+// isolated time. Jobs that have waited long relative to their size
+// accumulate tokens and win the next epoch (PREMA "reactively predicts
+// based on feedback from running jobs", §6.1.2).
+func (p *PREMA) token(j *cp.JobRun) float64 {
+	ideal := staticJobTime(p.sys.Device().Config(), j)
+	if ideal <= 0 {
+		ideal = 1
+	}
+	elapsed := p.sys.Now() - j.SubmitTime
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return float64(elapsed) / float64(ideal)
+}
+
+// Reprioritize implements cp.Policy: one PREMA epoch. Rank jobs by token,
+// grant the device to the top jobs until the device's thread capacity is
+// covered, pause the rest, and charge a stall for every preempted job that
+// had work in flight.
+func (p *PREMA) Reprioritize() {
+	active := p.sys.Active()
+	if len(active) == 0 {
+		return
+	}
+	ranked := make([]*cp.JobRun, len(active))
+	copy(ranked, active)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		ta, tb := p.token(ranked[a]), p.token(ranked[b])
+		if ta != tb {
+			return ta > tb
+		}
+		return ranked[a].SubmitTime < ranked[b].SubmitTime
+	})
+
+	capacity := p.sys.Device().Config().TotalThreads()
+	granted := make(map[*cp.JobRun]bool, len(ranked))
+	demand := 0
+	for _, j := range ranked {
+		if demand >= capacity {
+			break
+		}
+		granted[j] = true
+		if k := j.Current(); k != nil {
+			demand += k.Desc.TotalThreads()
+		}
+	}
+
+	// Preempt jobs losing the device; a job descheduled while it has WGs
+	// in flight pays for saving its kernel context (newly paused only —
+	// an already-parked job costs nothing more).
+	var preemptBytes int
+	for _, j := range active {
+		if granted[j] {
+			continue
+		}
+		if !j.Paused() {
+			if k := j.Current(); k != nil && k.OutstandingWGs() > 0 {
+				preemptBytes += k.Desc.ContextBytes()
+			}
+		}
+		j.Pause()
+	}
+	for rank, j := range ranked {
+		if granted[j] {
+			j.Resume()
+			j.Priority = int64(rank)
+		} else {
+			j.Priority = int64(len(ranked) + 1)
+		}
+	}
+
+	if preemptBytes > 0 {
+		stall := sim.Time(preemptBytes / premaSaveRestoreBytesPerNs)
+		if stall > 0 {
+			p.sys.Device().Stall(stall)
+		}
+	}
+}
+
+// Interval implements cp.Policy: the 250 µs preemption epoch.
+func (p *PREMA) Interval() sim.Time { return premaInterval }
+
+// Overheads implements cp.Policy: PREMA extends the accelerator's
+// scheduler; no host communication per kernel.
+func (p *PREMA) Overheads() cp.Overheads { return cp.Overheads{} }

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/cp"
+)
+
+// Factory constructs a fresh policy instance. Policies hold run state, so
+// every simulation gets its own instance.
+type Factory func() cp.Policy
+
+var registry = map[string]Factory{
+	"RR":      func() cp.Policy { return NewRR() },
+	"BAT":     func() cp.Policy { return NewBAT() },
+	"BAY":     func() cp.Policy { return NewBAY() },
+	"PRO":     func() cp.Policy { return NewPRO() },
+	"MLFQ":    func() cp.Policy { return NewMLFQ() },
+	"EDF":     func() cp.Policy { return NewEDF() },
+	"SJF":     func() cp.Policy { return NewSJF() },
+	"SRF":     func() cp.Policy { return NewSRF() },
+	"LJF":     func() cp.Policy { return NewLJF() },
+	"PREMA":   func() cp.Policy { return NewPREMA() },
+	"LAX":     func() cp.Policy { return NewLAX() },
+	"LAX-SW":  func() cp.Policy { return NewLAXSW() },
+	"LAX-CPU": func() cp.Policy { return NewLAXCPU() },
+
+	// Extensions beyond the paper's Table 3: baselines for analysis (FCFS,
+	// the perfect-information ORACLE), the future-work hybrid (§6.1.2), and
+	// the ablated LAX variants used by the ablation study.
+	"FCFS":      func() cp.Policy { return NewFCFS() },
+	"ORACLE":    func() cp.Policy { return NewORACLE() },
+	"LAX-PREMA": func() cp.Policy { return NewLAXPREMA() },
+	"LAX-NOADMIT": func() cp.Policy {
+		return NewLAXWithConfig(LAXConfig{Name: "LAX-NOADMIT", DisableAdmission: true})
+	},
+	"LAX-FIFO": func() cp.Policy {
+		return NewLAXWithConfig(LAXConfig{Name: "LAX-FIFO", DisableLaxity: true})
+	},
+}
+
+// New constructs the named policy.
+func New(name string) (cp.Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (valid: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns every registered scheduler name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scheduler groups used by the paper's figures.
+var (
+	// CPUSideSchedulers are the prior host-resident schedulers of Figure 6
+	// (compared there against RR and LAX).
+	CPUSideSchedulers = []string{"BAT", "BAY", "PRO"}
+
+	// CPSchedulers are the command-processor-extending schedulers of
+	// Figure 7 (compared against RR, normalized to RR).
+	CPSchedulers = []string{"MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA"}
+
+	// LaxityVariants are Figure 8's implementations.
+	LaxityVariants = []string{"LAX-SW", "LAX-CPU", "LAX"}
+
+	// Table5Schedulers is the column order of Table 5.
+	Table5Schedulers = []string{"RR", "MLFQ", "BAT", "BAY", "PRO", "LJF", "SJF", "SRF", "PREMA", "EDF", "LAX"}
+)

@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"laxgpu/internal/core"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sim"
+)
+
+// SRF (shortest remaining-time job first) is the dynamic counterpart of
+// SJF: it "uses LAX's remaining execution time estimator to assign job
+// priorities" (Table 3) — the profiling-table-driven estimate — but ignores
+// deadlines, laxity and queuing delay.
+type SRF struct {
+	sys *cp.System
+	pt  *core.ProfilingTable
+}
+
+// NewSRF returns the shortest-remaining-time-first scheduler.
+func NewSRF() *SRF { return &SRF{} }
+
+// Name implements cp.Policy.
+func (p *SRF) Name() string { return "SRF" }
+
+// Attach implements cp.Policy.
+func (p *SRF) Attach(s *cp.System) {
+	p.sys = s
+	p.pt = core.NewProfilingTable(1)
+}
+
+// Admit implements cp.Policy: no admission control; the initial priority is
+// the current remaining-time estimate (zero for never-profiled kernels,
+// which the first Reprioritize corrects).
+func (p *SRF) Admit(j *cp.JobRun) bool {
+	registerCapacities(p.pt, p.sys.Device().Config(), j)
+	j.Priority = clampPriority(p.pt.RemainingTime(j.TotalWGList()))
+	return true
+}
+
+// Reprioritize implements cp.Policy: refresh the profiling table from
+// device counters and re-rank every active job by its estimated remaining
+// time.
+func (p *SRF) Reprioritize() {
+	p.pt.Update(p.sys.Device().Counters(), p.sys.Now())
+	for _, j := range p.sys.Active() {
+		j.Priority = clampPriority(p.pt.RemainingTime(j.RemainingWGList()))
+	}
+}
+
+// Interval implements cp.Policy: the same 100 µs cadence as LAX.
+func (p *SRF) Interval() sim.Time { return core.DefaultUpdateInterval }
+
+// Overheads implements cp.Policy: SRF extends the CP.
+func (p *SRF) Overheads() cp.Overheads { return cp.Overheads{} }

@@ -1,0 +1,252 @@
+package sim
+
+// calendarQueue is an alternative event queue with amortized O(1)
+// enqueue/dequeue (R. Brown, CACM 1988): events hash into day buckets by
+// timestamp; dequeue scans the current day. It self-resizes as the event
+// population grows or shrinks and adapts its day width to the observed
+// inter-event spacing.
+//
+// The simulation engine uses the binary heap by default; the calendar is
+// selectable for event-dense workloads (see NewEngineWithCalendar and
+// BenchmarkEventQueues). Both implement eventQueue and are verified
+// equivalent by property tests.
+type calendarQueue struct {
+	buckets  []bucket
+	dayWidth Time // time span of one bucket
+	year     Time // dayWidth × len(buckets)
+	cur      int  // bucket being drained
+	curStart Time // start time of the current bucket's day
+	size     int
+}
+
+type bucket []*Event
+
+// eventQueue is the contract both the heap and the calendar satisfy; pop
+// order is (At, seq) ascending.
+type eventQueue interface {
+	push(e *Event)
+	pop() *Event
+	peek() *Event
+	len() int
+}
+
+// heapQueue adapts the existing container/heap implementation.
+type heapQueue struct{ h eventHeap }
+
+func (q *heapQueue) push(e *Event) { pushHeap(&q.h, e) }
+func (q *heapQueue) pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return popHeap(&q.h)
+}
+func (q *heapQueue) peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+func (q *heapQueue) len() int { return len(q.h) }
+
+const (
+	calMinBuckets = 8
+	calInitWidth  = Time(1024)
+)
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{}
+	c.resize(calMinBuckets, calInitWidth, 0)
+	return c
+}
+
+func (c *calendarQueue) len() int { return c.size }
+
+func (c *calendarQueue) bucketFor(at Time) int {
+	if at < 0 {
+		at = 0
+	}
+	return int((at / c.dayWidth) % Time(len(c.buckets)))
+}
+
+func (c *calendarQueue) push(e *Event) {
+	i := c.bucketFor(e.At)
+	b := c.buckets[i]
+	// Insert keeping the bucket sorted by (At, seq); buckets are short by
+	// construction, so linear insertion is fine.
+	pos := len(b)
+	for pos > 0 {
+		p := b[pos-1]
+		if p.At < e.At || (p.At == e.At && p.seq < e.seq) {
+			break
+		}
+		pos--
+	}
+	b = append(b, nil)
+	copy(b[pos+1:], b[pos:])
+	b[pos] = e
+	c.buckets[i] = b
+	c.size++
+
+	// An event earlier than the drain cursor rewinds it (rare: only when
+	// pushing at the current instant into an earlier day after wraparound).
+	if e.At < c.curStart {
+		c.cur = c.bucketFor(e.At)
+		c.curStart = (e.At / c.dayWidth) * c.dayWidth
+	}
+	if c.size > 2*len(c.buckets) {
+		c.grow()
+	}
+}
+
+func (c *calendarQueue) pop() *Event {
+	e := c.take(true)
+	if e != nil && c.size < len(c.buckets)/2 && len(c.buckets) > calMinBuckets {
+		c.shrink()
+	}
+	return e
+}
+
+func (c *calendarQueue) peek() *Event { return c.take(false) }
+
+// take locates the earliest event; remove controls extraction. It scans
+// forward from the drain cursor one year at most, then falls back to a
+// full minimum search (handles sparse far-future events).
+func (c *calendarQueue) take(remove bool) *Event {
+	if c.size == 0 {
+		return nil
+	}
+	n := len(c.buckets)
+	cur, curStart := c.cur, c.curStart
+	for i := 0; i < n; i++ {
+		b := c.buckets[cur]
+		if len(b) > 0 && b[0].At < curStart+c.dayWidth {
+			if !remove {
+				return b[0]
+			}
+			e := b[0]
+			copy(b, b[1:])
+			c.buckets[cur] = b[:len(b)-1]
+			c.size--
+			c.cur, c.curStart = cur, curStart
+			return e
+		}
+		cur = (cur + 1) % n
+		curStart += c.dayWidth
+	}
+	// Nothing within a year of the cursor: direct minimum search.
+	var best *Event
+	bi := -1
+	for i, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		e := b[0]
+		if best == nil || e.At < best.At || (e.At == best.At && e.seq < best.seq) {
+			best = e
+			bi = i
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if remove {
+		b := c.buckets[bi]
+		copy(b, b[1:])
+		c.buckets[bi] = b[:len(b)-1]
+		c.size--
+		c.cur = bi
+		c.curStart = (best.At / c.dayWidth) * c.dayWidth
+	}
+	return best
+}
+
+// grow doubles the bucket count and retunes the day width from the spacing
+// of a sample of queued events.
+func (c *calendarQueue) grow() { c.retune(len(c.buckets) * 2) }
+
+// shrink halves the bucket count.
+func (c *calendarQueue) shrink() { c.retune(len(c.buckets) / 2) }
+
+func (c *calendarQueue) retune(buckets int) {
+	if buckets < calMinBuckets {
+		buckets = calMinBuckets
+	}
+	events := make([]*Event, 0, c.size)
+	for _, b := range c.buckets {
+		events = append(events, b...)
+	}
+	width := c.estimateWidth(events)
+	c.resize(buckets, width, c.minTime(events))
+	for _, e := range events {
+		i := c.bucketFor(e.At)
+		c.buckets[i] = append(c.buckets[i], e)
+		c.size++
+	}
+	for i := range c.buckets {
+		sortBucket(c.buckets[i])
+	}
+}
+
+func (c *calendarQueue) minTime(events []*Event) Time {
+	if len(events) == 0 {
+		return 0
+	}
+	min := events[0].At
+	for _, e := range events {
+		if e.At < min {
+			min = e.At
+		}
+	}
+	return min
+}
+
+// estimateWidth picks a day width ≈ 3× the mean gap between queued event
+// times, clamped to sane bounds.
+func (c *calendarQueue) estimateWidth(events []*Event) Time {
+	if len(events) < 2 {
+		return c.dayWidth
+	}
+	min, max := events[0].At, events[0].At
+	for _, e := range events {
+		if e.At < min {
+			min = e.At
+		}
+		if e.At > max {
+			max = e.At
+		}
+	}
+	span := max - min
+	if span <= 0 {
+		return c.dayWidth
+	}
+	w := 3 * span / Time(len(events))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (c *calendarQueue) resize(buckets int, width, start Time) {
+	if width < 1 {
+		width = 1
+	}
+	c.buckets = make([]bucket, buckets)
+	c.dayWidth = width
+	c.year = width * Time(buckets)
+	c.cur = c.bucketFor(start)
+	c.curStart = (start / width) * width
+	c.size = 0
+}
+
+func sortBucket(b bucket) {
+	// Insertion sort: buckets are short and mostly ordered already.
+	for i := 1; i < len(b); i++ {
+		e := b[i]
+		j := i - 1
+		for j >= 0 && (b[j].At > e.At || (b[j].At == e.At && b[j].seq > e.seq)) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = e
+	}
+}

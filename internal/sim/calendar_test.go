@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// popAll drains a queue, returning (At, seq) pairs in pop order.
+func popAll(q eventQueue) [][2]int64 {
+	var out [][2]int64
+	for {
+		e := q.pop()
+		if e == nil {
+			return out
+		}
+		out = append(out, [2]int64{int64(e.At), int64(e.seq)})
+	}
+}
+
+// TestCalendarMatchesHeapProperty: for any push sequence, the calendar pops
+// in exactly the heap's order.
+func TestCalendarMatchesHeapProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := &heapQueue{}
+		c := newCalendarQueue()
+		for i, r := range raw {
+			at := Time(r % 1_000_000)
+			h.push(&Event{At: at, seq: uint64(i)})
+			c.push(&Event{At: at, seq: uint64(i)})
+		}
+		a, b := popAll(h), popAll(c)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalendarInterleavedOps mirrors a simulation: pops interleave with
+// pushes of future events relative to the last popped time.
+func TestCalendarInterleavedOps(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		rng := NewRNG(seed)
+		h := &heapQueue{}
+		c := newCalendarQueue()
+		seq := uint64(0)
+		var now Time
+		add := func(at Time) {
+			h.push(&Event{At: at, seq: seq})
+			c.push(&Event{At: at, seq: seq})
+			seq++
+		}
+		for _, r := range raw {
+			add(now + Time(r))
+			if rng.Float64() < 0.5 {
+				he, ce := h.pop(), c.pop()
+				if (he == nil) != (ce == nil) {
+					return false
+				}
+				if he != nil {
+					if he.At != ce.At || he.seq != ce.seq {
+						return false
+					}
+					now = he.At
+				}
+			}
+		}
+		a, b := popAll(h), popAll(c)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarEmptyOps(t *testing.T) {
+	c := newCalendarQueue()
+	if c.pop() != nil || c.peek() != nil || c.len() != 0 {
+		t.Fatal("empty calendar misbehaves")
+	}
+}
+
+func TestCalendarGrowShrink(t *testing.T) {
+	c := newCalendarQueue()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c.push(&Event{At: Time(i * 137), seq: uint64(i)})
+	}
+	if c.len() != n {
+		t.Fatalf("size %d", c.len())
+	}
+	if len(c.buckets) <= calMinBuckets {
+		t.Fatal("calendar never grew")
+	}
+	var last Time = -1
+	for i := 0; i < n; i++ {
+		e := c.pop()
+		if e == nil {
+			t.Fatalf("drained early at %d", i)
+		}
+		if e.At < last {
+			t.Fatalf("out of order: %v after %v", e.At, last)
+		}
+		last = e.At
+	}
+	if c.pop() != nil {
+		t.Fatal("phantom event")
+	}
+	if len(c.buckets) > calMinBuckets*4 {
+		t.Fatalf("calendar never shrank: %d buckets", len(c.buckets))
+	}
+}
+
+func TestCalendarSparseFarFuture(t *testing.T) {
+	// Events separated by far more than a calendar year must still pop in
+	// order (exercises the fallback minimum search).
+	c := newCalendarQueue()
+	times := []Time{5, 1 << 40, 12, 1 << 50, 7}
+	for i, at := range times {
+		c.push(&Event{At: at, seq: uint64(i)})
+	}
+	want := []Time{5, 7, 12, 1 << 40, 1 << 50}
+	for _, w := range want {
+		e := c.pop()
+		if e == nil || e.At != w {
+			t.Fatalf("popped %v, want %v", e, w)
+		}
+	}
+}
+
+// TestEngineWithCalendarEquivalence runs a real simulation workload on both
+// engines and requires identical event traces.
+func TestEngineWithCalendarEquivalence(t *testing.T) {
+	runTrace := func(e *Engine) []Time {
+		var trace []Time
+		rng := NewRNG(17)
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth <= 0 {
+				return
+			}
+			n := rng.Intn(3)
+			for i := 0; i < n; i++ {
+				e.After(Time(rng.Intn(5000)+1), func() { spawn(depth - 1) })
+			}
+		}
+		for i := 0; i < 20; i++ {
+			at := Time(rng.Intn(100000))
+			e.Schedule(at, func() { spawn(4) })
+		}
+		e.Run()
+		return trace
+	}
+	a := runTrace(NewEngine())
+	b := runTrace(NewEngineWithCalendar())
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// BenchmarkEventQueues compares the two queue implementations under a
+// simulation-like hold pattern (pop one, push one slightly in the future).
+func BenchmarkEventQueues(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		mk   func() eventQueue
+	}{
+		{"heap", func() eventQueue { return &heapQueue{} }},
+		{"calendar", func() eventQueue { return newCalendarQueue() }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			q := impl.mk()
+			rng := NewRNG(1)
+			const population = 4096
+			var now Time
+			seq := uint64(0)
+			for i := 0; i < population; i++ {
+				q.push(&Event{At: Time(rng.Intn(1_000_000)), seq: seq})
+				seq++
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := q.pop()
+				now = e.At
+				q.push(&Event{At: now + Time(rng.Intn(10000)+1), seq: seq})
+				seq++
+			}
+		})
+	}
+}

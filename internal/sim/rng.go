@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded pseudo-random source with the distributions the
+// workload generators need. Every experiment threads an explicit RNG so runs
+// are reproducible and schedulers can be compared on identical arrival
+// traces.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Exp returns an exponentially distributed duration with the given mean.
+// It is the inter-arrival time of a Poisson process with rate 1/mean, which
+// is how the paper generates job arrivals ("we randomly generate specific
+// job arrival times based on an exponential distribution", §5.3).
+func (g *RNG) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	d := Time(math.Round(g.r.ExpFloat64() * float64(mean)))
+	if d < 0 { // guard against pathological float rounding
+		d = 0
+	}
+	return d
+}
+
+// Geometric returns a value in {1, 2, ...} from a geometric distribution
+// with the given mean (mean must be > 1). Used for RNN sequence lengths: the
+// WMT'15 trace used by the paper has a mean sequence length of 16 with a
+// long right tail, which a geometric distribution captures to first order.
+func (g *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / mean
+	// Inverse-CDF sampling: k = ceil(ln(1-u)/ln(1-p)).
+	u := g.r.Float64()
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// BoundedGeometric draws Geometric(mean) truncated to [min, max] by
+// resampling (with a deterministic clamp fallback after a fixed number of
+// attempts, so the generator never loops unboundedly).
+func (g *RNG) BoundedGeometric(mean float64, min, max int) int {
+	for attempt := 0; attempt < 64; attempt++ {
+		k := g.Geometric(mean)
+		if k >= min && k <= max {
+			return k
+		}
+	}
+	k := g.Geometric(mean)
+	if k < min {
+		k = min
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, sd float64) float64 {
+	return g.r.NormFloat64()*sd + mean
+}
+
+// BoundedNormal draws round(Normal(mean, sd)) clamped to [min, max]. Used
+// for RNN sequence lengths: WMT'15 sentence lengths cluster around the mean
+// with a roughly symmetric spread, unlike a geometric distribution whose
+// mass piles up at 1.
+func (g *RNG) BoundedNormal(mean, sd float64, min, max int) int {
+	k := int(math.Round(g.Normal(mean, sd)))
+	if k < min {
+		k = min
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}
+
+// Shuffle permutes the n-element collection using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,80 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the GPU device model, the command processor, and every scheduler in this
+// repository. It is deliberately minimal: a monotonically advancing clock, a
+// binary-heap event queue with deterministic FIFO tie-breaking, and a seeded
+// random source for reproducible arrival processes.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured in integer nanoseconds from
+// the start of the simulation. Durations are also expressed as Time; the
+// zero value is the simulation epoch.
+//
+// Nanosecond granularity comfortably resolves the paper's timescales: the
+// GPU clock period is 0.67 ns (1.5 GHz), workgroups run for hundreds of
+// nanoseconds to microseconds, and scheduler epochs are 2-250 µs.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Forever is a sentinel time later than any event in a realistic run. It is
+// used as an "infinite" deadline/priority (Algorithm 2 line 18 of the paper
+// sets the priority of hopeless jobs to INF).
+const Forever Time = 1<<63 - 1
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration for interoperability with the
+// standard library (both are integer nanoseconds).
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration to a sim.Time.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// String renders the time with an automatically chosen unit, e.g. "40µs",
+// "7ms", "1.25s".
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "∞"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return trimUnit(float64(t)/float64(Microsecond), "µs")
+	case t < Second:
+		return trimUnit(float64(t)/float64(Millisecond), "ms")
+	default:
+		return trimUnit(float64(t)/float64(Second), "s")
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a trailing decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}

@@ -1,0 +1,30 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAndRender hardens the trace visualizer against arbitrary
+// (possibly adversarial) trace files: parse errors are fine, panics are
+// not, and anything parsed must render.
+func FuzzParseAndRender(f *testing.F) {
+	f.Add(`{"at_ns":0,"kind":"arrive","job":0,"deadline_ns":100}`)
+	f.Add(`{"at_ns":5,"kind":"finish","job":0,"met":true}`)
+	f.Add(`{"at_ns":-3,"kind":"kernel_start","job":2,"kernel":"k"}`)
+	f.Add("{}\n{}\n{}")
+	f.Add("junk")
+	f.Add(`{"at_ns":9223372036854775807,"kind":"cancel","job":1}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := ParseEvents(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := RenderTimeline(&out, events, Options{Width: 30, MaxJobs: 5}); err != nil {
+			t.Fatalf("render failed on parsed trace: %v", err)
+		}
+	})
+}

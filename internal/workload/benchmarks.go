@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// Rate selects one of the three Poisson arrival-rate levels of Table 4.
+type Rate int
+
+const (
+	// LowRate, MediumRate, HighRate are the three contention levels swept
+	// in §5.3. HighRate magnifies scheduler differences and is the rate the
+	// paper's headline figures use.
+	LowRate Rate = iota
+	MediumRate
+	HighRate
+)
+
+func (r Rate) String() string {
+	switch r {
+	case LowRate:
+		return "low"
+	case MediumRate:
+		return "medium"
+	case HighRate:
+		return "high"
+	default:
+		return fmt.Sprintf("Rate(%d)", int(r))
+	}
+}
+
+// ParseRate converts "low"/"medium"/"high" to a Rate.
+func ParseRate(s string) (Rate, error) {
+	switch s {
+	case "low":
+		return LowRate, nil
+	case "medium", "med":
+		return MediumRate, nil
+	case "high":
+		return HighRate, nil
+	}
+	return 0, fmt.Errorf("workload: unknown rate %q (want low|medium|high)", s)
+}
+
+// meanSeqLen is the average RNN sequence length of the WMT'15 language
+// translation trace the paper uses (§5.2); sdSeqLen approximates the
+// trace's spread around it.
+const (
+	meanSeqLen = 16
+	sdSeqLen   = 7
+)
+
+// maxSeqLen truncates the sequence-length distribution; WMT sentences
+// rarely exceed ~50 tokens.
+const maxSeqLen = 50
+
+// DefaultJobCount is the number of jobs simulated per benchmark (§5.3:
+// "We simulate 128 jobs per benchmark").
+const DefaultJobCount = 128
+
+// Benchmark describes one of the paper's eight workloads (Table 4).
+type Benchmark struct {
+	// Name is the benchmark identifier used throughout the paper's figures.
+	Name string
+
+	// Deadline is the per-job relative deadline (Table 4).
+	Deadline sim.Time
+
+	// ManyKernel distinguishes the RNN workloads (chains of many small
+	// kernels) from the single-kernel networking/IPA workloads (Fig. 1).
+	ManyKernel bool
+
+	// Rates maps each Rate level to the offered load in jobs/second
+	// (Table 4).
+	Rates map[Rate]int
+
+	// build constructs the kernel chain (and sequence length) for one job.
+	build func(lib *Library, rng *sim.RNG) (kernels []*gpu.KernelDesc, seqLen int)
+}
+
+// JobsPerSecond returns the offered load for the rate level.
+func (b *Benchmark) JobsPerSecond(r Rate) int { return b.Rates[r] }
+
+// lstmChain builds an LSTM inference job for sequence length L: a fixed
+// prologue (tensor setup) plus, per time step, one GEMM and three
+// gate-elementwise + activation pairs. For L=13 this yields exactly the
+// Table 1 call counts (GEMM×13, TensorKernel4×40, ActivationKernel5×39).
+func lstmChain(lib *Library, L int) []*gpu.KernelDesc {
+	t1 := lib.Kernel("TensorKernel1")
+	t2 := lib.Kernel("TensorKernel2")
+	t3 := lib.Kernel("TensorKernel3")
+	t4 := lib.Kernel("TensorKernel4")
+	act := lib.Kernel("ActivationKernel5")
+	gemm := lib.Kernel("rocBLASGEMMKernel1")
+
+	ks := []*gpu.KernelDesc{t1, t1, t1, t2, t2, t2, t2, t2, t3, t3, t4}
+	for i := 0; i < L; i++ {
+		ks = append(ks, gemm, t4, act, t4, act, t4, act)
+	}
+	return ks
+}
+
+// gruChain builds a GRU job: same prologue, two gate pairs per step (GRU
+// has 3 gates vs LSTM's 4). gemmName selects the hidden-size-specific GEMM.
+func gruChain(lib *Library, L int, gemmName string) []*gpu.KernelDesc {
+	t1 := lib.Kernel("TensorKernel1")
+	t2 := lib.Kernel("TensorKernel2")
+	t3 := lib.Kernel("TensorKernel3")
+	t4 := lib.Kernel("TensorKernel4")
+	act := lib.Kernel("ActivationKernel5")
+	gemm := lib.Kernel(gemmName)
+
+	ks := []*gpu.KernelDesc{t1, t1, t2, t2, t2, t3, t4}
+	for i := 0; i < L; i++ {
+		ks = append(ks, gemm, t4, act, t4, act)
+	}
+	return ks
+}
+
+// vanChain builds a Vanilla RNN job (hidden size 256 per Table 4): one gate
+// pair per step with the larger VanGEMM.
+func vanChain(lib *Library, L int) []*gpu.KernelDesc {
+	t1 := lib.Kernel("TensorKernel1")
+	t2 := lib.Kernel("TensorKernel2")
+	t4 := lib.Kernel("TensorKernel4")
+	act := lib.Kernel("ActivationKernel5")
+	gemm := lib.Kernel("VanGEMMKernel")
+
+	ks := []*gpu.KernelDesc{t1, t1, t2, t2, t4}
+	for i := 0; i < L; i++ {
+		ks = append(ks, gemm, t4, act)
+	}
+	return ks
+}
+
+func singleKernel(name string) func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+	return func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+		return []*gpu.KernelDesc{lib.Kernel(name)}, 0
+	}
+}
+
+func sampleSeqLen(rng *sim.RNG) int {
+	return rng.BoundedNormal(meanSeqLen, sdSeqLen, 1, maxSeqLen)
+}
+
+// benchmarks is the Table 4 registry.
+var benchmarks = []*Benchmark{
+	{
+		Name: "LSTM", Deadline: 7 * sim.Millisecond, ManyKernel: true,
+		Rates: map[Rate]int{HighRate: 8000, MediumRate: 5000, LowRate: 3000},
+		build: func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+			L := sampleSeqLen(rng)
+			return lstmChain(lib, L), L
+		},
+	},
+	{
+		Name: "GRU", Deadline: 7 * sim.Millisecond, ManyKernel: true,
+		Rates: map[Rate]int{HighRate: 8000, MediumRate: 5000, LowRate: 3000},
+		build: func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+			L := sampleSeqLen(rng)
+			return gruChain(lib, L, "rocBLASGEMMKernel1"), L
+		},
+	},
+	{
+		Name: "VAN", Deadline: 7 * sim.Millisecond, ManyKernel: true,
+		Rates: map[Rate]int{HighRate: 8000, MediumRate: 5000, LowRate: 3000},
+		build: func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+			L := sampleSeqLen(rng)
+			return vanChain(lib, L), L
+		},
+	},
+	{
+		Name: "HYBRID", Deadline: 7 * sim.Millisecond, ManyKernel: true,
+		Rates: map[Rate]int{HighRate: 8000, MediumRate: 5000, LowRate: 3000},
+		build: func(lib *Library, rng *sim.RNG) ([]*gpu.KernelDesc, int) {
+			L := sampleSeqLen(rng)
+			if rng.Float64() < 0.5 {
+				return lstmChain(lib, L), L
+			}
+			return gruChain(lib, L, "GRU256GEMMKernel"), L
+		},
+	},
+	{
+		Name: "IPV6", Deadline: 40 * sim.Microsecond, ManyKernel: false,
+		Rates: map[Rate]int{HighRate: 64000, MediumRate: 32000, LowRate: 16000},
+		build: singleKernel("IPV6Kernel"),
+	},
+	{
+		Name: "CUCKOO", Deadline: 600 * sim.Microsecond, ManyKernel: false,
+		Rates: map[Rate]int{HighRate: 8000, MediumRate: 5000, LowRate: 3000},
+		build: singleKernel("cuckooKernel"),
+	},
+	{
+		Name: "GMM", Deadline: 3 * sim.Millisecond, ManyKernel: false,
+		Rates: map[Rate]int{HighRate: 32000, MediumRate: 16000, LowRate: 8000},
+		build: singleKernel("GMMKernel"),
+	},
+	{
+		Name: "STEM", Deadline: 300 * sim.Microsecond, ManyKernel: false,
+		Rates: map[Rate]int{HighRate: 64000, MediumRate: 32000, LowRate: 16000},
+		build: singleKernel("STEMKernel"),
+	},
+}
+
+// Benchmarks returns the eight Table 4 benchmarks in paper order.
+func Benchmarks() []*Benchmark {
+	out := make([]*Benchmark, len(benchmarks))
+	copy(out, benchmarks)
+	return out
+}
+
+// BenchmarkNames returns the benchmark names in paper order.
+func BenchmarkNames() []string {
+	names := make([]string, len(benchmarks))
+	for i, b := range benchmarks {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// FindBenchmark returns the benchmark with the given name.
+func FindBenchmark(name string) (*Benchmark, error) {
+	for _, b := range benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	valid := BenchmarkNames()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("workload: unknown benchmark %q (valid: %v)", name, valid)
+}
+
+// Generate builds the deterministic job trace for (benchmark, rate, seed):
+// n jobs with exponential inter-arrival times at the Table 4 rate, each
+// with an independently sampled kernel chain.
+func (b *Benchmark) Generate(lib *Library, r Rate, n int, seed int64) *JobSet {
+	set := b.GenerateCustom(lib, b.JobsPerSecond(r), n, seed)
+	set.Rate = r
+	return set
+}
+
+// GenerateBursty builds a trace with interrupted-Poisson (ON/OFF) arrivals
+// at the same *mean* offered load: bursts of expected burstLen jobs arrive
+// at burst× the mean rate, separated by silent gaps sized to preserve the
+// mean. burst = 1 degenerates to the plain Poisson process. Datacenter
+// request streams are bursty, and burstiness is exactly what stresses
+// admission control: a Poisson-calibrated queue estimate meets a wall of
+// simultaneous arrivals.
+func (b *Benchmark) GenerateBursty(lib *Library, jobsPerSec int, burst float64, burstLen, n int, seed int64) *JobSet {
+	if jobsPerSec <= 0 {
+		panic(fmt.Sprintf("workload: non-positive arrival rate %d", jobsPerSec))
+	}
+	if burst < 1 {
+		panic(fmt.Sprintf("workload: burst factor %v < 1", burst))
+	}
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	rng := sim.NewRNG(seed)
+	meanGap := float64(int64(sim.Second) / int64(jobsPerSec))
+	onGap := sim.Time(meanGap / burst)
+	// A burst of k jobs spans ~k×meanGap/burst; the following gap restores
+	// the mean rate: k×meanGap×(1−1/burst).
+	set := &JobSet{Benchmark: b.Name, Seed: seed, Jobs: make([]*Job, 0, n)}
+	var t sim.Time
+	i := 0
+	for i < n {
+		k := rng.BoundedGeometric(float64(burstLen), 1, 8*burstLen)
+		for j := 0; j < k && i < n; j++ {
+			if i > 0 {
+				t += rng.Exp(onGap)
+			}
+			kernels, seqLen := b.build(lib, rng)
+			set.Jobs = append(set.Jobs, &Job{
+				ID: i, Benchmark: b.Name, Arrival: t,
+				Deadline: b.Deadline, Kernels: kernels, SeqLen: seqLen,
+			})
+			i++
+		}
+		if i < n && burst > 1 {
+			off := sim.Time(float64(k) * meanGap * (1 - 1/burst))
+			t += rng.Exp(off)
+		}
+	}
+	return set
+}
+
+// GenerateCustom builds a trace at an arbitrary offered load (jobs per
+// second) — used by the load-sensitivity sweep, which traces the capacity
+// curve beyond Table 4's three levels.
+func (b *Benchmark) GenerateCustom(lib *Library, jobsPerSec, n int, seed int64) *JobSet {
+	if jobsPerSec <= 0 {
+		panic(fmt.Sprintf("workload: non-positive arrival rate %d", jobsPerSec))
+	}
+	rng := sim.NewRNG(seed)
+	meanGap := sim.Time(int64(sim.Second) / int64(jobsPerSec))
+
+	set := &JobSet{Benchmark: b.Name, Seed: seed, Jobs: make([]*Job, 0, n)}
+	var t sim.Time
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			t += rng.Exp(meanGap)
+		}
+		kernels, seqLen := b.build(lib, rng)
+		set.Jobs = append(set.Jobs, &Job{
+			ID:        i,
+			Benchmark: b.Name,
+			Arrival:   t,
+			Deadline:  b.Deadline,
+			Kernels:   kernels,
+			SeqLen:    seqLen,
+		})
+	}
+	return set
+}

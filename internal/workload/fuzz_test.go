@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"laxgpu/internal/gpu"
+)
+
+// FuzzReadTrace hardens the external-trace parser: arbitrary input must
+// never panic, and anything accepted must produce a valid, replayable job
+// set that round-trips through WriteTrace.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("arrival_us,deadline_us,kernels\n0,40,IPV6Kernel")
+	f.Add("arrival_us,deadline_us,kernels\n5,7000,rocBLASGEMMKernel1*16;ActivationKernel5")
+	f.Add("arrival_us,deadline_us,kernels\n1,2,STEMKernel\n0,3,GMMKernel")
+	f.Add("not,a,trace")
+	f.Add("")
+	f.Add("arrival_us,deadline_us,kernels\n-1,0,*;;**9")
+
+	lib := NewLibrary(gpu.DefaultConfig())
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := ReadTrace(strings.NewReader(in), lib, "fuzz")
+		if err != nil {
+			return
+		}
+		for _, j := range set.Jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("accepted trace produced invalid job: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, set); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadTrace(&buf, lib, "fuzz")
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if back.Len() != set.Len() {
+			t.Fatalf("round trip changed job count: %d vs %d", back.Len(), set.Len())
+		}
+	})
+}

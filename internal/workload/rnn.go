@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// CellType selects the recurrent cell of a parameterized RNN model.
+type CellType int
+
+const (
+	// LSTMCell has four gates (three gate-elementwise+activation pairs per
+	// step beyond the GEMM in our kernel decomposition).
+	LSTMCell CellType = iota
+	// GRUCell has three gates (two pairs per step).
+	GRUCell
+	// VanillaCell has one gate (one pair per step).
+	VanillaCell
+)
+
+func (c CellType) String() string {
+	switch c {
+	case LSTMCell:
+		return "LSTM"
+	case GRUCell:
+		return "GRU"
+	case VanillaCell:
+		return "Vanilla"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// gatePairs returns the per-timestep count of elementwise+activation kernel
+// pairs following the GEMM.
+func (c CellType) gatePairs() int {
+	switch c {
+	case LSTMCell:
+		return 3
+	case GRUCell:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// RNNSpec describes an RNN inference configuration beyond the paper's fixed
+// benchmarks: any hidden size and sequence length, DeepBench-style. The
+// Table 1 kernels are the hidden-128 LSTM anchor; other configurations are
+// derived by the scaling laws below.
+type RNNSpec struct {
+	// Cell selects the recurrent cell type.
+	Cell CellType
+
+	// Hidden is the hidden-layer width (the paper evaluates 128 and 256).
+	Hidden int
+
+	// SeqLen is the number of recurrent steps (kernels scale linearly).
+	SeqLen int
+
+	// BatchSize multiplies every kernel's workgroup count (batch 1 is the
+	// paper's latency-sensitive setting).
+	BatchSize int
+}
+
+// Validate reports the first invalid field, or nil.
+func (s RNNSpec) Validate() error {
+	switch {
+	case s.Hidden < 16 || s.Hidden > 4096:
+		return fmt.Errorf("workload: RNN hidden size %d outside [16, 4096]", s.Hidden)
+	case s.SeqLen < 1 || s.SeqLen > 512:
+		return fmt.Errorf("workload: RNN sequence length %d outside [1, 512]", s.SeqLen)
+	case s.BatchSize < 1 || s.BatchSize > 1024:
+		return fmt.Errorf("workload: RNN batch size %d outside [1, 1024]", s.BatchSize)
+	case s.Cell != LSTMCell && s.Cell != GRUCell && s.Cell != VanillaCell:
+		return fmt.Errorf("workload: unknown RNN cell %d", int(s.Cell))
+	}
+	return nil
+}
+
+// anchorHidden is the hidden size the Table 1 kernels were measured at.
+const anchorHidden = 128
+
+// scaledKernelCache avoids re-deriving descriptors for repeated specs.
+type scaledKernel struct {
+	hidden int
+	batch  int
+	base   string
+}
+
+// RNNBuilder derives kernel chains for arbitrary RNNSpecs from a calibrated
+// library, caching scaled descriptors so repeated job construction is cheap
+// and all jobs of one configuration share kernel types (and hence profiled
+// completion rates — weight sharing across same-size jobs, §5.2).
+type RNNBuilder struct {
+	lib   *Library
+	cache map[scaledKernel]*gpu.KernelDesc
+}
+
+// NewRNNBuilder returns a builder over the library's anchor kernels.
+func NewRNNBuilder(lib *Library) *RNNBuilder {
+	return &RNNBuilder{lib: lib, cache: make(map[scaledKernel]*gpu.KernelDesc)}
+}
+
+// scale derives a descriptor for the base kernel at the given hidden size
+// and batch. Scaling laws:
+//
+//   - GEMM work grows quadratically with hidden size (weight matrix is
+//     hidden×hidden) — threads scale linearly (one per output element row
+//     block) and per-WG time scales linearly, approximating the quadratic
+//     total;
+//   - elementwise/activation kernels grow linearly (one op per state
+//     element);
+//   - batch multiplies workgroups.
+func (b *RNNBuilder) scale(baseName string, hidden, batch int) *gpu.KernelDesc {
+	key := scaledKernel{hidden, batch, baseName}
+	if d, ok := b.cache[key]; ok {
+		return d
+	}
+	base := b.lib.Kernel(baseName)
+	ratio := float64(hidden) / anchorHidden
+
+	clone := *base
+	isGEMM := baseName == "rocBLASGEMMKernel1"
+	if isGEMM {
+		// Quadratic total work: linear in WG count, linear in per-WG time.
+		clone.NumWGs = maxInt(1, int(math.Round(float64(base.NumWGs)*ratio)))
+		clone.BaseWGTime = sim.Time(math.Round(float64(base.BaseWGTime) * ratio))
+	} else {
+		// Linear total work: scale WG count only (tiny kernels stay tiny).
+		clone.NumWGs = maxInt(1, int(math.Round(float64(base.NumWGs)*ratio)))
+	}
+	clone.NumWGs *= batch
+	if hidden != anchorHidden || batch != 1 {
+		clone.Name = fmt.Sprintf("%s@h%d_b%d", baseName, hidden, batch)
+	}
+	if clone.BaseWGTime <= 0 {
+		clone.BaseWGTime = 1
+	}
+	b.cache[key] = &clone
+	return &clone
+}
+
+// Build returns the kernel chain for the spec: the Table 1 prologue plus,
+// per timestep, one GEMM and the cell's gate pairs. It panics on an invalid
+// spec (construction inputs are static); use Validate to check dynamic
+// input first.
+func (b *RNNBuilder) Build(spec RNNSpec) []*gpu.KernelDesc {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	h, bs := spec.Hidden, spec.BatchSize
+	t1 := b.scale("TensorKernel1", h, bs)
+	t2 := b.scale("TensorKernel2", h, bs)
+	t3 := b.scale("TensorKernel3", h, bs)
+	t4 := b.scale("TensorKernel4", h, bs)
+	act := b.scale("ActivationKernel5", h, bs)
+	gemm := b.scale("rocBLASGEMMKernel1", h, bs)
+
+	var ks []*gpu.KernelDesc
+	switch spec.Cell {
+	case LSTMCell:
+		ks = []*gpu.KernelDesc{t1, t1, t1, t2, t2, t2, t2, t2, t3, t3, t4}
+	case GRUCell:
+		ks = []*gpu.KernelDesc{t1, t1, t2, t2, t2, t3, t4}
+	default:
+		ks = []*gpu.KernelDesc{t1, t1, t2, t2, t4}
+	}
+	pairs := spec.Cell.gatePairs()
+	for step := 0; step < spec.SeqLen; step++ {
+		ks = append(ks, gemm)
+		for g := 0; g < pairs; g++ {
+			ks = append(ks, t4, act)
+		}
+	}
+	return ks
+}
+
+// Job wraps Build into a workload.Job with the given identity and timing.
+func (b *RNNBuilder) Job(id int, spec RNNSpec, arrival, deadline sim.Time) *Job {
+	return &Job{
+		ID:        id,
+		Benchmark: fmt.Sprintf("%s-h%d", spec.Cell, spec.Hidden),
+		Arrival:   arrival,
+		Deadline:  deadline,
+		Kernels:   b.Build(spec),
+		SeqLen:    spec.SeqLen,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DeepBenchSpec is a named RNN inference configuration in the style of the
+// DeepBench suite the paper's RNN kernels come from [12][13].
+type DeepBenchSpec struct {
+	Name string
+	Spec RNNSpec
+}
+
+// DeepBenchConfigs returns representative DeepBench-style inference
+// configurations, buildable with an RNNBuilder: the paper's two anchor
+// points plus the larger hidden sizes the suite sweeps.
+func DeepBenchConfigs() []DeepBenchSpec {
+	return []DeepBenchSpec{
+		{"lstm-h128-l16", RNNSpec{Cell: LSTMCell, Hidden: 128, SeqLen: 16, BatchSize: 1}},
+		{"gru-h128-l16", RNNSpec{Cell: GRUCell, Hidden: 128, SeqLen: 16, BatchSize: 1}},
+		{"gru-h256-l16", RNNSpec{Cell: GRUCell, Hidden: 256, SeqLen: 16, BatchSize: 1}},
+		{"lstm-h512-l25", RNNSpec{Cell: LSTMCell, Hidden: 512, SeqLen: 25, BatchSize: 1}},
+		{"gru-h1024-l25", RNNSpec{Cell: GRUCell, Hidden: 1024, SeqLen: 25, BatchSize: 1}},
+		{"lstm-h1536-l50", RNNSpec{Cell: LSTMCell, Hidden: 1536, SeqLen: 50, BatchSize: 1}},
+		{"van-h256-l16", RNNSpec{Cell: VanillaCell, Hidden: 256, SeqLen: 16, BatchSize: 1}},
+		{"lstm-h128-l16-b4", RNNSpec{Cell: LSTMCell, Hidden: 128, SeqLen: 16, BatchSize: 4}},
+	}
+}

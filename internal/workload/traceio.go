@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+// Trace CSV format: one row per job.
+//
+//	arrival_us,deadline_us,kernels
+//
+// where kernels is a semicolon-separated list of kernel references, each
+// either a bare Table 1 kernel name ("IPV6Kernel") or "name*count" for
+// repeated invocations ("rocBLASGEMMKernel1*16"). This lets operators
+// replay their own arrival traces (the paper's "real world systems
+// continually receive requests with varying arrival rates") against any
+// scheduler.
+var traceHeader = []string{"arrival_us", "deadline_us", "kernels"}
+
+// WriteTrace serializes a job set to the trace CSV format. Jobs whose
+// kernels are not library kernels round-trip by name (the reader resolves
+// names against its own library).
+func WriteTrace(w io.Writer, set *JobSet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: trace header: %w", err)
+	}
+	for _, j := range set.Jobs {
+		kernels := ""
+		i := 0
+		for i < len(j.Kernels) {
+			name := j.Kernels[i].Name
+			run := 1
+			for i+run < len(j.Kernels) && j.Kernels[i+run].Name == name {
+				run++
+			}
+			if kernels != "" {
+				kernels += ";"
+			}
+			if run > 1 {
+				kernels += fmt.Sprintf("%s*%d", name, run)
+			} else {
+				kernels += name
+			}
+			i += run
+		}
+		row := []string{
+			strconv.FormatFloat(j.Arrival.Microseconds(), 'g', -1, 64),
+			strconv.FormatFloat(j.Deadline.Microseconds(), 'g', -1, 64),
+			kernels,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: trace row for job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a trace CSV into a job set, resolving kernel names
+// against the library. Jobs are sorted by arrival and assigned dense IDs.
+func ReadTrace(r io.Reader, lib *Library, benchmark string) (*JobSet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if rows[0][0] != traceHeader[0] {
+		return nil, fmt.Errorf("workload: trace missing header row (got %q)", rows[0][0])
+	}
+
+	set := &JobSet{Benchmark: benchmark}
+	for n, row := range rows[1:] {
+		arrival, err := strconv.ParseFloat(row[0], 64)
+		if err != nil || arrival < 0 {
+			return nil, fmt.Errorf("workload: trace row %d: bad arrival %q", n+1, row[0])
+		}
+		deadline, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || deadline <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d: bad deadline %q", n+1, row[1])
+		}
+		kernels, err := parseKernelRefs(row[2], lib)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", n+1, err)
+		}
+		set.Jobs = append(set.Jobs, &Job{
+			Benchmark: benchmark,
+			Arrival:   sim.Time(arrival * float64(sim.Microsecond)),
+			Deadline:  sim.Time(deadline * float64(sim.Microsecond)),
+			Kernels:   kernels,
+		})
+	}
+	sort.SliceStable(set.Jobs, func(a, b int) bool {
+		return set.Jobs[a].Arrival < set.Jobs[b].Arrival
+	})
+	for i, j := range set.Jobs {
+		j.ID = i
+	}
+	return set, nil
+}
+
+// parseKernelRefs expands "a;b*3;c" into a kernel chain.
+func parseKernelRefs(spec string, lib *Library) ([]*gpu.KernelDesc, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("empty kernel list")
+	}
+	var out []*gpu.KernelDesc
+	for _, ref := range splitNonEmpty(spec, ';') {
+		name := ref
+		count := 1
+		if i := indexByte(ref, '*'); i >= 0 {
+			name = ref[:i]
+			n, err := strconv.Atoi(ref[i+1:])
+			if err != nil || n < 1 || n > 1<<16 {
+				return nil, fmt.Errorf("bad repeat count in %q", ref)
+			}
+			count = n
+		}
+		var desc *gpu.KernelDesc
+		if err := func() (err error) {
+			defer func() {
+				if recover() != nil {
+					err = fmt.Errorf("unknown kernel %q", name)
+				}
+			}()
+			desc = lib.Kernel(name)
+			return nil
+		}(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, desc)
+		}
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	l := lib(t)
+	b, _ := FindBenchmark("LSTM")
+	orig := b.Generate(l, HighRate, 24, 3)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf, l, "LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost jobs: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Jobs {
+		o, g := orig.Jobs[i], back.Jobs[i]
+		if o.Arrival != g.Arrival {
+			t.Fatalf("job %d arrival %v vs %v", i, o.Arrival, g.Arrival)
+		}
+		if o.Deadline != g.Deadline {
+			t.Fatalf("job %d deadline %v vs %v", i, o.Deadline, g.Deadline)
+		}
+		if len(o.Kernels) != len(g.Kernels) {
+			t.Fatalf("job %d kernel count %d vs %d", i, len(o.Kernels), len(g.Kernels))
+		}
+		for k := range o.Kernels {
+			if o.Kernels[k].Name != g.Kernels[k].Name {
+				t.Fatalf("job %d kernel %d: %s vs %s", i, k, o.Kernels[k].Name, g.Kernels[k].Name)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("job %d invalid after round trip: %v", i, err)
+		}
+	}
+}
+
+func TestWriteTraceRunLengthEncoding(t *testing.T) {
+	l := lib(t)
+	gemm := l.Kernel("rocBLASGEMMKernel1")
+	ipv6 := l.Kernel("IPV6Kernel")
+	set := &JobSet{Benchmark: "syn", Jobs: []*Job{{
+		ID: 0, Deadline: sim.Millisecond,
+		Kernels: []*gpu.KernelDesc{gemm, gemm, gemm, ipv6, gemm},
+	}}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rocBLASGEMMKernel1*3;IPV6Kernel;rocBLASGEMMKernel1") {
+		t.Fatalf("run-length encoding wrong:\n%s", out)
+	}
+	// And it must round-trip.
+	back, err := ReadTrace(strings.NewReader(out), l, "syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs[0].Kernels) != 5 {
+		t.Fatalf("round trip has %d kernels, want 5", len(back.Jobs[0].Kernels))
+	}
+	if back.Jobs[0].Kernels[3].Name != "IPV6Kernel" {
+		t.Fatal("kernel order lost")
+	}
+}
+
+func TestReadTraceSortsAndAssignsIDs(t *testing.T) {
+	l := lib(t)
+	in := strings.Join([]string{
+		"arrival_us,deadline_us,kernels",
+		"500,1000,IPV6Kernel",
+		"100,1000,STEMKernel",
+		"300,1000,GMMKernel",
+	}, "\n")
+	set, err := ReadTrace(strings.NewReader(in), l, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("%d jobs", set.Len())
+	}
+	for i, want := range []string{"STEMKernel", "GMMKernel", "IPV6Kernel"} {
+		if set.Jobs[i].ID != i {
+			t.Fatalf("job %d has ID %d", i, set.Jobs[i].ID)
+		}
+		if set.Jobs[i].Kernels[0].Name != want {
+			t.Fatalf("job %d is %s, want %s (arrival sort)", i, set.Jobs[i].Kernels[0].Name, want)
+		}
+	}
+	if set.Jobs[0].Arrival != 100*sim.Microsecond {
+		t.Fatalf("arrival %v", set.Jobs[0].Arrival)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	l := lib(t)
+	cases := map[string]string{
+		"no header":      "1,2,IPV6Kernel",
+		"bad arrival":    "arrival_us,deadline_us,kernels\nx,2,IPV6Kernel",
+		"neg arrival":    "arrival_us,deadline_us,kernels\n-1,2,IPV6Kernel",
+		"bad deadline":   "arrival_us,deadline_us,kernels\n1,0,IPV6Kernel",
+		"empty kernels":  "arrival_us,deadline_us,kernels\n1,2,",
+		"unknown kernel": "arrival_us,deadline_us,kernels\n1,2,NoSuchKernel",
+		"bad repeat":     "arrival_us,deadline_us,kernels\n1,2,IPV6Kernel*x",
+		"zero repeat":    "arrival_us,deadline_us,kernels\n1,2,IPV6Kernel*0",
+		"empty":          "",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in), l, "x"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSplitHelpers(t *testing.T) {
+	got := splitNonEmpty("a;;b;c;", ';')
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("splitNonEmpty = %v", got)
+	}
+	if indexByte("abc", 'b') != 1 || indexByte("abc", 'z') != -1 {
+		t.Fatal("indexByte wrong")
+	}
+}

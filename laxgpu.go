@@ -1,0 +1,217 @@
+// Package laxgpu reproduces "Deadline-Aware Offloading for High-Throughput
+// Accelerators" (Yeh, Sinclair, Beckmann, Rogers — HPCA 2021): LAX, a
+// laxity-aware GPU command-processor scheduler for concurrent
+// latency-sensitive jobs, evaluated against twelve other schedulers on the
+// paper's eight benchmarks.
+//
+// The package is a facade over the simulation internals:
+//
+//   - Run simulates one (scheduler, benchmark, arrival-rate) cell and
+//     returns its metrics;
+//   - Experiment regenerates one of the paper's tables or figures;
+//   - Schedulers, Benchmarks and Experiments enumerate the valid names.
+//
+// A minimal comparison:
+//
+//	rr, _ := laxgpu.Run(laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
+//	lax, _ := laxgpu.Run(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
+//	fmt.Printf("RR met %d, LAX met %d of %d\n", rr.MetDeadline, lax.MetDeadline, rr.TotalJobs)
+//
+// The heavier machinery (custom devices, custom job traces, new scheduling
+// policies) lives in the internal packages and is exercised by the examples
+// and the benchmark harness.
+package laxgpu
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/harness"
+	"laxgpu/internal/metrics"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/workload"
+)
+
+// runners memoizes harness runners by (jobs, seed) so repeated Run calls —
+// e.g. sweeping schedulers over the same trace — share simulation results
+// and job sets. Runners themselves are single-threaded; the mutex guards
+// the whole call.
+var (
+	runnersMu sync.Mutex
+	runners   = map[[2]int64]*harness.Runner{}
+)
+
+func runnerFor(jobs int, seed int64) *harness.Runner {
+	key := [2]int64{int64(jobs), seed}
+	if r, ok := runners[key]; ok {
+		return r
+	}
+	r := harness.NewRunner()
+	r.JobCount = jobs
+	r.Seed = seed
+	runners[key] = r
+	return r
+}
+
+// Options selects one simulation cell.
+type Options struct {
+	// Scheduler is one of Schedulers() — e.g. "LAX", "RR", "EDF", "PREMA".
+	Scheduler string
+
+	// Benchmark is one of Benchmarks() — e.g. "LSTM", "IPV6", "GMM".
+	Benchmark string
+
+	// Rate is "low", "medium" or "high" (Table 4 arrival rates). Defaults
+	// to "high", the rate the paper's headline figures use.
+	Rate string
+
+	// Jobs is the trace length; 0 means the paper's 128 jobs.
+	Jobs int
+
+	// Seed makes the arrival trace reproducible; 0 means seed 1.
+	Seed int64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Scheduler string
+	Benchmark string
+	Rate      string
+
+	// TotalJobs is the offered load; MetDeadline of them finished by their
+	// deadline; Rejected were refused by admission control; Cancelled were
+	// preempted and dropped mid-flight; Completed ran to the end regardless
+	// of deadline.
+	TotalJobs   int
+	MetDeadline int
+	Completed   int
+	Rejected    int
+	Cancelled   int
+
+	// Throughput is successful jobs per second (Table 5a).
+	Throughput float64
+
+	// P99Latency is the 99th-percentile completed-job latency (Table 5b).
+	P99Latency time.Duration
+
+	// MeanLatency is the mean completed-job latency.
+	MeanLatency time.Duration
+
+	// EnergyPerSuccessMJ is millijoules per successful job (Table 5c);
+	// +Inf when nothing succeeded.
+	EnergyPerSuccessMJ float64
+
+	// UsefulWorkFrac is the fraction of executed workgroups that belonged
+	// to jobs that met their deadline (Figure 9).
+	UsefulWorkFrac float64
+
+	// Makespan is the completion time of the last finished job.
+	Makespan time.Duration
+}
+
+// DeadlineFrac is the fraction of offered jobs that met their deadline.
+func (r Result) DeadlineFrac() float64 {
+	if r.TotalJobs == 0 {
+		return 0
+	}
+	return float64(r.MetDeadline) / float64(r.TotalJobs)
+}
+
+// Run simulates one cell on the paper's Table 2 system.
+func Run(o Options) (Result, error) {
+	if o.Scheduler == "" || o.Benchmark == "" {
+		return Result{}, fmt.Errorf("laxgpu: Options.Scheduler and Options.Benchmark are required")
+	}
+	rateName := o.Rate
+	if rateName == "" {
+		rateName = "high"
+	}
+	rate, err := workload.ParseRate(rateName)
+	if err != nil {
+		return Result{}, err
+	}
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = workload.DefaultJobCount
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	s, err := runnerFor(jobs, seed).Run(o.Scheduler, o.Benchmark, rate)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(s), nil
+}
+
+// toResult converts an internal summary to the public result type.
+func toResult(s metrics.Summary) Result {
+	return Result{
+		Scheduler:          s.Scheduler,
+		Benchmark:          s.Benchmark,
+		Rate:               s.Rate,
+		TotalJobs:          s.TotalJobs,
+		MetDeadline:        s.MetDeadline,
+		Completed:          s.Completed,
+		Rejected:           s.Rejected,
+		Cancelled:          s.Cancelled,
+		Throughput:         s.ThroughputJobsPerSec,
+		P99Latency:         time.Duration(s.P99LatencyMs * float64(time.Millisecond)),
+		MeanLatency:        time.Duration(s.MeanLatencyMs * float64(time.Millisecond)),
+		EnergyPerSuccessMJ: s.EnergyPerSuccessMJ,
+		UsefulWorkFrac:     s.UsefulWorkFrac,
+		Makespan:           s.Makespan.Duration(),
+	}
+}
+
+// RunTrace replays a custom job trace under the named scheduler on the
+// Table 2 system. The trace is CSV with header "arrival_us,deadline_us,
+// kernels", one job per row; kernels is a semicolon-separated list of
+// Table 1 kernel names, each optionally suffixed "*count" for repeats
+// (e.g. "rocBLASGEMMKernel1*16;ActivationKernel5"). This is the path for
+// replaying production arrival logs against the scheduler zoo.
+func RunTrace(trace io.Reader, scheduler string) (Result, error) {
+	pol, err := sched.New(scheduler)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cp.DefaultSystemConfig()
+	lib := workload.NewLibrary(cfg.GPU)
+	set, err := workload.ReadTrace(trace, lib, "custom")
+	if err != nil {
+		return Result{}, err
+	}
+	sys := cp.NewSystem(cfg, set, pol)
+	sys.Run()
+	return toResult(metrics.Summarize(sys, scheduler, "custom", "trace")), nil
+}
+
+// Experiment regenerates the named table or figure (see Experiments) and
+// writes its report to w.
+func Experiment(id string, w io.Writer) error {
+	r := harness.NewRunner()
+	rep, err := harness.RunExperiment(r, id)
+	if err != nil {
+		return err
+	}
+	rep.Render(w)
+	return nil
+}
+
+// Schedulers returns the scheduler names of Table 3, sorted.
+func Schedulers() []string { return sched.Names() }
+
+// Benchmarks returns the benchmark names of Table 4 in paper order.
+func Benchmarks() []string { return workload.BenchmarkNames() }
+
+// Experiments returns the reproducible table/figure IDs in paper order.
+func Experiments() []string { return harness.ExperimentIDs() }
+
+// Rates returns the arrival-rate level names.
+func Rates() []string { return []string{"low", "medium", "high"} }

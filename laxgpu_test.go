@@ -1,0 +1,210 @@
+package laxgpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+	if _, err := Run(Options{Scheduler: "LAX"}); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+	if _, err := Run(Options{Scheduler: "nope", Benchmark: "LSTM"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "ultra"}); err == nil {
+		t.Fatal("unknown rate accepted")
+	}
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	res, err := Run(Options{Scheduler: "RR", Benchmark: "IPV6", Rate: "high", Jobs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "RR" || res.Benchmark != "IPV6" || res.Rate != "high" {
+		t.Fatalf("identity fields wrong: %+v", res)
+	}
+	if res.TotalJobs != 32 {
+		t.Fatalf("TotalJobs = %d, want 32", res.TotalJobs)
+	}
+	if res.Completed+res.Rejected+res.Cancelled != res.TotalJobs {
+		t.Fatalf("completed %d + rejected %d + cancelled %d != total %d",
+			res.Completed, res.Rejected, res.Cancelled, res.TotalJobs)
+	}
+	if res.MetDeadline > res.Completed {
+		t.Fatal("met more jobs than completed")
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if f := res.DeadlineFrac(); f < 0 || f > 1 {
+		t.Fatalf("DeadlineFrac = %v", f)
+	}
+}
+
+func TestRunDefaultsRateAndJobs(t *testing.T) {
+	res, err := Run(Options{Scheduler: "EDF", Benchmark: "STEM", Jobs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate != "high" {
+		t.Fatalf("default rate = %q, want high", res.Rate)
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	a, err := Run(Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MetDeadline != b.MetDeadline || a.Makespan != b.Makespan || a.Throughput != b.Throughput {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// The headline claim, at library level: LAX meets at least as many deadlines
+// as the deadline-blind baseline on a contended trace.
+func TestLAXBeatsRRThroughFacade(t *testing.T) {
+	rr, err := Run(Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high", Jobs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high", Jobs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lax.MetDeadline <= rr.MetDeadline {
+		t.Fatalf("LAX met %d <= RR met %d", lax.MetDeadline, rr.MetDeadline)
+	}
+	if lax.UsefulWorkFrac <= rr.UsefulWorkFrac {
+		t.Fatalf("LAX useful work %.2f <= RR %.2f", lax.UsefulWorkFrac, rr.UsefulWorkFrac)
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	if len(Schedulers()) != 18 { // 13 from Table 3 + 5 extensions
+		t.Fatalf("Schedulers() = %v", Schedulers())
+	}
+	if len(Benchmarks()) != 8 {
+		t.Fatalf("Benchmarks() = %v", Benchmarks())
+	}
+	if len(Experiments()) != 14 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+	if len(Rates()) != 3 {
+		t.Fatalf("Rates() = %v", Rates())
+	}
+	// Every advertised combination must at least construct.
+	for _, s := range Schedulers() {
+		if _, err := Run(Options{Scheduler: s, Benchmark: "IPV6", Rate: "low", Jobs: 4}); err != nil {
+			t.Errorf("Run with %s failed: %v", s, err)
+		}
+	}
+}
+
+func TestExperimentRendersReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Experiment("figure3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure3", "RR", "LAX", "deadline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if err := Experiment("figure99", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	trace := strings.NewReader(strings.Join([]string{
+		"arrival_us,deadline_us,kernels",
+		"0,1000,IPV6Kernel",
+		"10,1000,STEMKernel",
+		"20,5000,GMMKernel",
+		"30,10000,rocBLASGEMMKernel1*4;ActivationKernel5*4",
+	}, "\n"))
+	res, err := RunTrace(trace, "LAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 4 {
+		t.Fatalf("TotalJobs = %d", res.TotalJobs)
+	}
+	if res.Completed+res.Rejected+res.Cancelled != 4 {
+		t.Fatalf("accounting wrong: %+v", res)
+	}
+	if res.MetDeadline < 3 {
+		t.Fatalf("met only %d of a trivially light trace", res.MetDeadline)
+	}
+	if _, err := RunTrace(strings.NewReader("garbage"), "LAX"); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+	if _, err := RunTrace(strings.NewReader("x"), "NOPE"); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}
+
+func TestFindCapacity(t *testing.T) {
+	// At a strict target LAX's upfront rejections count against the SLO,
+	// so the interesting comparison is at a looser one: past the capacity
+	// knee, LAX keeps completing a floor of work while blind RR collapses,
+	// so LAX's 50%-attainment capacity is far higher.
+	const target = 0.5
+	rr, err := FindCapacity(CapacityOptions{Scheduler: "RR", Benchmark: "CUCKOO", Jobs: 48, TargetMetFrac: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := FindCapacity(CapacityOptions{Scheduler: "LAX", Benchmark: "CUCKOO", Jobs: 48, TargetMetFrac: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.JobsPerSecond <= 0 || lax.JobsPerSecond <= 0 {
+		t.Fatalf("no capacity found: rr=%v lax=%v", rr, lax)
+	}
+	if lax.JobsPerSecond < rr.JobsPerSecond {
+		t.Fatalf("LAX capacity %v below RR %v at 50%% target", lax, rr)
+	}
+	if lax.MetFracAtCapacity < target {
+		t.Fatalf("capacity SLO attainment %v", lax.MetFracAtCapacity)
+	}
+	if lax.String() == "" {
+		t.Fatal("empty render")
+	}
+	// Errors propagate.
+	if _, err := FindCapacity(CapacityOptions{Scheduler: "NOPE", Benchmark: "CUCKOO"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := FindCapacity(CapacityOptions{Scheduler: "RR", Benchmark: "NOPE"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFindCapacityDeterministic(t *testing.T) {
+	opts := CapacityOptions{Scheduler: "EDF", Benchmark: "STEM", Jobs: 32, Seed: 5}
+	a, err := FindCapacity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindCapacity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("capacity search nondeterministic: %v vs %v", a, b)
+	}
+}
