@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
@@ -21,6 +22,11 @@ type CapacityOptions struct {
 	// Jobs per probe trace (default 96) and Seed (default 42).
 	Jobs int
 	Seed int64
+
+	// Faults optionally injects a fault plan into every probe (same syntax
+	// as Options.Faults), answering "what rate can a degraded device
+	// sustain". Empty means a healthy device.
+	Faults string
 }
 
 // CapacityResult is the outcome of a capacity search.
@@ -55,8 +61,15 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 	if _, err := sched.New(o.Scheduler); err != nil {
 		return CapacityResult{}, err
 	}
+	spec, err := faults.ParseSpec(o.Faults)
+	if err != nil {
+		return CapacityResult{}, err
+	}
 
 	cfg := cp.DefaultSystemConfig()
+	if !spec.Zero() && spec.Recover {
+		cfg.Recovery = cp.DefaultRecoveryConfig()
+	}
 	lib := workload.NewLibrary(cfg.GPU)
 	probe := func(rate int) (float64, error) {
 		pol, err := sched.New(o.Scheduler)
@@ -65,6 +78,9 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 		}
 		set := bench.GenerateCustom(lib, rate, o.Jobs, o.Seed)
 		sys := cp.NewSystem(cfg, set, pol)
+		if !spec.Zero() {
+			sys.InstallFaults(faults.NewPlan(spec, o.Seed+int64(rate)), spec.Retirements)
+		}
 		sys.Run()
 		met := 0
 		for _, j := range sys.Jobs() {

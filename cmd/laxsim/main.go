@@ -11,6 +11,7 @@
 //	laxsim -run LAX,STEM,high -timeline          # ASCII schedule timeline
 //	laxsim -run LAX,LSTM,high -gpus 4            # multi-GPU fleet run
 //	laxsim -sweep high -csv out.csv # every scheduler x benchmark at one rate
+//	laxsim -run LAX,LSTM,high -faults hang=0.05,abort=0.1  # fault injection
 //	laxsim -jobs 128 -seed 1 -v     # trace size, seed, progress logging
 package main
 
@@ -45,6 +46,7 @@ func main() {
 		csvOut     = flag.String("csv", "", "with -sweep: write summaries as CSV to this file (default stdout)")
 		format     = flag.String("format", "text", "report format for experiments: text or markdown")
 		gpus       = flag.Int("gpus", 1, "with -run: route the trace over this many GPUs (least-loaded)")
+		faults     = flag.String("faults", "", "with -run/-sweep: inject deterministic device faults, e.g. hang=0.05,abort=0.1,slow=0.1x6,retire=2@2ms,recover=on")
 	)
 	flag.Parse()
 
@@ -55,9 +57,14 @@ func main() {
 		return
 	}
 
+	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults); err != nil {
+		fatal(err)
+	}
+
 	r := harness.NewRunner()
 	r.Seed = *seed
 	r.JobCount = *jobs
+	r.Faults = *faults
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -126,6 +133,10 @@ func main() {
 			s.ThroughputJobsPerSec, s.P99LatencyMs, 100*s.UsefulWorkFrac)
 		if s.MetDeadline > 0 {
 			fmt.Printf("  energy %.2f mJ per successful job\n", s.EnergyPerSuccessMJ)
+		}
+		if *faults != "" {
+			fmt.Printf("  recovery: %d watchdog kills, %d aborts, %d retries, %d CPU fallbacks, %d CUs retired\n",
+				s.WatchdogKills, s.Aborts, s.Retries, s.Fallbacks, s.RetiredCUs)
 		}
 		return
 	}
@@ -222,6 +233,45 @@ func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate
 		res.MetDeadline, res.TotalJobs, 100*res.DeadlineFrac(), res.Rejected, res.Imbalance)
 	for g, s := range res.PerGPU {
 		fmt.Printf("  gpu%d: %3d jobs, %3d met, %3d rejected\n", g, s.TotalJobs, s.MetDeadline, s.Rejected)
+	}
+	return nil
+}
+
+// validateFlags rejects contradictory flag combinations up front, so a
+// misplaced mode flag fails loudly instead of being silently ignored.
+func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string) error {
+	modes := 0
+	for _, set := range []bool{experiment != "", rawRun != "", sweepRate != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-experiment, -run and -sweep are mutually exclusive")
+	}
+	if gpus < 1 {
+		return fmt.Errorf("-gpus must be at least 1")
+	}
+	if rawRun == "" {
+		switch {
+		case traceOut != "":
+			return fmt.Errorf("-trace requires -run")
+		case timeline:
+			return fmt.Errorf("-timeline requires -run")
+		case gpus != 1:
+			return fmt.Errorf("-gpus requires -run")
+		}
+	}
+	if csvOut != "" && sweepRate == "" {
+		return fmt.Errorf("-csv requires -sweep")
+	}
+	if faults != "" {
+		if rawRun == "" && sweepRate == "" {
+			return fmt.Errorf("-faults requires -run or -sweep")
+		}
+		if traceOut != "" || timeline || gpus != 1 {
+			return fmt.Errorf("-faults does not combine with -trace, -timeline or -gpus")
+		}
 	}
 	return nil
 }

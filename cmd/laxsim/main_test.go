@@ -98,6 +98,16 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("run-faults", func(t *testing.T) {
+		out, err := run(t, bin, "-run", "LAX,LSTM,medium", "-jobs", "32", "-faults", "hang=0.1,abort=0.1")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "recovery:") || !strings.Contains(out, "watchdog kills") {
+			t.Errorf("faulted -run missing recovery counters:\n%s", out)
+		}
+	})
+
 	t.Run("errors", func(t *testing.T) {
 		if out, err := run(t, bin, "-run", "NOPE,IPV6,high"); err == nil {
 			t.Errorf("unknown scheduler accepted:\n%s", out)
@@ -110,6 +120,32 @@ func TestCLI(t *testing.T) {
 		}
 		if out, err := run(t, bin, "-sweep", "ultra"); err == nil {
 			t.Errorf("unknown sweep rate accepted:\n%s", out)
+		}
+		if out, err := run(t, bin, "-run", "LAX,IPV6,high", "-faults", "hang=2"); err == nil {
+			t.Errorf("invalid fault spec accepted:\n%s", out)
+		}
+	})
+
+	t.Run("flag-validation", func(t *testing.T) {
+		bad := [][]string{
+			{"-run", "LAX,IPV6,high", "-sweep", "low"},
+			{"-run", "LAX,IPV6,high", "-experiment", "figure3"},
+			{"-sweep", "low", "-experiment", "figure3"},
+			{"-trace", "t.jsonl"},
+			{"-timeline"},
+			{"-gpus", "2"},
+			{"-gpus", "0", "-run", "LAX,IPV6,high"},
+			{"-csv", "out.csv"},
+			{"-csv", "out.csv", "-run", "LAX,IPV6,high"},
+			{"-faults", "hang=0.1"},
+			{"-faults", "hang=0.1", "-experiment", "figure3"},
+			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-timeline"},
+			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-gpus", "2"},
+		}
+		for _, args := range bad {
+			if out, err := run(t, bin, args...); err == nil {
+				t.Errorf("contradictory flags %v accepted:\n%s", args, out)
+			}
 		}
 	})
 }

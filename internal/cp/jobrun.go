@@ -98,6 +98,11 @@ type JobRun struct {
 	// "running" begins here — used by Figure 10).
 	FirstDispatch sim.Time
 
+	// FellBack records that recovery gave up on the GPU and completed the
+	// job on the host CPU (the paper's LAX-CPU path). The job counts as
+	// completed, almost always past its deadline.
+	FellBack bool
+
 	// wgsCompleted counts WGs finished across all kernels (Figure 9).
 	wgsCompleted int
 }

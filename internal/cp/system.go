@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"laxgpu/internal/core"
 	"laxgpu/internal/gpu"
 	"laxgpu/internal/sim"
 	"laxgpu/internal/workload"
@@ -29,6 +30,10 @@ type SystemConfig struct {
 	// whereas the paper's proposal assumes the CP can order queues by full
 	// laxity values. 0 means unlimited (the paper's design).
 	PriorityLevels int
+
+	// Recovery configures the fault watchdog / retry / CPU-fallback
+	// machinery. The zero value disables it.
+	Recovery RecoveryConfig
 }
 
 // DefaultSystemConfig returns the paper's simulated system.
@@ -74,6 +79,18 @@ type System struct {
 
 	completed int
 	rejected  int
+
+	// Fault-recovery state (see recovery.go). wdTable is the recovery-owned
+	// Kernel Profiling Table the watchdog derives its timeouts from;
+	// wdKernels remembers each kernel desc so capacities can be
+	// re-registered after a CU retirement.
+	injector        gpu.FaultInjector
+	retirements     []gpu.Retirement
+	faultsInstalled bool
+	recStats        RecoveryStats
+	wdTimers        map[*gpu.KernelInstance]*wdEntry
+	wdTable         *core.ProfilingTable
+	wdKernels       map[string]*gpu.KernelDesc
 }
 
 // NewSystem builds a system for the job set under the policy. The job set
@@ -90,6 +107,12 @@ func NewSystem(cfg SystemConfig, set *workload.JobSet, pol Policy) *System {
 	s.dev = gpu.New(cfg.GPU, s.eng)
 	s.dev.OnWGComplete(s.onWGComplete)
 	s.dev.OnKernelDone(s.onKernelDone)
+	if cfg.Recovery.Watchdog {
+		s.dev.EnableWGTracking()
+		s.wdTimers = make(map[*gpu.KernelInstance]*wdEntry)
+		s.wdTable = core.NewProfilingTable(1)
+		s.wdKernels = make(map[string]*gpu.KernelDesc)
+	}
 	s.parserFreeAt = make([]sim.Time, cfg.ParseStreams)
 	s.freeQueues = make([]int, cfg.NumQueues)
 	for i := range s.freeQueues {
@@ -131,14 +154,23 @@ func (s *System) Job(id int) *JobRun { return s.jobs[id] }
 func (s *System) SetTracer(t *Tracer) { s.tracer = t }
 
 // Run schedules all arrivals and drives the simulation until every job has
-// either completed or been rejected.
+// either completed or been rejected. Runs with faults installed are bounded
+// by a horizon well past the last deadline, because an unrecovered hang
+// strands its job forever and the event queue would never drain.
 func (s *System) Run() {
 	s.arrivalsLeft = len(s.jobs)
 	for _, jr := range s.jobs {
 		jr := jr
 		s.eng.Schedule(jr.Job.Arrival, func() { s.arrive(jr) })
 	}
+	s.scheduleRetirements()
 	s.armTimer()
+	if s.faultsInstalled {
+		if horizon := s.faultRunHorizon(); horizon > 0 {
+			s.eng.RunUntil(horizon)
+			return
+		}
+	}
 	s.eng.Run()
 }
 
@@ -250,6 +282,9 @@ func (s *System) Cancel(jr *JobRun) {
 	case JobDone, JobRejected, JobCancelled, JobPending:
 		return
 	}
+	if cur := jr.Current(); cur != nil {
+		s.disarmWatchdog(cur)
+	}
 	jr.state = JobCancelled
 	jr.FinishTime = s.eng.Now()
 	s.tracer.jobEvent("cancel", s.eng.Now(), jr)
@@ -266,12 +301,7 @@ func (s *System) Cancel(jr *JobRun) {
 			break
 		}
 	}
-	s.freeQueues = append(s.freeQueues, jr.QueueID)
-	if len(s.hostQ) > 0 {
-		next := s.hostQ[0]
-		s.hostQ = s.hostQ[1:]
-		s.bindQueue(next)
-	}
+	s.releaseQueue(jr)
 	s.Dispatch()
 }
 
@@ -285,6 +315,7 @@ func (s *System) onKernelDone(inst *gpu.KernelInstance) {
 		panic(fmt.Sprintf("cp: out-of-order kernel completion for %v", jr))
 	}
 	s.tracer.kernelEvent("kernel_done", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+	s.disarmWatchdog(inst)
 	jr.cur++
 	if jr.Current() == nil {
 		s.finish(jr)
@@ -353,13 +384,24 @@ func (s *System) finish(jr *JobRun) {
 			break
 		}
 	}
+	s.releaseQueue(jr)
+	s.Dispatch()
+}
+
+// releaseQueue returns the job's compute queue to the free pool and binds
+// the longest-waiting host-queued job, if any. Safe to call once per job
+// (QueueID is cleared).
+func (s *System) releaseQueue(jr *JobRun) {
+	if jr.QueueID < 0 {
+		return
+	}
 	s.freeQueues = append(s.freeQueues, jr.QueueID)
+	jr.QueueID = -1
 	if len(s.hostQ) > 0 {
 		next := s.hostQ[0]
 		s.hostQ = s.hostQ[1:]
 		s.bindQueue(next)
 	}
-	s.Dispatch()
 }
 
 // Dispatch runs one CP scheduling round: offer active jobs' current kernels
@@ -392,6 +434,7 @@ func (s *System) Dispatch() {
 			}
 			if !wasRunning {
 				s.tracer.kernelEvent("kernel_start", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+				s.armWatchdog(jr, inst)
 			}
 			if observer != nil {
 				observer.Served(jr)

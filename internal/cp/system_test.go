@@ -506,3 +506,69 @@ func TestHostLaunchPipeSerializesAcrossJobs(t *testing.T) {
 		t.Fatalf("last finish %v; host launch pipe not serialized across jobs", latest)
 	}
 }
+
+func TestHostQueueRequeueBindsWaitersInFIFOOrder(t *testing.T) {
+	// One hardware queue, four jobs: each waiter must bind the queue only
+	// after the previous holder released it, in arrival (FIFO) order, and
+	// the single queue ID must be recycled through every job.
+	cfg := smallConfig()
+	cfg.NumQueues = 1
+	desc := testDesc("k", 1, 64, 50*sim.Microsecond)
+	set := makeSet(4, 2, desc, sim.Microsecond, 10*sim.Millisecond)
+	sys := NewSystem(cfg, set, &fifoPolicy{})
+	sys.Run()
+
+	var prevFinish sim.Time
+	for i, jr := range sys.Jobs() {
+		if !jr.Done() {
+			t.Fatalf("job %d stuck: %v", i, jr)
+		}
+		if i > 0 {
+			// The waiter could not even begin inspection before its
+			// predecessor finished and released the queue.
+			if jr.ReadyTime < prevFinish {
+				t.Fatalf("job %d ready at %v, before job %d finished at %v",
+					i, jr.ReadyTime, i-1, prevFinish)
+			}
+		}
+		prevFinish = jr.FinishTime
+	}
+	if sys.HostQueueLen() != 0 {
+		t.Fatalf("host queue length %d after run, want 0", sys.HostQueueLen())
+	}
+}
+
+func TestHostQueueRequeueAfterCancel(t *testing.T) {
+	// A cancelled job must release its queue to the host-queued waiter just
+	// like a finished one: cancel the long-running queue holder mid-flight
+	// and check the waiter binds, runs and completes.
+	cfg := smallConfig()
+	cfg.NumQueues = 1
+	long := testDesc("long", 4, 64, 500*sim.Microsecond)
+	short := testDesc("short", 1, 64, 10*sim.Microsecond)
+	set := makeSet(2, 1, long, 0, 10*sim.Millisecond)
+	set.Jobs[1].Kernels = []*gpu.KernelDesc{short}
+	sys := NewSystem(cfg, set, &fifoPolicy{})
+	sys.Engine().Schedule(100*sim.Microsecond, func() {
+		if sys.HostQueueLen() != 1 {
+			t.Errorf("host queue length %d at 100µs, want 1", sys.HostQueueLen())
+		}
+		sys.Cancel(sys.Job(0))
+	})
+	sys.Run()
+
+	j0, j1 := sys.Job(0), sys.Job(1)
+	if !j0.Cancelled() {
+		t.Fatalf("job 0 not cancelled: %v", j0)
+	}
+	if !j1.Done() {
+		t.Fatalf("waiter never ran after cancel freed the queue: %v", j1)
+	}
+	// The waiter bound at cancel time (100µs), parsed 2µs, ran 10µs.
+	if j1.FinishTime < 112*sim.Microsecond || j1.FinishTime > 200*sim.Microsecond {
+		t.Fatalf("waiter finished at %v, want shortly after the 100µs cancel", j1.FinishTime)
+	}
+	if sys.HostQueueLen() != 0 {
+		t.Fatal("host queue not drained")
+	}
+}

@@ -13,6 +13,7 @@ type KernelCounter struct {
 	Name           string
 	WGsDispatched  uint64
 	WGsCompleted   uint64
+	WGsKilled      uint64
 	LastCompletion sim.Time
 
 	inFlight  int
@@ -57,6 +58,7 @@ type Counters struct {
 	perKernel       map[string]*KernelCounter
 	totalWGs        uint64
 	totalDispatched uint64
+	totalKilled     uint64
 }
 
 func (c *Counters) noteDispatch(name string, now sim.Time) {
@@ -81,6 +83,20 @@ func (c *Counters) noteComplete(name string, now, latency sim.Time) {
 		k.busyNs += now - k.busySince
 	}
 	c.totalWGs++
+}
+
+// noteKilled retires an in-flight WG without completing it: the dispatch
+// happened, no completion ever will. Busy/WG-time integrals close as if the
+// WG vanished now.
+func (c *Counters) noteKilled(name string, now sim.Time) {
+	k := c.kernel(name)
+	k.accumulate(now)
+	k.WGsKilled++
+	k.inFlight--
+	if k.inFlight == 0 {
+		k.busyNs += now - k.busySince
+	}
+	c.totalKilled++
 }
 
 func (c *Counters) kernel(name string) *KernelCounter {
@@ -130,6 +146,10 @@ func (c *Counters) LatencySum(name string) sim.Time {
 
 // TotalCompleted returns the cumulative WG completions across all kernels.
 func (c *Counters) TotalCompleted() uint64 { return c.totalWGs }
+
+// TotalKilled returns the cumulative WGs killed mid-flight across all
+// kernels (fault aborts and watchdog kills).
+func (c *Counters) TotalKilled() uint64 { return c.totalKilled }
 
 // TotalDispatched returns the cumulative WG dispatches across all kernels.
 func (c *Counters) TotalDispatched() uint64 { return c.totalDispatched }

@@ -20,6 +20,10 @@ type computeUnit struct {
 	ldsCap        int
 
 	activeWGs int
+
+	// retired marks a CU lost to a fault: in-flight WGs drain, nothing new
+	// is placed, and capacity estimates stop counting it.
+	retired bool
 }
 
 func newComputeUnit(id int, cfg Config) *computeUnit {
@@ -55,8 +59,10 @@ func footprintOf(desc *KernelDesc, wavefrontSize int) wgFootprint {
 }
 
 // fits reports whether the CU currently has room for the footprint.
+// Retired CUs never fit anything.
 func (c *computeUnit) fits(f wgFootprint) bool {
-	return c.threadsFree >= f.threads &&
+	return !c.retired &&
+		c.threadsFree >= f.threads &&
 		c.wavefrontsFree >= f.wavefronts &&
 		c.vgprFree >= f.vgpr &&
 		c.ldsFree >= f.lds

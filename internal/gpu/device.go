@@ -37,6 +37,32 @@ type Device struct {
 
 	// onKernelDone is invoked when an instance's last WG completes.
 	onKernelDone func(*KernelInstance)
+
+	// onKernelAbort is invoked when an attempt dies of an injected
+	// transient fault (the device has already reclaimed its resources).
+	onKernelAbort func(*KernelInstance)
+
+	// injector, when set, decides the fate of every kernel attempt.
+	injector FaultInjector
+
+	// track enables per-instance in-flight WG bookkeeping so Kill can
+	// reclaim resources. Off on the healthy fast path; turned on when an
+	// injector is installed or the CP arms its watchdog.
+	track    bool
+	inflight map[*KernelInstance][]*wgInFlight
+
+	// retiredCUs counts CUs permanently removed by RetireCUs.
+	retiredCUs int
+}
+
+// wgInFlight records one dispatched, uncompleted WG so a kill can cancel
+// its completion and release what it holds.
+type wgInFlight struct {
+	ev       *sim.Event // nil for hung WGs (they never scheduled one)
+	cu       *computeUnit
+	f        wgFootprint
+	demand   float64
+	l2demand float64
 }
 
 // New constructs a device for the configuration. It panics on an invalid
@@ -71,6 +97,29 @@ func (d *Device) OnWGComplete(fn func(*KernelInstance)) { d.onWGComplete = fn }
 
 // OnKernelDone registers the callback fired when an instance finishes.
 func (d *Device) OnKernelDone(fn func(*KernelInstance)) { d.onKernelDone = fn }
+
+// OnKernelAbort registers the callback fired when an attempt dies of an
+// injected transient fault. The device has already killed the attempt; the
+// instance is ready for redispatch when the callback runs.
+func (d *Device) OnKernelAbort(fn func(*KernelInstance)) { d.onKernelAbort = fn }
+
+// SetFaultInjector installs a fault injector consulted at the start of
+// every kernel execution attempt, and enables the WG tracking a kill
+// needs. Pass before any dispatch.
+func (d *Device) SetFaultInjector(fi FaultInjector) {
+	d.injector = fi
+	d.EnableWGTracking()
+}
+
+// EnableWGTracking turns on per-instance in-flight bookkeeping so Kill can
+// reclaim a running attempt's resources. The CP enables it when its
+// watchdog is armed; SetFaultInjector enables it implicitly.
+func (d *Device) EnableWGTracking() {
+	d.track = true
+	if d.inflight == nil {
+		d.inflight = make(map[*KernelInstance][]*wgInFlight)
+	}
+}
 
 // Stall blocks new WG dispatch for the given duration from now. In-flight
 // WGs are unaffected (they drain naturally). Overlapping stalls extend to
@@ -154,6 +203,10 @@ func (d *Device) pickCU(f wgFootprint) *computeUnit {
 func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
 	now := d.eng.Now()
 	cu.reserve(f)
+	if inst.state == KernelReady && d.injector != nil {
+		// First WG of a fresh attempt: draw its fate.
+		inst.fault = d.injector.KernelLaunch(now, inst.JobID, inst.Seq, inst.Attempt)
+	}
 	inst.noteDispatch(now)
 
 	demand := inst.Desc.MemIntensity * float64(inst.Desc.ThreadsPerWG)
@@ -166,9 +219,32 @@ func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
 	d.activeL2Demand += l2Demand
 
 	lat := d.wgLatency(inst.Desc)
+	if inst.fault.Outcome == FaultSlow && inst.fault.SlowFactor > 1 {
+		lat = sim.Time(float64(lat) * inst.fault.SlowFactor)
+	}
 	d.counters.noteDispatch(inst.Desc.Name, now)
 
-	d.eng.Schedule(now+lat, func() {
+	wg := &wgInFlight{cu: cu, f: f, demand: demand, l2demand: l2Demand}
+	switch inst.fault.Outcome {
+	case FaultHang:
+		// The WG holds its CU and memory demand forever; only Kill (the
+		// CP watchdog) releases it. No completion is scheduled.
+		d.trackWG(inst, wg)
+		return
+	case FaultAbort:
+		// The attempt dies with its first failing WG: everything in
+		// flight is reclaimed and the CP is told it may retry.
+		wg.ev = d.eng.Schedule(now+lat, func() {
+			d.Kill(inst)
+			if d.onKernelAbort != nil {
+				d.onKernelAbort(inst)
+			}
+		})
+		d.trackWG(inst, wg)
+		return
+	}
+	wg.ev = d.eng.Schedule(now+lat, func() {
+		d.untrackWG(inst, wg)
 		cu.release(f)
 		d.activeMemDemand -= demand
 		d.activeL2Demand -= l2Demand
@@ -188,7 +264,81 @@ func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
 			d.onKernelDone(inst)
 		}
 	})
+	d.trackWG(inst, wg)
 }
+
+func (d *Device) trackWG(inst *KernelInstance, wg *wgInFlight) {
+	if !d.track {
+		return
+	}
+	d.inflight[inst] = append(d.inflight[inst], wg)
+}
+
+func (d *Device) untrackWG(inst *KernelInstance, wg *wgInFlight) {
+	if !d.track {
+		return
+	}
+	list := d.inflight[inst]
+	for i, w := range list {
+		if w == wg {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(d.inflight, inst)
+	} else {
+		d.inflight[inst] = list
+	}
+}
+
+// Kill aborts the instance's current execution attempt: every in-flight WG
+// is cancelled and its resources reclaimed, dispatched-but-unfinished work
+// is rolled back (completed WGs are kept), and the instance returns to
+// ready under a new Attempt number. Returns the number of WGs reclaimed.
+// Requires WG tracking (a fault injector or the CP watchdog).
+func (d *Device) Kill(inst *KernelInstance) int {
+	entries := d.inflight[inst]
+	delete(d.inflight, inst)
+	now := d.eng.Now()
+	for _, wg := range entries {
+		wg.ev.Cancel() // nil-safe; hung WGs never scheduled one
+		wg.cu.release(wg.f)
+		d.activeMemDemand -= wg.demand
+		d.activeL2Demand -= wg.l2demand
+		d.counters.noteKilled(inst.Desc.Name, now)
+	}
+	if d.activeMemDemand < 1e-9 {
+		d.activeMemDemand = 0
+	}
+	if d.activeL2Demand < 1e-9 {
+		d.activeL2Demand = 0
+	}
+	inst.resetAttempt()
+	return len(entries)
+}
+
+// RetireCUs permanently removes up to n CUs from WG placement, highest
+// index first (in-flight WGs drain naturally). Returns the number actually
+// retired.
+func (d *Device) RetireCUs(n int) int {
+	retired := 0
+	for i := len(d.cus) - 1; i >= 0 && retired < n; i-- {
+		if !d.cus[i].retired {
+			d.cus[i].retired = true
+			retired++
+		}
+	}
+	d.retiredCUs += retired
+	return retired
+}
+
+// ActiveCUs returns the number of CUs still accepting work.
+func (d *Device) ActiveCUs() int { return len(d.cus) - d.retiredCUs }
+
+// RetiredCUsCount returns the number of CUs lost to RetireCUs.
+func (d *Device) RetiredCUsCount() int { return d.retiredCUs }
 
 // wgLatency computes the contention-stretched latency of one WG of desc if
 // it were dispatched now. Under the single-level model the whole memory
@@ -250,11 +400,13 @@ func (d *Device) FreeThreads() int {
 	return n
 }
 
-// MaxConcurrentWGs returns how many WGs of desc an idle device could host
-// simultaneously — used to calibrate BaseWGTime from isolated kernel
-// execution times and by admission heuristics.
+// MaxConcurrentWGs returns how many WGs of desc the device could host
+// simultaneously if idle, counting only non-retired CUs — admission
+// heuristics see the *current* capacity of a degraded device, not nominal.
 func (d *Device) MaxConcurrentWGs(desc *KernelDesc) int {
-	return MaxConcurrentWGs(d.cfg, desc)
+	cfg := d.cfg
+	cfg.NumCUs = d.ActiveCUs()
+	return MaxConcurrentWGs(cfg, desc)
 }
 
 // MaxConcurrentWGs computes, for an idle device with the given config, the

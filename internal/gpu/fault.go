@@ -1,0 +1,65 @@
+package gpu
+
+import (
+	"fmt"
+
+	"laxgpu/internal/sim"
+)
+
+// FaultOutcome classifies what happens to one kernel execution attempt.
+type FaultOutcome int
+
+const (
+	// FaultNone: the attempt executes normally.
+	FaultNone FaultOutcome = iota
+	// FaultSlow: every WG latency of the attempt is stretched by
+	// KernelFault.SlowFactor (a degraded but functional device — thermal
+	// throttling, a flaky memory channel).
+	FaultSlow
+	// FaultHang: dispatched WGs occupy their CUs and never complete. Only
+	// Device.Kill (the CP watchdog) reclaims the resources.
+	FaultHang
+	// FaultAbort: the attempt dies when its first WG's latency elapses —
+	// a detected transient failure (ECC error, page fault, aborted wave).
+	// The device kills the attempt itself and reports it via OnKernelAbort.
+	FaultAbort
+)
+
+func (o FaultOutcome) String() string {
+	switch o {
+	case FaultNone:
+		return "none"
+	case FaultSlow:
+		return "slow"
+	case FaultHang:
+		return "hang"
+	case FaultAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("FaultOutcome(%d)", int(o))
+	}
+}
+
+// KernelFault is the injected fate of one kernel execution attempt.
+type KernelFault struct {
+	Outcome FaultOutcome
+
+	// SlowFactor is the WG-latency multiplier for FaultSlow (> 1).
+	SlowFactor float64
+}
+
+// FaultInjector decides the fate of each kernel execution attempt. The
+// device consults it exactly once per attempt, when the attempt's first WG
+// dispatches; implementations must be deterministic in (jobID, seq,
+// attempt) so replayed traces inject identical faults.
+type FaultInjector interface {
+	KernelLaunch(now sim.Time, jobID, seq, attempt int) KernelFault
+}
+
+// Retirement is a scheduled permanent loss of compute units (a CU fails
+// ECC screening, a partition is reclaimed). In-flight WGs drain; the CUs
+// accept no new work afterwards.
+type Retirement struct {
+	At  sim.Time
+	CUs int
+}

@@ -134,6 +134,16 @@ type KernelInstance struct {
 	// losing completed work. Used by preemption-based policies (PREMA).
 	Paused bool
 
+	// Attempt counts execution attempts of this instance: it starts at 0
+	// and increments every time a fault or the CP watchdog kills the
+	// in-flight attempt (Device.Kill). Fault draws key on it so a retried
+	// kernel rolls fresh dice.
+	Attempt int
+
+	// fault is the injected outcome of the current attempt, drawn when the
+	// attempt's first WG dispatches.
+	fault KernelFault
+
 	state      KernelState
 	dispatched int // WGs handed to CUs
 	completed  int // WGs finished
@@ -189,6 +199,18 @@ func (ki *KernelInstance) noteDispatch(now sim.Time) {
 		ki.StartedAt = now
 	}
 	ki.dispatched++
+}
+
+// resetAttempt rolls the instance back to the last completed WG after a
+// kill: in-flight work is lost, finished WGs are kept, and the instance is
+// ready for redispatch under a fresh Attempt number.
+func (ki *KernelInstance) resetAttempt() {
+	ki.dispatched = ki.completed
+	if ki.state == KernelRunning {
+		ki.state = KernelReady
+	}
+	ki.Attempt++
+	ki.fault = KernelFault{}
 }
 
 func (ki *KernelInstance) noteComplete(now sim.Time) {

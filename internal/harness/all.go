@@ -22,13 +22,14 @@ var Experiments = map[string]func(*Runner) *Report{
 	"analysis": Sensitivity,
 	"seeds":    Seeds,
 	"scaling":  Scaling,
+	"faults":   FaultSweep,
 }
 
 // experimentOrder is the rendering order (paper order).
 var experimentOrder = []string{
 	"table1", "figure1", "figure3", "figure4",
 	"figure6", "figure7", "figure8", "figure9", "figure10", "table5",
-	"ablation", "analysis", "seeds", "scaling",
+	"ablation", "analysis", "seeds", "scaling", "faults",
 }
 
 // ExperimentIDs returns the known experiment IDs in paper order.

@@ -191,7 +191,10 @@ func burstinessTable(r *Runner) *Table {
 func missTaxonomyTable(r *Runner) *Table {
 	t := &Table{
 		Title:  "Miss taxonomy on LSTM @ high rate (misses by cause)",
-		Header: []string{"Scheduler", "met", "rejected", "cancelled", "starved", "queued", "contended"},
+		Header: []string{"Scheduler", "met"},
+	}
+	for _, k := range metrics.MissKinds() {
+		t.Header = append(t.Header, k.String())
 	}
 	for _, schedName := range []string{"RR", "SJF", "PREMA", "LAX", "LAX-PREMA"} {
 		sys, _, err := r.RunSystem(schedName, "LSTM", workload.HighRate)

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"laxgpu/internal/workload"
+)
+
+// faultTestRunner is smallRunner with a fault spec attached.
+func faultTestRunner(spec string) *Runner {
+	r := smallRunner()
+	r.Faults = spec
+	return r
+}
+
+func TestFaultRecoveryBeatsNoRecovery(t *testing.T) {
+	// Hang-heavy injection: with recovery off every hung kernel strands its
+	// job forever; with recovery on the watchdog kills and retries it, so
+	// strictly more jobs must meet their deadline over the identical trace
+	// and fault draws.
+	const spec = "hang=0.15,abort=0.1"
+	off := faultTestRunner(spec+",recover=off").MustRun("LAX", "LSTM", workload.MediumRate)
+	on := faultTestRunner(spec+",recover=on").MustRun("LAX", "LSTM", workload.MediumRate)
+	if on.MetDeadline <= off.MetDeadline {
+		t.Fatalf("recovery on met %d <= recovery off met %d", on.MetDeadline, off.MetDeadline)
+	}
+	if on.WatchdogKills == 0 || on.Retries == 0 {
+		t.Errorf("recovery-on run shows no watchdog activity: kills=%d retries=%d",
+			on.WatchdogKills, on.Retries)
+	}
+	if off.WatchdogKills != 0 || off.Retries != 0 || off.Fallbacks != 0 {
+		t.Errorf("recovery-off run has recovery counters: kills=%d retries=%d fallbacks=%d",
+			off.WatchdogKills, off.Retries, off.Fallbacks)
+	}
+}
+
+func TestFaultRunsDeterministic(t *testing.T) {
+	const spec = "hang=0.1,slow=0.1x6"
+	a := faultTestRunner(spec).MustRun("LAX", "LSTM", workload.MediumRate)
+	b := faultTestRunner(spec).MustRun("LAX", "LSTM", workload.MediumRate)
+	if a != b {
+		t.Fatalf("identical fault runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunSystemRejectsBadFaultSpec(t *testing.T) {
+	r := faultTestRunner("hang=2")
+	if _, err := r.Run("LAX", "LSTM", workload.MediumRate); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+}
+
+func TestFaultPlanSharedAcrossSchedulers(t *testing.T) {
+	// The plan seed must not depend on the scheduler, so paired comparisons
+	// see identical fault draws: the retirement schedule (purely
+	// spec-driven) shows up identically for both.
+	r := faultTestRunner("retire=2@1ms")
+	for _, s := range []string{"RR", "LAX"} {
+		sum := r.MustRun(s, "LSTM", workload.LowRate)
+		if sum.RetiredCUs != 2 {
+			t.Errorf("%s: retired CUs %d, want 2", s, sum.RetiredCUs)
+		}
+	}
+}

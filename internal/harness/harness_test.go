@@ -245,8 +245,8 @@ func TestFigure10TraceQuality(t *testing.T) {
 
 func TestRunExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("%d experiments, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("%d experiments, want 15", len(ids))
 	}
 	for _, id := range ids {
 		if Experiments[id] == nil {

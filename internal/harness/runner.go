@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
@@ -31,6 +32,13 @@ type Runner struct {
 
 	// JobCount is the number of jobs per trace (§5.3: 128).
 	JobCount int
+
+	// Faults optionally subjects every run to a deterministic
+	// fault-injection plan (faults.ParseSpec syntax). recover=on also
+	// enables the CP's watchdog/retry/fallback machinery. The plan seed is
+	// derived from (Seed, benchmark, rate) — never the scheduler — so
+	// paired scheduler comparisons see identical fault draws.
+	Faults string
 
 	// Progress, when non-nil, receives one line per fresh simulation run.
 	Progress io.Writer
@@ -86,16 +94,19 @@ func (r *Runner) jobSetLocked(benchName string, rate workload.Rate) (*workload.J
 	if err != nil {
 		return nil, err
 	}
-	// Mix the benchmark and rate into the seed so traces differ across
-	// cells but are stable across schedulers.
+	set := b.Generate(r.Lib, rate, r.JobCount, r.cellSeed(benchName, rate))
+	r.sets[k] = set
+	return set, nil
+}
+
+// cellSeed mixes the benchmark and rate into the seed so traces (and fault
+// plans) differ across cells but are stable across schedulers.
+func (r *Runner) cellSeed(benchName string, rate workload.Rate) int64 {
 	seed := r.Seed
 	for _, c := range benchName {
 		seed = seed*31 + int64(c)
 	}
-	seed = seed*31 + int64(rate)
-	set := b.Generate(r.Lib, rate, r.JobCount, seed)
-	r.sets[k] = set
-	return set, nil
+	return seed*31 + int64(rate)
 }
 
 // Run simulates (scheduler, benchmark, rate) and returns its Summary,
@@ -195,7 +206,18 @@ func (r *Runner) RunSystem(schedName, benchName string, rate workload.Rate) (*cp
 	if err != nil {
 		return nil, nil, err
 	}
-	sys := cp.NewSystem(r.Cfg, set, pol)
+	spec, err := faults.ParseSpec(r.Faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := r.Cfg
+	if !spec.Zero() && spec.Recover {
+		cfg.Recovery = cp.DefaultRecoveryConfig()
+	}
+	sys := cp.NewSystem(cfg, set, pol)
+	if !spec.Zero() {
+		sys.InstallFaults(faults.NewPlan(spec, r.cellSeed(benchName, rate)), spec.Retirements)
+	}
 	sys.Run()
 	if r.Progress != nil {
 		fmt.Fprintf(r.Progress, "ran %-8s %-7s %-6s: %3d/%d met, %d rejected\n",

@@ -15,6 +15,7 @@ var csvHeader = []string{
 	"p99_latency_ms", "mean_latency_ms",
 	"energy_per_success_mj", "useful_work_frac",
 	"makespan_ms", "wgs_completed",
+	"watchdog_kills", "aborts", "retries", "fallbacks", "retired_cus",
 }
 
 // WriteCSV renders summaries as CSV with a header row — the raw data behind
@@ -33,6 +34,8 @@ func WriteCSV(w io.Writer, summaries []Summary) error {
 			fmtFloat(s.P99LatencyMs), fmtFloat(s.MeanLatencyMs),
 			fmtFloat(s.EnergyPerSuccessMJ), fmtFloat(s.UsefulWorkFrac),
 			fmtFloat(s.Makespan.Milliseconds()), strconv.Itoa(s.WGsCompleted),
+			strconv.Itoa(s.WatchdogKills), strconv.Itoa(s.Aborts),
+			strconv.Itoa(s.Retries), strconv.Itoa(s.Fallbacks), strconv.Itoa(s.RetiredCUs),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("metrics: csv row: %w", err)

@@ -36,7 +36,7 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("%d rows, want header + 2", len(rows))
 	}
 	header := rows[0]
-	if header[0] != "scheduler" || header[len(header)-1] != "wgs_completed" {
+	if header[0] != "scheduler" || header[len(header)-1] != "retired_cus" {
 		t.Fatalf("header wrong: %v", header)
 	}
 	for _, row := range rows[1:] {

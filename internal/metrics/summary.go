@@ -44,6 +44,16 @@ type Summary struct {
 
 	// WGsCompleted is the total workgroups executed.
 	WGsCompleted int
+
+	// Recovery counters (all zero on a healthy run without fault
+	// injection): watchdog kills, transient aborts observed, kernel
+	// retries issued, jobs completed on the CPU fallback path, and CUs
+	// retired by the end of the run.
+	WatchdogKills int
+	Aborts        int
+	Retries       int
+	Fallbacks     int
+	RetiredCUs    int
 }
 
 // WastedWorkFrac is the complement of UsefulWorkFrac.
@@ -100,6 +110,13 @@ func Summarize(sys *cp.System, scheduler, benchmark, rate string) Summary {
 	if s.WGsCompleted > 0 {
 		s.UsefulWorkFrac = float64(usefulWGs) / float64(s.WGsCompleted)
 	}
+
+	rec := sys.Recovery()
+	s.WatchdogKills = rec.WatchdogKills
+	s.Aborts = rec.Aborts
+	s.Retries = rec.Retries
+	s.Fallbacks = rec.Fallbacks
+	s.RetiredCUs = rec.RetiredCUs
 
 	cfg := sys.Device().Config()
 	totalMJ := sys.Device().Energy().TotalMillijoules(s.Makespan, cfg.StaticPowerWatts)

@@ -17,6 +17,10 @@ const (
 	MissRejected MissKind = iota
 	// MissCancelled: the job was preempted and dropped mid-flight.
 	MissCancelled
+	// MissFaulted: recovery gave up on the GPU and completed the job on
+	// the CPU fallback path — it finished, but the fault chain (hangs,
+	// aborts, watchdog kills) cost it the deadline.
+	MissFaulted
 	// MissStarved: the job completed (late) without ever being dispatched
 	// before its deadline passed, or never ran at all before finishing
 	// late — it waited out its entire budget.
@@ -35,6 +39,8 @@ func (k MissKind) String() string {
 		return "rejected"
 	case MissCancelled:
 		return "cancelled"
+	case MissFaulted:
+		return "faulted"
 	case MissStarved:
 		return "starved"
 	case MissQueued:
@@ -48,7 +54,7 @@ func (k MissKind) String() string {
 
 // MissKinds enumerates the taxonomy in display order.
 func MissKinds() []MissKind {
-	return []MissKind{MissRejected, MissCancelled, MissStarved, MissQueued, MissContended}
+	return []MissKind{MissRejected, MissCancelled, MissFaulted, MissStarved, MissQueued, MissContended}
 }
 
 // ClassifyMiss returns the miss kind for a job that did not meet its
@@ -60,6 +66,8 @@ func ClassifyMiss(j *cp.JobRun) MissKind {
 		return MissRejected
 	case j.Cancelled():
 		return MissCancelled
+	case j.FellBack:
+		return MissFaulted
 	case j.FirstDispatch < 0 || j.FirstDispatch > j.Job.AbsoluteDeadline():
 		return MissStarved
 	}

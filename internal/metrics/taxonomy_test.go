@@ -101,7 +101,7 @@ func (acceptAllPolicy) Overheads() cp.Overheads { return cp.Overheads{} }
 
 func TestMissKindStrings(t *testing.T) {
 	want := map[MissKind]string{
-		MissRejected: "rejected", MissCancelled: "cancelled",
+		MissRejected: "rejected", MissCancelled: "cancelled", MissFaulted: "faulted",
 		MissStarved: "starved", MissQueued: "queued", MissContended: "contended",
 		MissKind(99): "unknown",
 	}
@@ -110,7 +110,7 @@ func TestMissKindStrings(t *testing.T) {
 			t.Errorf("%d: %q", int(k), k.String())
 		}
 	}
-	if len(MissKinds()) != 5 {
+	if len(MissKinds()) != 6 {
 		t.Fatal("MissKinds enumeration wrong")
 	}
 }

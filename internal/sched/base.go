@@ -60,9 +60,12 @@ func clampPriority(v sim.Time) int64 {
 // registerCapacities tells the profiling table how many WGs of each of the
 // job's kernel types fit on the device at once. Stream inspection reads
 // exactly these fields (thread dimensions, register usage, LDS size) from
-// the queue packets (§2.1), so the CP has them for free.
-func registerCapacities(pt *core.ProfilingTable, cfg gpu.Config, j *cp.JobRun) {
+// the queue packets (§2.1), so the CP has them for free. Capacities are
+// read from the live device, not the nominal config, so admission and
+// laxity estimates track the current capacity of a degraded (CU-retired)
+// device.
+func registerCapacities(pt *core.ProfilingTable, dev *gpu.Device, j *cp.JobRun) {
 	for _, inst := range j.Instances {
-		pt.SetCapacity(inst.Desc.Name, gpu.MaxConcurrentWGs(cfg, inst.Desc))
+		pt.SetCapacity(inst.Desc.Name, dev.MaxConcurrentWGs(inst.Desc))
 	}
 }

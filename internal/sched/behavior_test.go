@@ -184,3 +184,36 @@ func TestSJFStaticUnderProgress(t *testing.T) {
 		t.Skip("job finished before probes")
 	}
 }
+
+// TestLAXAdmissionTracksRetiredCapacity: Algorithm 1 must estimate against
+// the device's current capacity, not its nominal one. With 7 of 8 CUs
+// retired before any job arrives, profiled rates reflect the shrunken
+// device and admission must turn jobs away that the healthy device would
+// happily absorb.
+func TestLAXAdmissionTracksRetiredCapacity(t *testing.T) {
+	k := &gpu.KernelDesc{Name: "adm", NumWGs: 64, ThreadsPerWG: 1024,
+		BaseWGTime: 100 * sim.Microsecond, InstPerThread: 1}
+	specs := make([]jobSpec, 10)
+	for i := range specs {
+		specs[i] = jobSpec{sim.Time(i) * 500 * sim.Microsecond, sim.Millisecond, []*gpu.KernelDesc{k}}
+	}
+
+	run := func(retire bool) *cp.System {
+		cfg := cp.DefaultSystemConfig()
+		sys := cp.NewSystem(cfg, buildSet(specs), NewLAX())
+		if retire {
+			sys.InstallFaults(nil, []gpu.Retirement{{At: 0, CUs: 7}})
+		}
+		sys.Run()
+		return sys
+	}
+
+	healthy, degraded := run(false), run(true)
+	if healthy.RejectedCount() > 2 {
+		t.Fatalf("healthy device rejected %d jobs, expected ≤2", healthy.RejectedCount())
+	}
+	if degraded.RejectedCount() <= healthy.RejectedCount() {
+		t.Fatalf("degraded device rejected %d jobs vs healthy %d; admission ignored lost capacity",
+			degraded.RejectedCount(), healthy.RejectedCount())
+	}
+}

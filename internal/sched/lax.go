@@ -110,6 +110,10 @@ type LAX struct {
 
 	traceJob int // job ID to trace for Figure 10 (-1 = off)
 	tracePts []TracePoint
+
+	// seenRetiredCUs detects device degradation between ticks so per-kernel
+	// capacities can be re-registered against the shrunken device.
+	seenRetiredCUs int
 }
 
 // NewLAX returns the CP-integrated laxity scheduler with the paper's
@@ -193,7 +197,7 @@ func (p *LAX) remaining(j *cp.JobRun) []core.WGEntry {
 // deadline budget stands in ("before enough WGs complete ... we use the
 // programmer-provided deadline", Algorithm 1 footnote).
 func (p *LAX) Admit(j *cp.JobRun) bool {
-	registerCapacities(p.pt, p.sys.Device().Config(), j)
+	registerCapacities(p.pt, p.sys.Device(), j)
 	t := p.table()
 	now := p.sys.Now()
 	var queueDelay sim.Time
@@ -230,6 +234,16 @@ func (p *LAX) Reprioritize() {
 		p.stale = p.pt.Snapshot()
 	}
 	p.pt.Update(p.sys.Device().Counters(), p.sys.Now())
+
+	// A CU retirement since the last tick shrinks every kernel's concurrent
+	// capacity; re-register so Algorithm 1 stops admitting against the
+	// nominal device.
+	if r := p.sys.Device().RetiredCUsCount(); r != p.seenRetiredCUs {
+		p.seenRetiredCUs = r
+		for _, j := range p.sys.Active() {
+			registerCapacities(p.pt, p.sys.Device(), j)
+		}
+	}
 
 	t := p.table()
 	now := p.sys.Now()

@@ -13,6 +13,9 @@ import (
 type SRF struct {
 	sys *cp.System
 	pt  *core.ProfilingTable
+
+	// seenRetiredCUs detects device degradation between ticks (see LAX).
+	seenRetiredCUs int
 }
 
 // NewSRF returns the shortest-remaining-time-first scheduler.
@@ -31,7 +34,7 @@ func (p *SRF) Attach(s *cp.System) {
 // the current remaining-time estimate (zero for never-profiled kernels,
 // which the first Reprioritize corrects).
 func (p *SRF) Admit(j *cp.JobRun) bool {
-	registerCapacities(p.pt, p.sys.Device().Config(), j)
+	registerCapacities(p.pt, p.sys.Device(), j)
 	j.Priority = clampPriority(p.pt.RemainingTime(j.TotalWGList()))
 	return true
 }
@@ -41,6 +44,12 @@ func (p *SRF) Admit(j *cp.JobRun) bool {
 // time.
 func (p *SRF) Reprioritize() {
 	p.pt.Update(p.sys.Device().Counters(), p.sys.Now())
+	if r := p.sys.Device().RetiredCUsCount(); r != p.seenRetiredCUs {
+		p.seenRetiredCUs = r
+		for _, j := range p.sys.Active() {
+			registerCapacities(p.pt, p.sys.Device(), j)
+		}
+	}
 	for _, j := range p.sys.Active() {
 		j.Priority = clampPriority(p.pt.RemainingTime(j.RemainingWGList()))
 	}

@@ -35,24 +35,45 @@ import (
 	"laxgpu/internal/workload"
 )
 
-// runners memoizes harness runners by (jobs, seed) so repeated Run calls —
-// e.g. sweeping schedulers over the same trace — share simulation results
-// and job sets. Runners themselves are single-threaded; the mutex guards
-// the whole call.
+// runnerKey identifies one memoized runner configuration.
+type runnerKey struct {
+	jobs   int
+	seed   int64
+	faults string
+}
+
+// maxRunners bounds the memo: each runner caches every simulated cell and
+// its job sets, so an unbounded map is a slow leak for callers sweeping
+// seeds or fault specs. Eight covers realistic interleaving (a scheduler
+// sweep touches one key; a paired fault comparison two) while keeping the
+// worst case small; eviction is FIFO.
+const maxRunners = 8
+
+// runners memoizes harness runners by (jobs, seed, faults) so repeated Run
+// calls — e.g. sweeping schedulers over the same trace — share simulation
+// results and job sets. Runners themselves are single-threaded; the mutex
+// guards the whole call.
 var (
-	runnersMu sync.Mutex
-	runners   = map[[2]int64]*harness.Runner{}
+	runnersMu   sync.Mutex
+	runners     = map[runnerKey]*harness.Runner{}
+	runnerOrder []runnerKey // insertion order, oldest first
 )
 
-func runnerFor(jobs int, seed int64) *harness.Runner {
-	key := [2]int64{int64(jobs), seed}
+func runnerFor(jobs int, seed int64, faults string) *harness.Runner {
+	key := runnerKey{jobs, seed, faults}
 	if r, ok := runners[key]; ok {
 		return r
+	}
+	if len(runners) >= maxRunners {
+		delete(runners, runnerOrder[0])
+		runnerOrder = runnerOrder[1:]
 	}
 	r := harness.NewRunner()
 	r.JobCount = jobs
 	r.Seed = seed
+	r.Faults = faults
 	runners[key] = r
+	runnerOrder = append(runnerOrder, key)
 	return r
 }
 
@@ -73,6 +94,13 @@ type Options struct {
 
 	// Seed makes the arrival trace reproducible; 0 means seed 1.
 	Seed int64
+
+	// Faults optionally injects deterministic device faults, e.g.
+	// "hang=0.05,abort=0.1,slow=0.1x6,retire=2@2ms". recover=on (the
+	// default) arms the command processor's watchdog/retry/CPU-fallback
+	// machinery; recover=off shows the undefended baseline. Empty means a
+	// healthy device.
+	Faults string
 }
 
 // Result summarizes one simulation run.
@@ -110,6 +138,15 @@ type Result struct {
 
 	// Makespan is the completion time of the last finished job.
 	Makespan time.Duration
+
+	// Recovery counters, all zero on a healthy run (see Options.Faults):
+	// watchdog kills, transient aborts, kernel retries, CPU-fallback
+	// completions, and CUs retired by the end of the run.
+	WatchdogKills int
+	Aborts        int
+	Retries       int
+	Fallbacks     int
+	RetiredCUs    int
 }
 
 // DeadlineFrac is the fraction of offered jobs that met their deadline.
@@ -143,7 +180,7 @@ func Run(o Options) (Result, error) {
 	}
 	runnersMu.Lock()
 	defer runnersMu.Unlock()
-	s, err := runnerFor(jobs, seed).Run(o.Scheduler, o.Benchmark, rate)
+	s, err := runnerFor(jobs, seed, o.Faults).Run(o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
 	}
@@ -167,6 +204,11 @@ func toResult(s metrics.Summary) Result {
 		EnergyPerSuccessMJ: s.EnergyPerSuccessMJ,
 		UsefulWorkFrac:     s.UsefulWorkFrac,
 		Makespan:           s.Makespan.Duration(),
+		WatchdogKills:      s.WatchdogKills,
+		Aborts:             s.Aborts,
+		Retries:            s.Retries,
+		Fallbacks:          s.Fallbacks,
+		RetiredCUs:         s.RetiredCUs,
 	}
 }
 

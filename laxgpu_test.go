@@ -100,7 +100,7 @@ func TestEnumerations(t *testing.T) {
 	if len(Benchmarks()) != 8 {
 		t.Fatalf("Benchmarks() = %v", Benchmarks())
 	}
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 15 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 	if len(Rates()) != 3 {
@@ -111,6 +111,63 @@ func TestEnumerations(t *testing.T) {
 		if _, err := Run(Options{Scheduler: s, Benchmark: "IPV6", Rate: "low", Jobs: 4}); err != nil {
 			t.Errorf("Run with %s failed: %v", s, err)
 		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Jobs: 16, Faults: "hang=2"}); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+	healthy, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.WatchdogKills != 0 || healthy.Retries != 0 || healthy.Fallbacks != 0 || healthy.RetiredCUs != 0 {
+		t.Fatalf("healthy run has recovery counters: %+v", healthy)
+	}
+	off, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
+		Faults: "hang=0.15,recover=off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
+		Faults: "hang=0.15,recover=on"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.MetDeadline <= off.MetDeadline {
+		t.Fatalf("recovery on met %d <= off met %d", on.MetDeadline, off.MetDeadline)
+	}
+	if on.WatchdogKills == 0 {
+		t.Fatal("recovery-on run under hangs shows no watchdog kills")
+	}
+}
+
+func TestRunnerMemoBounded(t *testing.T) {
+	runnersMu.Lock()
+	defer runnersMu.Unlock()
+	for seed := int64(1); seed <= 3*maxRunners; seed++ {
+		runnerFor(8, seed, "")
+	}
+	if len(runners) > maxRunners {
+		t.Fatalf("memo holds %d runners, cap is %d", len(runners), maxRunners)
+	}
+	if len(runnerOrder) != len(runners) {
+		t.Fatalf("eviction order has %d entries for %d runners", len(runnerOrder), len(runners))
+	}
+	// The newest key is memoized; the oldest was evicted and comes back
+	// fresh without exceeding the cap.
+	newest := runnerFor(8, 3*maxRunners, "")
+	if runnerFor(8, 3*maxRunners, "") != newest {
+		t.Fatal("hot key not memoized")
+	}
+	runnerFor(8, 1, "")
+	if len(runners) > maxRunners {
+		t.Fatalf("memo exceeded cap after re-adding evicted key: %d", len(runners))
+	}
+	// Distinct fault specs get distinct runners.
+	if runnerFor(8, 2, "hang=0.1") == runnerFor(8, 2, "") {
+		t.Fatal("fault spec not part of the memo key")
 	}
 }
 
