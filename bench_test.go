@@ -8,6 +8,7 @@ package laxgpu
 // paths follow.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -34,7 +35,7 @@ func runExperiment(b *testing.B, id string) *harness.Report {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
 		var err error
-		rep, err = harness.RunExperiment(r, id)
+		rep, err = harness.RunExperiment(context.Background(), r, id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkFigure1(b *testing.B) { runExperiment(b, "figure1") }
 func BenchmarkFigure3(b *testing.B) {
 	var res harness.Figure3Result
 	for i := 0; i < b.N; i++ {
-		res = harness.RunFigure3()
+		res = harness.RunFigure3(context.Background())
 	}
 	b.ReportMetric(float64(res.LAXMet), "lax-met")
 	b.ReportMetric(float64(res.RRMet), "rr-met")
@@ -71,7 +72,7 @@ func BenchmarkFigure4(b *testing.B) { runExperiment(b, "figure4") }
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		rep := harness.Figure6(r)
+		rep := harness.Figure6(context.Background(), r)
 		rep.Render(io.Discard)
 		counts := harness.DeadlineCounts(r, []string{"RR", "LAX"}, workload.HighRate)
 		b.ReportMetric(metrics.Ratio(float64(counts["LAX"]), float64(counts["RR"])), "lax/rr")
@@ -84,7 +85,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		rep := harness.Figure7(r)
+		rep := harness.Figure7(context.Background(), r)
 		rep.Render(io.Discard)
 		counts := harness.DeadlineCounts(r,
 			[]string{"MLFQ", "EDF", "SJF", "SRF", "LJF", "PREMA", "LAX"}, workload.HighRate)
@@ -106,7 +107,7 @@ func BenchmarkFigure8(b *testing.B) { runExperiment(b, "figure8") }
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		rep := harness.Figure9(r)
+		rep := harness.Figure9(context.Background(), r)
 		rep.Render(io.Discard)
 		var fracs []float64
 		for _, bench := range workload.BenchmarkNames() {
@@ -122,12 +123,12 @@ func BenchmarkFigure10(b *testing.B) {
 	var mae float64
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		tr, err := harness.RunFigure10(r, "LSTM")
+		tr, err := harness.RunFigure10(context.Background(), r, "LSTM")
 		if err != nil {
 			b.Fatal(err)
 		}
 		mae = tr.MeanAbsErrPct
-		rep := harness.Figure10(r)
+		rep := harness.Figure10(context.Background(), r)
 		rep.Render(io.Discard)
 	}
 	b.ReportMetric(mae, "pred-mae-%")
@@ -145,7 +146,7 @@ func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
 func BenchmarkAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		rep := harness.Sensitivity(r)
+		rep := harness.Sensitivity(context.Background(), r)
 		rep.Render(io.Discard)
 		counts := harness.DeadlineCounts(r, []string{"LAX", "ORACLE"}, workload.HighRate)
 		b.ReportMetric(metrics.Ratio(float64(counts["LAX"]), float64(counts["ORACLE"])), "lax/oracle")
@@ -157,6 +158,27 @@ func BenchmarkSeeds(b *testing.B) { runExperiment(b, "seeds") }
 
 // BenchmarkScaling regenerates the device-size sweep and multi-tenant mix.
 func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }
+
+// benchSweepTable5 times the full table5 cell grid (13 schedulers x 8
+// benchmarks at the high rate) through the sweep engine at a fixed pool
+// width. Comparing the Serial and Parallel variants measures the speedup
+// the worker pool buys on the machine at hand; the rendered results are
+// byte-identical at every width (see TestParallelSerialGoldenEquivalence).
+func benchSweepTable5(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.Workers = workers
+		if err := r.Sweep(context.Background(), harness.GridCells(sched.Table5Schedulers, workload.HighRate)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepTable5Serial is the single-worker reference path.
+func BenchmarkSweepTable5Serial(b *testing.B) { benchSweepTable5(b, 1) }
+
+// BenchmarkSweepTable5Parallel runs one worker per CPU.
+func BenchmarkSweepTable5Parallel(b *testing.B) { benchSweepTable5(b, 0) }
 
 // --- Micro-benchmarks for the simulation substrate ---
 

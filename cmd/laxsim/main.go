@@ -12,15 +12,22 @@
 //	laxsim -run LAX,LSTM,high -gpus 4            # multi-GPU fleet run
 //	laxsim -sweep high -csv out.csv # every scheduler x benchmark at one rate
 //	laxsim -run LAX,LSTM,high -faults hang=0.05,abort=0.1  # fault injection
+//	laxsim -experiment table5 -parallel 4        # 4 sweep workers
 //	laxsim -jobs 128 -seed 1 -v     # trace size, seed, progress logging
+//
+// Independent simulation cells fan out across -parallel workers (0 means
+// one per CPU); reports are byte-identical at every width. Ctrl-C cancels
+// cleanly: in-flight simulations stop mid-event-loop.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"laxgpu/internal/cluster"
@@ -47,6 +54,7 @@ func main() {
 		format     = flag.String("format", "text", "report format for experiments: text or markdown")
 		gpus       = flag.Int("gpus", 1, "with -run: route the trace over this many GPUs (least-loaded)")
 		faults     = flag.String("faults", "", "with -run/-sweep: inject deterministic device faults, e.g. hang=0.05,abort=0.1,slow=0.1x6,retire=2@2ms,recover=on")
+		parallel   = flag.Int("parallel", 0, "sweep worker pool width: 0 = one per CPU, 1 = serial")
 	)
 	flag.Parse()
 
@@ -57,14 +65,20 @@ func main() {
 		return
 	}
 
-	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults); err != nil {
+	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel); err != nil {
 		fatal(err)
 	}
+
+	// Ctrl-C cancels the context; in-flight simulations notice within a
+	// few event batches and the run exits with the cancellation error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r := harness.NewRunner()
 	r.Seed = *seed
 	r.JobCount = *jobs
 	r.Faults = *faults
+	r.Workers = *parallel
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -72,6 +86,11 @@ func main() {
 	if *sweepRate != "" {
 		rate, err := workload.ParseRate(*sweepRate)
 		if err != nil {
+			fatal(err)
+		}
+		// Fan the grid out across the pool, then collect summaries from
+		// the warm cache in deterministic order.
+		if err := r.Sweep(ctx, harness.GridCells(sched.Table5Schedulers, rate)); err != nil {
 			fatal(err)
 		}
 		var summaries []metrics.Summary
@@ -118,12 +137,12 @@ func main() {
 			return
 		}
 		if *traceOut != "" || *timeline {
-			if err := runTraced(r, parts[0], parts[1], rate, *traceOut, *timeline); err != nil {
+			if err := runTraced(ctx, r, parts[0], parts[1], rate, *traceOut, *timeline); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		s, err := r.Run(parts[0], parts[1], rate)
+		s, err := r.RunContext(ctx, parts[0], parts[1], rate)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,7 +170,7 @@ func main() {
 	}
 
 	if *experiment != "" {
-		rep, err := harness.RunExperiment(r, *experiment)
+		rep, err := harness.RunExperiment(ctx, r, *experiment)
 		if err != nil {
 			fatal(err)
 		}
@@ -159,7 +178,11 @@ func main() {
 		return
 	}
 
-	for _, rep := range harness.All(r) {
+	for _, id := range harness.ExperimentIDs() {
+		rep, err := harness.RunExperiment(ctx, r, id)
+		if err != nil {
+			fatal(err)
+		}
 		render(rep)
 	}
 }
@@ -167,7 +190,7 @@ func main() {
 // runTraced executes one cell with a structured event trace attached,
 // optionally writing the raw trace to a file and/or rendering an ASCII
 // timeline of the schedule.
-func runTraced(r *harness.Runner, schedName, benchName string, rate workload.Rate, path string, timeline bool) error {
+func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName string, rate workload.Rate, path string, timeline bool) error {
 	pol, err := sched.New(schedName)
 	if err != nil {
 		return err
@@ -191,7 +214,9 @@ func runTraced(r *harness.Runner, schedName, benchName string, rate workload.Rat
 	tracer := cp.NewTracer(io.MultiWriter(sinks...))
 	sys := cp.NewSystem(r.Cfg, set, pol)
 	sys.SetTracer(tracer)
-	sys.Run()
+	if err := sys.RunContext(ctx); err != nil {
+		return err
+	}
 	if err := tracer.Err(); err != nil {
 		return err
 	}
@@ -239,7 +264,7 @@ func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate
 
 // validateFlags rejects contradictory flag combinations up front, so a
 // misplaced mode flag fails loudly instead of being silently ignored.
-func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string) error {
+func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int) error {
 	modes := 0
 	for _, set := range []bool{experiment != "", rawRun != "", sweepRate != ""} {
 		if set {
@@ -251,6 +276,9 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 	}
 	if gpus < 1 {
 		return fmt.Errorf("-gpus must be at least 1")
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be at least 0 (0 = one worker per CPU)")
 	}
 	if rawRun == "" {
 		switch {

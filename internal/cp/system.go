@@ -1,6 +1,7 @@
 package cp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -158,6 +159,16 @@ func (s *System) SetTracer(t *Tracer) { s.tracer = t }
 // by a horizon well past the last deadline, because an unrecovered hang
 // strands its job forever and the event queue would never drain.
 func (s *System) Run() {
+	s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls the
+// context and stops mid-simulation when it is cancelled, returning the
+// context's error. A run that completes naturally returns nil even if the
+// context was cancelled at the finish line; a cancelled run leaves the
+// system in a consistent but incomplete state and its metrics must be
+// discarded.
+func (s *System) RunContext(ctx context.Context) error {
 	s.arrivalsLeft = len(s.jobs)
 	for _, jr := range s.jobs {
 		jr := jr
@@ -165,13 +176,24 @@ func (s *System) Run() {
 	}
 	s.scheduleRetirements()
 	s.armTimer()
+	if ctx.Done() != nil {
+		s.eng.SetInterrupt(func() bool { return ctx.Err() != nil })
+		defer s.eng.SetInterrupt(nil)
+	}
 	if s.faultsInstalled {
 		if horizon := s.faultRunHorizon(); horizon > 0 {
 			s.eng.RunUntil(horizon)
-			return
+			if s.eng.Interrupted() {
+				return ctx.Err()
+			}
+			return nil
 		}
 	}
 	s.eng.Run()
+	if s.eng.Interrupted() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // arrive runs the host-side offload decision for a newly arrived job.

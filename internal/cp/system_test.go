@@ -1,6 +1,8 @@
 package cp
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"laxgpu/internal/gpu"
@@ -570,5 +572,51 @@ func TestHostQueueRequeueAfterCancel(t *testing.T) {
 	}
 	if sys.HostQueueLen() != 0 {
 		t.Fatal("host queue not drained")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	desc := testDesc("k", 4, 64, 10*sim.Microsecond)
+	set := makeSet(64, 4, desc, 5*sim.Microsecond, 10*sim.Millisecond)
+	retired := func(s *System) int {
+		n := 0
+		for _, jr := range s.Jobs() {
+			if jr.Done() || jr.Rejected() || jr.Cancelled() {
+				n++
+			}
+		}
+		return n
+	}
+
+	// A cancelled context stops the run mid-simulation with ctx.Err().
+	sys := NewSystem(DefaultSystemConfig(), set, &fifoPolicy{interval: sim.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sys.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if retired(sys) == len(sys.Jobs()) {
+		t.Fatal("cancelled run still retired every job")
+	}
+
+	// A run that completes naturally returns nil even with a cancellable
+	// context attached, and matches the plain Run path job for job.
+	sys2 := NewSystem(DefaultSystemConfig(), set, &fifoPolicy{interval: sim.Millisecond})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	if err := sys2.RunContext(ctx2); err != nil {
+		t.Fatalf("live-context run returned %v", err)
+	}
+	sys3 := NewSystem(DefaultSystemConfig(), set, &fifoPolicy{interval: sim.Millisecond})
+	sys3.Run()
+	if retired(sys2) != len(set.Jobs) || retired(sys3) != len(set.Jobs) {
+		t.Fatalf("complete runs retired %d and %d of %d jobs",
+			retired(sys2), retired(sys3), len(set.Jobs))
+	}
+	for i, jr := range sys2.Jobs() {
+		other := sys3.Jobs()[i]
+		if jr.State() != other.State() || jr.MetDeadline() != other.MetDeadline() {
+			t.Fatalf("job %d diverged between RunContext and Run: %v vs %v", i, jr, other)
+		}
 	}
 }

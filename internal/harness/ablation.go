@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"laxgpu/internal/cp"
@@ -38,86 +39,102 @@ var ablations = []ablationConfig{
 	{"ewma=0.5", "smoothed completion rates", sched.LAXConfig{Alpha: 0.5}},
 }
 
-// runAblation executes one configuration over all benchmarks at the high
-// rate and returns per-benchmark deadline-met counts. priorityLevels > 0
+// ablationCell simulates one (LAX configuration, benchmark) cell at the
+// high rate and returns its deadline-met count. priorityLevels > 0
 // additionally quantizes the CP's priority registers to that many hardware
 // levels (§2.2's contemporary-API limitation).
-func runAblation(r *Runner, cfg sched.LAXConfig, priorityLevels int) (map[string]int, error) {
+func ablationCell(ctx context.Context, r *Runner, cfg sched.LAXConfig, priorityLevels int, bench string) (int, error) {
 	sysCfg := r.Cfg
 	sysCfg.PriorityLevels = priorityLevels
-	out := make(map[string]int, len(workload.BenchmarkNames()))
-	for _, bench := range workload.BenchmarkNames() {
-		set, err := r.JobSet(bench, workload.HighRate)
-		if err != nil {
-			return nil, err
-		}
-		sys := cp.NewSystem(sysCfg, set, sched.NewLAXWithConfig(cfg))
-		sys.Run()
-		met := 0
-		for _, j := range sys.Jobs() {
-			if j.MetDeadline() {
-				met++
-			}
-		}
-		out[bench] = met
+	set, err := r.JobSet(bench, workload.HighRate)
+	if err != nil {
+		return 0, err
 	}
-	return out, nil
+	sys := cp.NewSystem(sysCfg, set, sched.NewLAXWithConfig(cfg))
+	if err := sys.RunContext(ctx); err != nil {
+		return 0, err
+	}
+	met := 0
+	for _, j := range sys.Jobs() {
+		if j.MetDeadline() {
+			met++
+		}
+	}
+	return met, nil
 }
 
 // Ablation regenerates the design-choice study DESIGN.md calls out: each
 // LAX knob flipped in isolation, scored as geomean deadline-met relative to
-// the paper's configuration, plus the future-work LAX+PREMA hybrid.
-func Ablation(r *Runner) *Report {
+// the paper's configuration, plus the future-work LAX+PREMA hybrid. Every
+// (configuration, benchmark) pair is an independent cell submitted to the
+// worker pool; the table assembles from the indexed count matrix.
+func Ablation(ctx context.Context, r *Runner) *Report {
 	t := &Table{
 		Title:  "LAX design ablations (high rate, geomean jobs-met normalized to paper LAX)",
 		Header: append(append([]string{"Config"}, workload.BenchmarkNames()...), "GMEAN", "Why"),
 	}
 
-	base, err := runAblation(r, sched.LAXConfig{}, 0)
-	if err != nil {
-		panic(err)
+	// Row specs: the config ablations, then the hardware priority-level
+	// quantizations (§2.2: what LAX loses when the CP can only order queues
+	// by 2 or 8 priority levels instead of full laxity values). Row 0 is
+	// the paper baseline every other row normalizes against.
+	type rowSpec struct {
+		label  string
+		why    string
+		cfg    sched.LAXConfig
+		levels int
 	}
+	var specs []rowSpec
 	for _, a := range ablations {
-		counts, err := runAblation(r, a.cfg, 0)
-		if err != nil {
-			panic(err)
-		}
-		row := []string{a.label}
-		var ratios []float64
-		for _, b := range workload.BenchmarkNames() {
-			ratio := metrics.Ratio(float64(counts[b]), float64(base[b]))
-			ratios = append(ratios, ratio)
-			row = append(row, f2(ratio))
-		}
-		row = append(row, f2(metrics.Geomean(ratios)), a.why)
-		t.AddRow(row...)
+		specs = append(specs, rowSpec{a.label, a.why, a.cfg, 0})
+	}
+	for _, levels := range []int{2, 8} {
+		specs = append(specs, rowSpec{
+			fmt.Sprintf("hw-levels=%d", levels),
+			"§2.2: contemporary APIs expose only a few priority levels",
+			sched.LAXConfig{}, levels,
+		})
 	}
 
-	// Hardware priority-level quantization (§2.2): what LAX loses when the
-	// CP can only order queues by 2 or 8 priority levels instead of full
-	// laxity values.
-	for _, levels := range []int{2, 8} {
-		counts, err := runAblation(r, sched.LAXConfig{}, levels)
-		if err != nil {
+	benches := workload.BenchmarkNames()
+	for _, bench := range benches {
+		if _, err := r.JobSet(bench, workload.HighRate); err != nil {
 			panic(err)
 		}
-		row := []string{fmt.Sprintf("hw-levels=%d", levels)}
+	}
+	counts := make([][]int, len(specs))
+	for i := range counts {
+		counts[i] = make([]int, len(benches))
+	}
+	mustDo(ctx, r, len(specs)*len(benches), func(ctx context.Context, i int) error {
+		s, b := i/len(benches), i%len(benches)
+		met, err := ablationCell(ctx, r, specs[s].cfg, specs[s].levels, benches[b])
+		if err != nil {
+			return err
+		}
+		counts[s][b] = met
+		return nil
+	})
+
+	base := counts[0] // "LAX (paper)": the zero LAXConfig at full priority resolution
+	for s, spec := range specs {
+		row := []string{spec.label}
 		var ratios []float64
-		for _, b := range workload.BenchmarkNames() {
-			ratio := metrics.Ratio(float64(counts[b]), float64(base[b]))
+		for b := range benches {
+			ratio := metrics.Ratio(float64(counts[s][b]), float64(base[b]))
 			ratios = append(ratios, ratio)
 			row = append(row, f2(ratio))
 		}
-		row = append(row, f2(metrics.Geomean(ratios)),
-			"§2.2: contemporary APIs expose only a few priority levels")
+		row = append(row, f2(metrics.Geomean(ratios)), spec.why)
 		t.AddRow(row...)
 	}
 
 	// The future-work hybrid, same normalization.
+	mustSweep(ctx, r, GridCells([]string{"LAX-PREMA"}, workload.HighRate))
 	hybridRow := []string{"LAX-PREMA"}
 	var hratios []float64
-	for _, b := range workload.BenchmarkNames() {
-		sum := r.MustRun("LAX-PREMA", b, workload.HighRate)
+	for b, bench := range benches {
+		sum := r.MustRun("LAX-PREMA", bench, workload.HighRate)
 		ratio := metrics.Ratio(float64(sum.MetDeadline), float64(base[b]))
 		hratios = append(hratios, ratio)
 		hybridRow = append(hybridRow, f2(ratio))

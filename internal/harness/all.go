@@ -1,16 +1,22 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
 
 // Experiments maps experiment IDs (the paper's table/figure numbers) to
-// their generator functions.
-var Experiments = map[string]func(*Runner) *Report{
+// their generator functions. Generators submit their independent simulation
+// cells to the runner's worker pool and assemble the report only after the
+// sweep completes, so the rendered bytes do not depend on pool width. On
+// simulation errors (including context cancellation) they panic; use
+// RunExperiment, which converts cancellation panics back into errors.
+var Experiments = map[string]func(context.Context, *Runner) *Report{
 	"table1":   Table1,
 	"figure1":  Figure1,
-	"figure3":  func(*Runner) *Report { return Figure3() },
+	"figure3":  func(ctx context.Context, _ *Runner) *Report { return Figure3(ctx) },
 	"figure4":  Figure4,
 	"figure6":  Figure6,
 	"figure7":  Figure7,
@@ -39,22 +45,38 @@ func ExperimentIDs() []string {
 	return out
 }
 
-// RunExperiment generates the report for one experiment ID.
-func RunExperiment(r *Runner, id string) (*Report, error) {
+// RunExperiment generates the report for one experiment ID. A cancelled
+// context aborts the experiment mid-cell and surfaces the context's error;
+// any other generator panic propagates unchanged.
+func RunExperiment(ctx context.Context, r *Runner, id string) (rep *Report, err error) {
 	f, ok := Experiments[id]
 	if !ok {
 		valid := ExperimentIDs()
 		sort.Strings(valid)
 		return nil, fmt.Errorf("harness: unknown experiment %q (valid: %v)", id, valid)
 	}
-	return f(r), nil
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok && (errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded)) {
+				rep, err = nil, e
+				return
+			}
+			panic(p)
+		}
+	}()
+	return f(ctx, r), nil
 }
 
-// All generates every report in paper order.
-func All(r *Runner) []*Report {
+// All generates every report in paper order, stopping early when the
+// context is cancelled.
+func All(ctx context.Context, r *Runner) ([]*Report, error) {
 	out := make([]*Report, 0, len(experimentOrder))
 	for _, id := range experimentOrder {
-		out = append(out, Experiments[id](r))
+		rep, err := RunExperiment(ctx, r, id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,8 +27,9 @@ var sensitivitySchedulers = []string{"RR", "SJF", "LAX", "ORACLE"}
 var sensitivityBenchmarks = []string{"LSTM", "STEM"}
 
 // runAtRate simulates one scheduler on a custom-rate trace and returns its
-// summary.
-func runAtRate(r *Runner, schedName, benchName string, jobsPerSec int, seed int64) (metrics.Summary, error) {
+// summary. Traces at custom rates are not memoized: each call generates its
+// own set, so concurrent calls never share mutable state.
+func runAtRate(ctx context.Context, r *Runner, schedName, benchName string, jobsPerSec int, seed int64) (metrics.Summary, error) {
 	b, err := workload.FindBenchmark(benchName)
 	if err != nil {
 		return metrics.Summary{}, err
@@ -38,54 +40,68 @@ func runAtRate(r *Runner, schedName, benchName string, jobsPerSec int, seed int6
 	}
 	set := b.GenerateCustom(r.Lib, jobsPerSec, r.JobCount, seed)
 	sys := cp.NewSystem(r.Cfg, set, pol)
-	sys.Run()
+	if err := sys.RunContext(ctx); err != nil {
+		return metrics.Summary{}, err
+	}
 	return metrics.Summarize(sys, schedName, benchName, fmt.Sprintf("%djobs/s", jobsPerSec)), nil
 }
 
 // Sensitivity builds the offered-load sweep: deadline-met fraction versus
 // arrival rate. The paper sweeps three levels (Table 4); this extension
 // traces the whole capacity curve and adds the perfect-information ORACLE,
-// isolating how much of LAX's headroom is estimation error.
-func Sensitivity(r *Runner) *Report {
+// isolating how much of LAX's headroom is estimation error. The full
+// benchmark x scheduler x load-factor grid is flattened into independent
+// tasks on the worker pool; tables assemble from the indexed result cube.
+func Sensitivity(ctx context.Context, r *Runner) *Report {
 	rep := &Report{
 		ID:    "analysis",
 		Title: "Load sensitivity, oracle gap, and device utilization (extensions beyond the paper's figures)",
 	}
 
-	for _, bench := range sensitivityBenchmarks {
+	nB, nS, nF := len(sensitivityBenchmarks), len(sensitivitySchedulers), len(sensitivityFactors)
+	highs := make([]int, nB)
+	for i, bench := range sensitivityBenchmarks {
 		b, err := workload.FindBenchmark(bench)
 		if err != nil {
 			panic(err)
 		}
-		high := b.JobsPerSecond(workload.HighRate)
+		highs[i] = b.JobsPerSecond(workload.HighRate)
+	}
+	fracs := make([]float64, nB*nS*nF)
+	mustDo(ctx, r, len(fracs), func(ctx context.Context, i int) error {
+		b, s, f := i/(nS*nF), (i/nF)%nS, i%nF
+		rate := int(float64(highs[b]) * sensitivityFactors[f])
+		sum, err := runAtRate(ctx, r, sensitivitySchedulers[s], sensitivityBenchmarks[b], rate, r.Seed)
+		if err != nil {
+			return err
+		}
+		fracs[i] = sum.DeadlineFrac()
+		return nil
+	})
+	for b, bench := range sensitivityBenchmarks {
 		t := &Table{
-			Title:  fmt.Sprintf("%s: %% of jobs meeting deadline vs offered load (high rate = %d jobs/s)", bench, high),
+			Title:  fmt.Sprintf("%s: %% of jobs meeting deadline vs offered load (high rate = %d jobs/s)", bench, highs[b]),
 			Header: []string{"Scheduler"},
 		}
 		for _, f := range sensitivityFactors {
 			t.Header = append(t.Header, fmt.Sprintf("%.2gx", f))
 		}
-		for _, s := range sensitivitySchedulers {
-			row := []string{s}
-			for _, f := range sensitivityFactors {
-				rate := int(float64(high) * f)
-				sum, err := runAtRate(r, s, bench, rate, r.Seed)
-				if err != nil {
-					panic(err)
-				}
-				row = append(row, f1(100*sum.DeadlineFrac()))
+		for s, schedName := range sensitivitySchedulers {
+			row := []string{schedName}
+			for f := range sensitivityFactors {
+				row = append(row, f1(100*fracs[(b*nS+s)*nF+f]))
 			}
 			t.AddRow(row...)
 		}
 		rep.Tables = append(rep.Tables, t)
 	}
 
-	rep.Tables = append(rep.Tables, theoryTable(r))
-	rep.Tables = append(rep.Tables, oracleGapTable(r))
-	rep.Tables = append(rep.Tables, utilizationTable(r))
-	rep.Tables = append(rep.Tables, burstinessTable(r))
-	rep.Tables = append(rep.Tables, missTaxonomyTable(r))
-	rep.Tables = append(rep.Tables, latencyCDFTable(r))
+	rep.Tables = append(rep.Tables, theoryTable(ctx, r))
+	rep.Tables = append(rep.Tables, oracleGapTable(ctx, r))
+	rep.Tables = append(rep.Tables, utilizationTable(ctx, r))
+	rep.Tables = append(rep.Tables, burstinessTable(ctx, r))
+	rep.Tables = append(rep.Tables, missTaxonomyTable(ctx, r))
+	rep.Tables = append(rep.Tables, latencyCDFTable(ctx, r))
 	rep.Notes = append(rep.Notes,
 		"ORACLE runs LAX's algorithms with exact isolated execution times — the gap to LAX is pure estimation error.",
 		"At light load every scheduler meets everything; the curves separate exactly where contention begins, and LAX tracks ORACLE.",
@@ -98,44 +114,55 @@ func Sensitivity(r *Runner) *Report {
 // queue, whose FCFS deadline-met fraction is known analytically. Simulated
 // FCFS must land near the prediction (exactly matching is impossible: the
 // kernels have deterministic service, making M/M/k conservative).
-func theoryTable(r *Runner) *Table {
+func theoryTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Substrate validation: analytical M/M/k vs simulated FCFS deadline-met % (stable loads)",
 		Header: []string{"Benchmark", "rate (jobs/s)", "rho", "theory %", "simulated %"},
 	}
-	for _, name := range []string{"IPV6", "CUCKOO", "GMM", "STEM"} {
+	names := []string{"IPV6", "CUCKOO", "GMM", "STEM"}
+	rows := make([][]string, len(names))
+	mustDo(ctx, r, len(names), func(ctx context.Context, i int) error {
+		name := names[i]
 		bench, err := workload.FindBenchmark(name)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		desc := bench.Generate(r.Lib, workload.LowRate, 1, 1).Jobs[0].Kernels[0]
 		rate := bench.JobsPerSecond(workload.LowRate) / 2
 		model := queueing.ForKernel(r.Cfg.GPU, desc, rate)
 		if !model.Stable() {
-			t.AddRow(name, fint(rate), f2(model.Utilization()), "unstable", "-")
-			continue
+			rows[i] = []string{name, fint(rate), f2(model.Utilization()), "unstable", "-"}
+			return nil
 		}
 		predicted, err := model.DeadlineMetFrac(bench.Deadline)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		sum, err := runAtRate(r, "FCFS", name, rate, r.Seed)
+		sum, err := runAtRate(ctx, r, "FCFS", name, rate, r.Seed)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		t.AddRow(name, fint(rate), f2(model.Utilization()),
-			f1(100*predicted), f1(100*sum.DeadlineFrac()))
+		rows[i] = []string{name, fint(rate), f2(model.Utilization()),
+			f1(100 * predicted), f1(100 * sum.DeadlineFrac())}
+		return nil
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
 
-// oracleGapTable compares FCFS, LAX and ORACLE at the high rate.
-func oracleGapTable(r *Runner) *Table {
+// oracleGapTable compares FCFS, LAX and ORACLE at the high rate. The cells
+// go through the runner's sweep (and its cache), so reads during assembly
+// are warm hits in deterministic order.
+func oracleGapTable(ctx context.Context, r *Runner) *Table {
+	scheds := []string{"FCFS", "LAX", "ORACLE"}
+	mustSweep(ctx, r, GridCells(scheds, workload.HighRate))
 	t := &Table{
 		Title:  "Oracle gap at the high rate (jobs met)",
 		Header: append([]string{"Scheduler"}, append(workload.BenchmarkNames(), "TOTAL")...),
 	}
-	for _, s := range []string{"FCFS", "LAX", "ORACLE"} {
+	for _, s := range scheds {
 		row := []string{s}
 		total := 0
 		for _, b := range workload.BenchmarkNames() {
@@ -151,8 +178,9 @@ func oracleGapTable(r *Runner) *Table {
 
 // burstinessTable stresses the schedulers with interrupted-Poisson
 // arrivals at the same mean load: bursts are what separate a queue model
-// that adapts (LAX's live completion rates) from static heuristics.
-func burstinessTable(r *Runner) *Table {
+// that adapts (LAX's live completion rates) from static heuristics. Each
+// (scheduler, burst factor) run is an independent pooled task.
+func burstinessTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Burstiness sensitivity: STEM at the high mean rate, % of jobs meeting deadline",
 		Header: []string{"Scheduler", "poisson", "burst=2x", "burst=4x", "burst=8x"},
@@ -162,23 +190,36 @@ func burstinessTable(r *Runner) *Table {
 		panic(err)
 	}
 	rate := bench.JobsPerSecond(workload.HighRate)
-	for _, schedName := range []string{"RR", "SJF", "LAX"} {
+	scheds := []string{"RR", "SJF", "LAX"}
+	bursts := []float64{1, 2, 4, 8}
+	pct := make([][]float64, len(scheds))
+	for i := range pct {
+		pct[i] = make([]float64, len(bursts))
+	}
+	mustDo(ctx, r, len(scheds)*len(bursts), func(ctx context.Context, i int) error {
+		s, bu := i/len(bursts), i%len(bursts)
+		set := bench.GenerateBursty(r.Lib, rate, bursts[bu], 12, r.JobCount, r.Seed)
+		pol, err := sched.New(scheds[s])
+		if err != nil {
+			return err
+		}
+		sys := cp.NewSystem(r.Cfg, set, pol)
+		if err := sys.RunContext(ctx); err != nil {
+			return err
+		}
+		met := 0
+		for _, j := range sys.Jobs() {
+			if j.MetDeadline() {
+				met++
+			}
+		}
+		pct[s][bu] = 100 * float64(met) / float64(len(sys.Jobs()))
+		return nil
+	})
+	for s, schedName := range scheds {
 		row := []string{schedName}
-		for _, burst := range []float64{1, 2, 4, 8} {
-			set := bench.GenerateBursty(r.Lib, rate, burst, 12, r.JobCount, r.Seed)
-			pol, err := sched.New(schedName)
-			if err != nil {
-				panic(err)
-			}
-			sys := cp.NewSystem(r.Cfg, set, pol)
-			sys.Run()
-			met := 0
-			for _, j := range sys.Jobs() {
-				if j.MetDeadline() {
-					met++
-				}
-			}
-			row = append(row, f1(100*float64(met)/float64(len(sys.Jobs()))))
+		for bu := range bursts {
+			row = append(row, f1(pct[s][bu]))
 		}
 		t.AddRow(row...)
 	}
@@ -188,7 +229,7 @@ func burstinessTable(r *Runner) *Table {
 // missTaxonomyTable breaks down WHY jobs miss under each scheduler: the
 // diagnostic behind the aggregate counts. Deadline-blind schedulers bleed
 // through queueing; LAX converts would-be misses into explicit rejections.
-func missTaxonomyTable(r *Runner) *Table {
+func missTaxonomyTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Miss taxonomy on LSTM @ high rate (misses by cause)",
 		Header: []string{"Scheduler", "met"},
@@ -196,10 +237,16 @@ func missTaxonomyTable(r *Runner) *Table {
 	for _, k := range metrics.MissKinds() {
 		t.Header = append(t.Header, k.String())
 	}
-	for _, schedName := range []string{"RR", "SJF", "PREMA", "LAX", "LAX-PREMA"} {
-		sys, _, err := r.RunSystem(schedName, "LSTM", workload.HighRate)
+	scheds := []string{"RR", "SJF", "PREMA", "LAX", "LAX-PREMA"}
+	type taxonomy struct {
+		met       int
+		breakdown map[metrics.MissKind]int
+	}
+	rows := make([]taxonomy, len(scheds))
+	mustDo(ctx, r, len(scheds), func(ctx context.Context, i int) error {
+		sys, _, err := r.RunSystemContext(ctx, scheds[i], "LSTM", workload.HighRate)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		met := 0
 		for _, j := range sys.Jobs() {
@@ -207,10 +254,13 @@ func missTaxonomyTable(r *Runner) *Table {
 				met++
 			}
 		}
-		breakdown := metrics.MissBreakdown(sys)
-		row := []string{schedName, fint(met)}
+		rows[i] = taxonomy{met: met, breakdown: metrics.MissBreakdown(sys)}
+		return nil
+	})
+	for i, schedName := range scheds {
+		row := []string{schedName, fint(rows[i].met)}
 		for _, k := range metrics.MissKinds() {
-			row = append(row, fint(breakdown[k]))
+			row = append(row, fint(rows[i].breakdown[k]))
 		}
 		t.AddRow(row...)
 	}
@@ -219,44 +269,55 @@ func missTaxonomyTable(r *Runner) *Table {
 
 // latencyCDFTable shows the full completed-job latency distribution behind
 // Table 5b's single p99 number.
-func latencyCDFTable(r *Runner) *Table {
+func latencyCDFTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Completed-job latency distribution on STEM @ high rate (ms)",
 		Header: []string{"Scheduler", "p50", "p90", "p99", "max", "p99/p50"},
 	}
-	for _, schedName := range []string{"RR", "PREMA", "LAX"} {
-		sys, _, err := r.RunSystem(schedName, "STEM", workload.HighRate)
+	scheds := []string{"RR", "PREMA", "LAX"}
+	lats := make([][]float64, len(scheds))
+	mustDo(ctx, r, len(scheds), func(ctx context.Context, i int) error {
+		sys, _, err := r.RunSystemContext(ctx, scheds[i], "STEM", workload.HighRate)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		var lats []float64
 		for _, j := range sys.Jobs() {
 			if j.Done() {
-				lats = append(lats, j.Latency().Milliseconds())
+				lats[i] = append(lats[i], j.Latency().Milliseconds())
 			}
 		}
-		q := metrics.CDF(lats, []float64{0.5, 0.9, 0.99, 1})
-		t.AddRow(schedName, f3(q[0]), f3(q[1]), f3(q[2]), f3(q[3]), f1(metrics.TailRatio(lats)))
+		return nil
+	})
+	for i, schedName := range scheds {
+		q := metrics.CDF(lats[i], []float64{0.5, 0.9, 0.99, 1})
+		t.AddRow(schedName, f3(q[0]), f3(q[1]), f3(q[2]), f3(q[3]), f1(metrics.TailRatio(lats[i])))
 	}
 	return t
 }
 
 // utilizationTable samples device thread occupancy every 100 µs during
 // LSTM-high runs: deadline-aware scheduling should not pay for its wins
-// with an idle device.
-func utilizationTable(r *Runner) *Table {
+// with an idle device. Each scheduler's sampled run is one pooled task
+// (the sampling callbacks live inside that task's private system).
+func utilizationTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Device thread occupancy during LSTM @ high rate (sampled every 100µs over the first 20ms)",
 		Header: []string{"Scheduler", "mean%", "median%", "p95%", "useful-work%"},
 	}
-	for _, schedName := range []string{"RR", "SJF", "LAX"} {
-		pol, err := sched.New(schedName)
+	scheds := []string{"RR", "SJF", "LAX"}
+	type utilRow struct {
+		samples []float64
+		useful  float64
+	}
+	rows := make([]utilRow, len(scheds))
+	mustDo(ctx, r, len(scheds), func(ctx context.Context, i int) error {
+		pol, err := sched.New(scheds[i])
 		if err != nil {
-			panic(err)
+			return err
 		}
 		set, err := r.JobSet("LSTM", workload.HighRate)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		sys := cp.NewSystem(r.Cfg, set, pol)
 		var samples []float64
@@ -266,15 +327,22 @@ func utilizationTable(r *Runner) *Table {
 				samples = append(samples, 100*sys.Device().Utilization())
 			})
 		}
-		sys.Run()
-		sum := metrics.Summarize(sys, schedName, "LSTM", "high")
+		if err := sys.RunContext(ctx); err != nil {
+			return err
+		}
+		sum := metrics.Summarize(sys, scheds[i], "LSTM", "high")
+		rows[i] = utilRow{samples: samples, useful: sum.UsefulWorkFrac}
+		return nil
+	})
+	for i, schedName := range scheds {
+		samples := rows[i].samples
 		sorted := append([]float64(nil), samples...)
 		sort.Float64s(sorted)
 		t.AddRow(schedName,
 			f1(metrics.Mean(samples)),
 			f1(metrics.Percentile(samples, 50)),
 			f1(metrics.Percentile(samples, 95)),
-			f1(100*sum.UsefulWorkFrac))
+			f1(100*rows[i].useful))
 	}
 	return t
 }

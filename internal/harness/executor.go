@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool executes independent simulation tasks on a bounded worker pool. The
+// zero value is unusable; build one with NewPool. Pools are cheap values —
+// they hold no goroutines between Do calls — so every sweep spins its
+// workers up and tears them down, which is what makes cancellation
+// leak-free: a worker always exits once the index channel drains.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width. Zero or negative means
+// GOMAXPROCS; width 1 degenerates to serial in-caller execution, the
+// reference path parallel runs must match byte for byte.
+func NewPool(workers int) Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p Pool) Workers() int { return p.workers }
+
+// Do runs task(ctx, i) for every i in [0, n) across the pool and waits for
+// all of them. Tasks must be independent: they may run in any order and
+// concurrently, so each task writes only to its own index of any shared
+// result slice. The first task error cancels the context handed to the
+// remaining tasks; Do then returns the lowest-index non-cancellation error
+// (the root cause rather than collateral context noise), falling back to
+// the first cancellation error when that is all there is.
+func (p Pool) Do(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := task(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := task(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return first
+}

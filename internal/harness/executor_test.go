@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laxgpu/internal/metrics"
+)
+
+func TestPoolWidth(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("width 0 resolved to %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative width resolved to %d", got)
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Fatalf("width 5 resolved to %d", got)
+	}
+}
+
+func TestPoolDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran [100]int32
+		err := NewPool(workers).Do(context.Background(), len(ran), func(_ context.Context, i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+	// Zero tasks is a no-op.
+	if err := NewPool(4).Do(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDoReportsLowestIndexError(t *testing.T) {
+	boom3 := errors.New("task 3 failed")
+	boom7 := errors.New("task 7 failed")
+	err := NewPool(4).Do(context.Background(), 10, func(_ context.Context, i int) error {
+		switch i {
+		case 3:
+			return boom3
+		case 7:
+			return boom7
+		}
+		return nil
+	})
+	if !errors.Is(err, boom3) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestPoolDoCancelsRemainingOnError(t *testing.T) {
+	var started int32
+	err := NewPool(2).Do(context.Background(), 64, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return fmt.Errorf("early failure")
+		}
+		// Later tasks observe the derived context cancelled.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+			return nil
+		}
+	})
+	if err == nil || err.Error() != "early failure" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&started); n == 64 {
+		t.Log("all tasks started before cancellation propagated (possible on a fast machine, not a failure)")
+	}
+}
+
+func TestPoolDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	before := runtime.NumGoroutine()
+	err := NewPool(4).Do(ctx, 200, func(ctx context.Context, i int) error {
+		once.Do(cancel)
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers must drain: no goroutine leak after Do returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestPoolSerialPathChecksContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := NewPool(1).Do(ctx, 10, func(_ context.Context, i int) error {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Fatalf("serial path ran %d tasks after cancellation at task 2", ran)
+	}
+}
+
+func TestRunCacheSingleflight(t *testing.T) {
+	c := newRunCache()
+	k := runKey{"LAX", "LSTM", 0}
+	var computes int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.do(k, func() (s metrics.Summary, err error) {
+				atomic.AddInt32(&computes, 1)
+				time.Sleep(5 * time.Millisecond)
+				return s, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&computes); n != 1 {
+		t.Fatalf("cell computed %d times, want 1 (singleflight)", n)
+	}
+	if !c.cached(k) {
+		t.Fatal("completed run not cached")
+	}
+}
+
+func TestRunCacheDoesNotCacheErrors(t *testing.T) {
+	c := newRunCache()
+	k := runKey{"LAX", "LSTM", 0}
+	boom := errors.New("cancelled mid-cell")
+	if _, err := c.do(k, func() (s metrics.Summary, err error) { return s, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.cached(k) {
+		t.Fatal("failed run poisoned the cache")
+	}
+	// A later attempt recomputes and succeeds.
+	ran := false
+	if _, err := c.do(k, func() (s metrics.Summary, err error) { ran = true; return s, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("retry did not recompute after an error")
+	}
+	if !c.cached(k) {
+		t.Fatal("successful retry not cached")
+	}
+}

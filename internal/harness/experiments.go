@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"laxgpu/internal/gpu"
@@ -9,10 +10,29 @@ import (
 	"laxgpu/internal/workload"
 )
 
+// mustSweep submits the cells to the runner's worker pool and panics on
+// error; RunExperiment converts cancellation panics back into errors.
+// Experiments call it first with every cell they will read, then assemble
+// their tables from the warm cache in deterministic order.
+func mustSweep(ctx context.Context, r *Runner, cells []Cell) {
+	if err := r.Sweep(ctx, cells); err != nil {
+		panic(err)
+	}
+}
+
+// mustDo fans n independent tasks out over the runner's pool, panicking on
+// error — the submission path for experiment work that is not a plain
+// (scheduler, benchmark, rate) cell.
+func mustDo(ctx context.Context, r *Runner, n int, task func(ctx context.Context, i int) error) {
+	if err := r.pool().Do(ctx, n, task); err != nil {
+		panic(err)
+	}
+}
+
 // Table1 reproduces the kernel characterization: for every kernel, the
 // published isolated execution time versus the calibrated model's, plus the
 // occupancy inputs.
-func Table1(r *Runner) *Report {
+func Table1(ctx context.Context, r *Runner) *Report {
 	t := &Table{
 		Title:  "Kernels in latency-sensitive benchmarks (paper vs model)",
 		Header: []string{"Kernel", "Threads", "WGs", "CtxKB", "Paper exec", "Model exec", "Err%"},
@@ -36,12 +56,15 @@ func Table1(r *Runner) *Report {
 
 // Figure1 reproduces the many-kernel vs few-kernel characterization:
 // kernels per job, deadline, and mean per-kernel duration per benchmark.
-func Figure1(r *Runner) *Report {
+func Figure1(ctx context.Context, r *Runner) *Report {
 	t := &Table{
 		Title:  "Characteristics of many-kernel vs few-kernel jobs",
 		Header: []string{"Benchmark", "Class", "Deadline", "Kernels/job(mean)", "WGs/job(mean)", "Mean kernel time", "Serial job time"},
 	}
 	for _, b := range workload.Benchmarks() {
+		if err := ctx.Err(); err != nil {
+			panic(err)
+		}
 		set, err := r.JobSet(b.Name, workload.HighRate)
 		if err != nil {
 			panic(err)
@@ -79,17 +102,24 @@ func Figure1(r *Runner) *Report {
 // plus the RR baseline and LAX).
 var figure6Schedulers = []string{"RR", "BAT", "BAY", "PRO", "LAX"}
 
+// figure6Rates is Figure 6's presentation order.
+var figure6Rates = []workload.Rate{workload.HighRate, workload.MediumRate, workload.LowRate}
+
 // Figure6 reproduces jobs-completed-by-deadline for CPU-side schedulers,
-// RR, and LAX across the three arrival rates, normalized to RR.
-func Figure6(r *Runner) *Report {
+// RR, and LAX across the three arrival rates, normalized to RR. All three
+// rates' grids are submitted as one sweep so the pool sees the full cell
+// population at once.
+func Figure6(ctx context.Context, r *Runner) *Report {
+	var cells []Cell
+	for _, rate := range figure6Rates {
+		cells = append(cells, GridCells(figure6Schedulers, rate)...)
+	}
+	mustSweep(ctx, r, cells)
 	rep := &Report{
 		ID:    "Figure6",
 		Title: "Jobs completed by their deadlines (CPU-side schedulers, RR, LAX), normalized to RR",
 	}
-	for _, rate := range []workload.Rate{workload.HighRate, workload.MediumRate, workload.LowRate} {
-		if err := r.Prefetch(GridCells(figure6Schedulers, rate)); err != nil {
-			panic(err)
-		}
+	for _, rate := range figure6Rates {
 		rep.Tables = append(rep.Tables, deadlineTable(r, figure6Schedulers, rate))
 	}
 	rep.Notes = append(rep.Notes,
@@ -103,10 +133,8 @@ var figure7Schedulers = []string{"RR", "MLFQ", "EDF", "SJF", "SRF", "LJF", "PREM
 
 // Figure7 reproduces jobs-completed-by-deadline for CP-extending schedulers
 // at the high arrival rate, normalized to RR.
-func Figure7(r *Runner) *Report {
-	if err := r.Prefetch(GridCells(figure7Schedulers, workload.HighRate)); err != nil {
-		panic(err)
-	}
+func Figure7(ctx context.Context, r *Runner) *Report {
+	mustSweep(ctx, r, GridCells(figure7Schedulers, workload.HighRate))
 	return &Report{
 		ID:     "Figure7",
 		Title:  "Jobs completed by deadline at the high arrival rate (CP schedulers), normalized to RR",
@@ -119,7 +147,8 @@ func Figure7(r *Runner) *Report {
 
 // Figure8 compares the three laxity-aware implementations, normalized to
 // LAX-SW.
-func Figure8(r *Runner) *Report {
+func Figure8(ctx context.Context, r *Runner) *Report {
+	mustSweep(ctx, r, GridCells(append([]string{"LAX-SW"}, sched.LaxityVariants...), workload.HighRate))
 	t := &Table{
 		Title:  "Jobs completed by deadline (high rate), normalized to LAX-SW",
 		Header: append([]string{"Scheduler"}, append(workload.BenchmarkNames(), "GMEAN")...),
@@ -152,11 +181,9 @@ func Figure8(r *Runner) *Report {
 
 // Figure9 reproduces scheduling effectiveness: the percentage of completed
 // WGs belonging to jobs that met their deadline, at the high arrival rate.
-func Figure9(r *Runner) *Report {
+func Figure9(ctx context.Context, r *Runner) *Report {
 	scheds := sched.Table5Schedulers
-	if err := r.Prefetch(GridCells(scheds, workload.HighRate)); err != nil {
-		panic(err)
-	}
+	mustSweep(ctx, r, GridCells(scheds, workload.HighRate))
 	t := &Table{
 		Title:  "% of completed WGs in deadline-meeting jobs (high rate)",
 		Header: append([]string{"Scheduler"}, append(workload.BenchmarkNames(), "GMEAN")...),
@@ -185,11 +212,9 @@ func Figure9(r *Runner) *Report {
 
 // Table5 reproduces throughput (a), 99-percentile latency (b), and energy
 // per successful job (c) for all schedulers at the high arrival rate.
-func Table5(r *Runner) *Report {
+func Table5(ctx context.Context, r *Runner) *Report {
 	scheds := sched.Table5Schedulers
-	if err := r.Prefetch(GridCells(scheds, workload.HighRate)); err != nil {
-		panic(err)
-	}
+	mustSweep(ctx, r, GridCells(scheds, workload.HighRate))
 	mk := func(title string, cell func(metrics.Summary) string) *Table {
 		t := &Table{Title: title, Header: append([]string{"Benchmark"}, scheds...)}
 		for _, b := range workload.BenchmarkNames() {
@@ -224,7 +249,9 @@ func Table5(r *Runner) *Report {
 }
 
 // deadlineTable builds one jobs-met table normalized to RR for the given
-// schedulers and rate.
+// schedulers and rate. Callers must have swept the cells already; every
+// read here is a cache hit, which is what keeps the rendered bytes
+// independent of pool width.
 func deadlineTable(r *Runner, scheds []string, rate workload.Rate) *Table {
 	t := &Table{
 		Title:  fmt.Sprintf("%s job arrival rate (normalized jobs meeting deadline; RR = 1.0)", rate),

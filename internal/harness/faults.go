@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"laxgpu/internal/metrics"
@@ -38,7 +39,9 @@ func faultRunner(base *Runner, spec string) *Runner {
 // retry + CPU fallback, admission tracking retired capacity), reporting
 // deadline-met counts and the recovery counters. This is an extension
 // beyond the paper's evaluation: the paper assumes a fault-free device.
-func FaultSweep(r *Runner) *Report {
+// All 13 runs (6 specs x {off,on} + the healthy baseline) are independent
+// pooled tasks, each on its own single-cell fault runner.
+func FaultSweep(ctx context.Context, r *Runner) *Report {
 	const bench = "LSTM"
 	rate := workload.MediumRate
 	t := &Table{
@@ -47,21 +50,42 @@ func FaultSweep(r *Runner) *Report {
 		Header: []string{"Faults", "Met (rec off)", "Met (rec on)",
 			"Kills", "Aborts", "Retries", "Fallbacks", "RetiredCUs"},
 	}
-	var offs, ons []metrics.Summary
-	for _, spec := range faultSweepSpecs {
-		off := faultRunner(r, spec+",recover=off").MustRun("LAX", bench, rate)
-		on := faultRunner(r, spec+",recover=on").MustRun("LAX", bench, rate)
-		offs = append(offs, off)
-		ons = append(ons, on)
+	n := len(faultSweepSpecs)
+	offs := make([]metrics.Summary, n)
+	ons := make([]metrics.Summary, n)
+	var healthy metrics.Summary
+	mustDo(ctx, r, 2*n+1, func(ctx context.Context, i int) error {
+		var fr *Runner
+		switch {
+		case i == 2*n:
+			fr = faultRunner(r, "")
+		case i%2 == 0:
+			fr = faultRunner(r, faultSweepSpecs[i/2]+",recover=off")
+		default:
+			fr = faultRunner(r, faultSweepSpecs[i/2]+",recover=on")
+		}
+		sum, err := fr.RunContext(ctx, "LAX", bench, rate)
+		if err != nil {
+			return err
+		}
+		switch {
+		case i == 2*n:
+			healthy = sum
+		case i%2 == 0:
+			offs[i/2] = sum
+		default:
+			ons[i/2] = sum
+		}
+		return nil
+	})
+	totOff, totOn := 0, 0
+	for i, spec := range faultSweepSpecs {
+		off, on := offs[i], ons[i]
+		totOff += off.MetDeadline
+		totOn += on.MetDeadline
 		t.AddRow(spec, fint(off.MetDeadline), fint(on.MetDeadline),
 			fint(on.WatchdogKills), fint(on.Aborts), fint(on.Retries),
 			fint(on.Fallbacks), fint(on.RetiredCUs))
-	}
-	healthy := faultRunner(r, "").MustRun("LAX", bench, rate)
-	totOff, totOn := 0, 0
-	for i := range offs {
-		totOff += offs[i].MetDeadline
-		totOn += ons[i].MetDeadline
 	}
 	return &Report{
 		ID:     "faults",

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,14 +36,16 @@ type Figure10Trace struct {
 // steady-state job (admission control rejects much of the offered load at
 // this rate, so a fixed ID could land on a rejected job), then a second run
 // traces it.
-func RunFigure10(r *Runner, bench string) (Figure10Trace, error) {
+func RunFigure10(ctx context.Context, r *Runner, bench string) (Figure10Trace, error) {
 	set, err := r.JobSet(bench, workload.HighRate)
 	if err != nil {
 		return Figure10Trace{}, err
 	}
 
 	scout := cp.NewSystem(r.Cfg, set, sched.NewLAX())
-	scout.Run()
+	if err := scout.RunContext(ctx); err != nil {
+		return Figure10Trace{}, err
+	}
 	sample := -1
 	var best sim.Time
 	for _, jr := range scout.Jobs() {
@@ -69,7 +72,9 @@ func RunFigure10(r *Runner, bench string) (Figure10Trace, error) {
 	pol := sched.NewLAX()
 	pol.EnableTrace(sample)
 	sys := cp.NewSystem(r.Cfg, set, pol)
-	sys.Run()
+	if err := sys.RunContext(ctx); err != nil {
+		return Figure10Trace{}, err
+	}
 
 	j := sys.Job(sample)
 	tr := Figure10Trace{
@@ -100,20 +105,35 @@ func RunFigure10(r *Runner, bench string) (Figure10Trace, error) {
 	return tr, nil
 }
 
+// figure10Benchmarks are the four RNN panels of the figure.
+var figure10Benchmarks = []string{"LSTM", "GRU", "VAN", "HYBRID"}
+
 // Figure10 renders the prediction/priority-over-time traces for the four
-// RNN benchmarks.
-func Figure10(r *Runner) *Report {
+// RNN benchmarks. Each benchmark's scout+trace pair is one task on the
+// worker pool; panels assemble in paper order from the indexed results.
+func Figure10(ctx context.Context, r *Runner) *Report {
 	rep := &Report{
 		ID:    "Figure10",
 		Title: "LAX's job time and priority prediction over a sample job's lifetime",
 	}
-	for _, bench := range []string{"LSTM", "GRU", "VAN", "HYBRID"} {
-		tr, err := RunFigure10(r, bench)
-		if err != nil {
+	// Materialize the shared traces before fanning out.
+	for _, bench := range figure10Benchmarks {
+		if _, err := r.JobSet(bench, workload.HighRate); err != nil {
 			panic(err)
 		}
+	}
+	traces := make([]Figure10Trace, len(figure10Benchmarks))
+	mustDo(ctx, r, len(figure10Benchmarks), func(ctx context.Context, i int) error {
+		tr, err := RunFigure10(ctx, r, figure10Benchmarks[i])
+		if err != nil {
+			return err
+		}
+		traces[i] = tr
+		return nil
+	})
+	for _, tr := range traces {
 		t := &Table{
-			Title:  fmt.Sprintf("%s sample job %d (deadline %v, met=%v, pred MAE %.1f%%)", bench, tr.JobID, tr.Deadline, tr.Met, tr.MeanAbsErrPct),
+			Title:  fmt.Sprintf("%s sample job %d (deadline %v, met=%v, pred MAE %.1f%%)", tr.Benchmark, tr.JobID, tr.Deadline, tr.Met, tr.MeanAbsErrPct),
 			Header: []string{"durTime", "predicted total", "actual total", "priority", "state"},
 		}
 		actual := tr.FinishTime - tr.SubmitTime

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"laxgpu/internal/cp"
 	"laxgpu/internal/gpu"
 	"laxgpu/internal/sched"
@@ -23,7 +25,7 @@ type Figure3Result struct {
 // J3 arrives slightly later and is the longest. Deadline-blind RR services
 // J1/J2's second kernels before J3, so J3 misses; LAX sees J3's small
 // laxity and prioritizes it, and all three jobs meet their deadlines.
-func RunFigure3() Figure3Result {
+func RunFigure3(ctx context.Context) Figure3Result {
 	// A device with two single-WG kernel slots: 2 CUs, each kernel one
 	// CU-filling WG.
 	cfg := cp.DefaultSystemConfig()
@@ -72,7 +74,9 @@ func RunFigure3() Figure3Result {
 
 	rr := sched.NewRR()
 	rrSys := cp.NewSystem(cfg, build(), rr)
-	rrSys.Run()
+	if err := rrSys.RunContext(ctx); err != nil {
+		panic(err)
+	}
 	res.RR = rrSys.Jobs()
 	for _, j := range res.RR[:3] {
 		if j.MetDeadline() {
@@ -89,7 +93,9 @@ func RunFigure3() Figure3Result {
 	// longK WGs at 2 per 400µs.
 	lax.ProfilingTable().ObserveRate("shortK", 2.0/float64(200*sim.Microsecond))
 	lax.ProfilingTable().ObserveRate("longK", 2.0/float64(400*sim.Microsecond))
-	laxSys.Run()
+	if err := laxSys.RunContext(ctx); err != nil {
+		panic(err)
+	}
 	res.LAX = laxSys.Jobs()
 	for _, j := range res.LAX[:3] {
 		if j.MetDeadline() {
@@ -100,8 +106,8 @@ func RunFigure3() Figure3Result {
 }
 
 // Figure3 renders the worked example.
-func Figure3() *Report {
-	res := RunFigure3()
+func Figure3(ctx context.Context) *Report {
+	res := RunFigure3(ctx)
 	t := &Table{
 		Title:  "Primary jobs, two concurrent kernel slots (12 further short jobs keep arriving)",
 		Header: []string{"Job", "Arrival", "Abs deadline", "RR finish", "RR met", "LAX finish", "LAX met"},

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"laxgpu/internal/cp"
@@ -79,12 +80,14 @@ func BatchJobSet(set *workload.JobSet, batch int) (*workload.JobSet, [][]int64) 
 // batchResponse runs the batched trace under contemporary (RR) scheduling
 // and returns the mean response time per original request: batch completion
 // minus the request's own arrival.
-func batchResponse(cfg cp.SystemConfig, set *workload.JobSet, batch int) float64 {
+func batchResponse(ctx context.Context, cfg cp.SystemConfig, set *workload.JobSet, batch int) (float64, error) {
 	batched, members := BatchJobSet(set, batch)
 	// Batched descriptors can exceed per-batch WG counts but each WG must
 	// still fit a CU; that holds since footprints are per-WG.
 	sys := cp.NewSystem(cfg, batched, sched.NewRR())
-	sys.Run()
+	if err := sys.RunContext(ctx); err != nil {
+		return 0, err
+	}
 	var responses []float64
 	for i, j := range sys.Jobs() {
 		if !j.Done() {
@@ -94,14 +97,16 @@ func batchResponse(cfg cp.SystemConfig, set *workload.JobSet, batch int) float64
 			responses = append(responses, float64(int64(j.FinishTime)-arr))
 		}
 	}
-	return metrics.Mean(responses)
+	return metrics.Mean(responses), nil
 }
 
 // Figure4 reproduces the batching-vs-streams response-time comparison:
 // response time normalized to batch size 1, per benchmark. Streams (one
 // job per stream, batch 1) is the baseline; large batches pay both the
-// wait-for-arrivals padding and the contention of wide launches.
-func Figure4(r *Runner) *Report {
+// wait-for-arrivals padding and the contention of wide launches. Every
+// (benchmark, batch size) run is an independent cell submitted to the
+// worker pool; the table assembles from the indexed results afterwards.
+func Figure4(ctx context.Context, r *Runner) *Report {
 	header := []string{"Benchmark"}
 	for _, b := range figure4BatchSizes {
 		if b == 1 {
@@ -114,19 +119,33 @@ func Figure4(r *Runner) *Report {
 		Title:  "Mean response time normalized to batch size 1 (medium arrival rate)",
 		Header: header,
 	}
-	for _, bench := range workload.BenchmarkNames() {
+	benches := workload.BenchmarkNames()
+	sets := make([]*workload.JobSet, len(benches))
+	for i, bench := range benches {
 		set, err := r.JobSet(bench, workload.MediumRate)
 		if err != nil {
 			panic(err)
 		}
-		var base float64
+		sets[i] = set
+	}
+	resp := make([][]float64, len(benches))
+	for i := range resp {
+		resp[i] = make([]float64, len(figure4BatchSizes))
+	}
+	mustDo(ctx, r, len(benches)*len(figure4BatchSizes), func(ctx context.Context, i int) error {
+		b, s := i/len(figure4BatchSizes), i%len(figure4BatchSizes)
+		v, err := batchResponse(ctx, r.Cfg, sets[b], figure4BatchSizes[s])
+		if err != nil {
+			return err
+		}
+		resp[b][s] = v
+		return nil
+	})
+	for i, bench := range benches {
+		base := resp[i][0] // figure4BatchSizes[0] == 1, the streams baseline
 		row := []string{bench}
-		for _, bs := range figure4BatchSizes {
-			resp := batchResponse(r.Cfg, set, bs)
-			if bs == 1 {
-				base = resp
-			}
-			row = append(row, f1(metrics.Ratio(resp, base)))
+		for s := range figure4BatchSizes {
+			row = append(row, f1(metrics.Ratio(resp[i][s], base)))
 		}
 		t.AddRow(row...)
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -83,7 +84,7 @@ func TestRunnerProgressLogging(t *testing.T) {
 // The paper's Figure 3 contract: LAX saves all three primary jobs, RR loses
 // at least the long one.
 func TestFigure3Shape(t *testing.T) {
-	res := RunFigure3()
+	res := RunFigure3(context.Background())
 	if res.LAXMet != 3 {
 		t.Fatalf("LAX met %d/3 primary jobs, want 3", res.LAXMet)
 	}
@@ -100,7 +101,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure3ReportRenders(t *testing.T) {
-	rep := Figure3()
+	rep := Figure3(context.Background())
 	var buf bytes.Buffer
 	rep.Render(&buf)
 	out := buf.String()
@@ -112,7 +113,7 @@ func TestFigure3ReportRenders(t *testing.T) {
 }
 
 func TestTable1ReportCalibration(t *testing.T) {
-	rep := Table1(NewRunner())
+	rep := Table1(context.Background(), NewRunner())
 	if len(rep.Tables) != 1 {
 		t.Fatal("Table1 should have one table")
 	}
@@ -133,7 +134,7 @@ func TestTable1ReportCalibration(t *testing.T) {
 }
 
 func TestFigure1Characterization(t *testing.T) {
-	rep := Figure1(smallRunner())
+	rep := Figure1(context.Background(), smallRunner())
 	tbl := rep.Tables[0]
 	if len(tbl.Rows) != 8 {
 		t.Fatalf("%d rows, want 8 benchmarks", len(tbl.Rows))
@@ -188,8 +189,14 @@ func TestBatchingIncreasesResponseTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single := batchResponse(r.Cfg, set, 1)
-	big := batchResponse(r.Cfg, set, 16)
+	single, err := batchResponse(context.Background(), r.Cfg, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := batchResponse(context.Background(), r.Cfg, set, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if big <= single {
 		t.Fatalf("batch=16 response %.0f <= batch=1 response %.0f; batching must add waiting",
 			big, single)
@@ -226,7 +233,7 @@ func TestLAXLeadsAtHighRate(t *testing.T) {
 
 func TestFigure10TraceQuality(t *testing.T) {
 	r := NewRunner() // needs the full 128-job trace (sampled job is #64)
-	tr, err := RunFigure10(r, "LSTM")
+	tr, err := RunFigure10(context.Background(), r, "LSTM")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +260,7 @@ func TestRunExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %s has no generator", id)
 		}
 	}
-	if _, err := RunExperiment(NewRunner(), "figure0"); err == nil {
+	if _, err := RunExperiment(context.Background(), NewRunner(), "figure0"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -313,11 +320,12 @@ func TestSummaryInvariants(t *testing.T) {
 	}
 }
 
-func TestPrefetchMatchesSerialRuns(t *testing.T) {
+func TestSweepMatchesSerialRuns(t *testing.T) {
 	serial := smallRunner()
 	parallel := smallRunner()
+	parallel.Workers = 4
 	cells := GridCells([]string{"RR", "LAX"}, workload.LowRate)
-	if err := parallel.Prefetch(cells); err != nil {
+	if err := parallel.Sweep(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range cells {
@@ -333,18 +341,18 @@ func TestPrefetchMatchesSerialRuns(t *testing.T) {
 			t.Fatalf("%v: parallel result differs from serial", c)
 		}
 	}
-	// Prefetch of an unknown cell errors.
-	if err := parallel.Prefetch([]Cell{{"NOPE", "LSTM", workload.LowRate}}); err == nil {
-		t.Fatal("unknown scheduler prefetched")
+	// Sweeping an unknown cell errors.
+	if err := parallel.Sweep(context.Background(), []Cell{{"NOPE", "LSTM", workload.LowRate}}); err == nil {
+		t.Fatal("unknown scheduler swept")
 	}
-	if err := parallel.Prefetch([]Cell{{"RR", "NOPE", workload.LowRate}}); err == nil {
-		t.Fatal("unknown benchmark prefetched")
+	if err := parallel.Sweep(context.Background(), []Cell{{"RR", "NOPE", workload.LowRate}}); err == nil {
+		t.Fatal("unknown benchmark swept")
 	}
 }
 
 func TestMultiSeedStats(t *testing.T) {
 	r := smallRunner()
-	st, err := MultiSeed(r, "RR", "STEM", workload.HighRate, []int64{1, 2, 3})
+	st, err := MultiSeed(context.Background(), r, "RR", "STEM", workload.HighRate, []int64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +367,7 @@ func TestMultiSeedStats(t *testing.T) {
 	}
 	// Different seeds should (almost surely) differ somewhere; equal seeds
 	// must not.
-	same, err := MultiSeed(r, "RR", "STEM", workload.HighRate, []int64{7, 7})
+	same, err := MultiSeed(context.Background(), r, "RR", "STEM", workload.HighRate, []int64{7, 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +383,7 @@ func TestMultiSeedStats(t *testing.T) {
 }
 
 func TestRenderMarkdown(t *testing.T) {
-	rep := Figure3()
+	rep := Figure3(context.Background())
 	var buf bytes.Buffer
 	rep.RenderMarkdown(&buf)
 	out := buf.String()
@@ -405,7 +413,7 @@ func TestRenderMarkdown(t *testing.T) {
 // change in EXPERIMENTS.md.
 func TestGoldenReports(t *testing.T) {
 	for _, id := range []string{"table1", "figure3"} {
-		rep, err := RunExperiment(NewRunner(), id)
+		rep, err := RunExperiment(context.Background(), NewRunner(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -434,7 +442,7 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	for _, id := range ExperimentIDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			rep, err := RunExperiment(r, id)
+			rep, err := RunExperiment(context.Background(), r, id)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"laxgpu/internal/cp"
@@ -130,11 +131,11 @@ func TestDeadlineMonotonicInLoad(t *testing.T) {
 	r := NewRunner()
 	r.JobCount = 32
 	bench, _ := workload.FindBenchmark("CUCKOO")
-	light, err := runAtRate(r, "LAX", "CUCKOO", bench.JobsPerSecond(workload.HighRate)/8, 3)
+	light, err := runAtRate(context.Background(), r, "LAX", "CUCKOO", bench.JobsPerSecond(workload.HighRate)/8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy, err := runAtRate(r, "LAX", "CUCKOO", bench.JobsPerSecond(workload.HighRate)*8, 3)
+	heavy, err := runAtRate(context.Background(), r, "LAX", "CUCKOO", bench.JobsPerSecond(workload.HighRate)*8, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

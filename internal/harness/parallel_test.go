@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"laxgpu/internal/workload"
+)
+
+// renderExperiment regenerates one experiment on a fresh runner at the given
+// pool width and returns the rendered report bytes.
+func renderExperiment(t *testing.T, id string, jobs, workers int) []byte {
+	t.Helper()
+	r := NewRunner()
+	r.JobCount = jobs
+	r.Workers = workers
+	rep, err := RunExperiment(context.Background(), r, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestParallelSerialGoldenEquivalence is the determinism acceptance test:
+// the table5 report (the densest cell grid) rendered from a parallel sweep
+// must be byte-for-byte identical to the serial reference path. Reduced
+// job count keeps the grid cheap; the cell population is unchanged.
+func TestParallelSerialGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the table5 grid twice")
+	}
+	serial := renderExperiment(t, "table5", 24, 1)
+	parallel := renderExperiment(t, "table5", 24, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel table5 report differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestFigure6ParallelSerialEquivalence covers the multi-rate sweep path the
+// same way at a second experiment.
+func TestFigure6ParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the figure6 grid twice")
+	}
+	serial := renderExperiment(t, "figure6", 16, 1)
+	parallel := renderExperiment(t, "figure6", 16, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("parallel figure6 report differs from serial")
+	}
+}
+
+// TestSweepCancellation: cancelling mid-sweep aborts in-flight simulations,
+// surfaces context.Canceled, leaks no goroutines, and leaves no poisoned
+// cache entries behind — a re-sweep with a live context succeeds.
+func TestSweepCancellation(t *testing.T) {
+	r := NewRunner()
+	r.JobCount = 48
+	r.Workers = 4
+	cells := GridCells([]string{"RR", "LAX", "SJF"}, workload.HighRate)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every cell must abort mid-event-loop
+	if err := r.Sweep(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked after cancelled sweep: %d -> %d", before, after)
+	}
+
+	// Aborted cells were not cached; a live-context sweep completes them.
+	if err := r.Sweep(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if sum := r.MustRun(c.Sched, c.Bench, c.Rate); sum.TotalJobs != 48 {
+			t.Fatalf("%v: cached summary has %d jobs", c, sum.TotalJobs)
+		}
+	}
+}
+
+// TestRunExperimentCancellation: a cancelled context surfaces as an error
+// from RunExperiment (the generator's panic is recovered), for both sweep-
+// based and task-based experiments.
+func TestRunExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"table5", "figure4", "faults"} {
+		r := NewRunner()
+		r.JobCount = 16
+		rep, err := RunExperiment(ctx, r, id)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", id, err)
+		}
+		if rep != nil {
+			t.Fatalf("%s: cancelled experiment returned a report", id)
+		}
+	}
+}
+
+// TestRunnerConcurrentRuns hammers one runner from many goroutines (run
+// under -race): every goroutine asks for the same small cell set and every
+// result must match the serial reference.
+func TestRunnerConcurrentRuns(t *testing.T) {
+	ref := NewRunner()
+	ref.JobCount = 24
+	want, err := ref.Run("LAX", "IPV6", workload.LowRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner()
+	r.JobCount = 24
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			got, err := r.Run("LAX", "IPV6", workload.LowRate)
+			if err == nil && got != want {
+				err = errors.New("concurrent result differs from serial reference")
+			}
+			errs <- err
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,12 +1,24 @@
 // Package harness assembles device + command processor + policy + workload
 // into runnable experiments and regenerates every table and figure of the
 // paper's evaluation (the per-experiment index lives in DESIGN.md).
+//
+// The harness is built around two concurrency guarantees:
+//
+//   - every individual simulation is single-threaded (the discrete-event
+//     engine never crosses goroutines), and
+//   - independent (scheduler, benchmark, rate) cells fan out across a
+//     bounded worker pool, sharing read-only job traces and a sharded,
+//     in-flight-deduplicating run cache.
+//
+// Because traces are generated deterministically per (benchmark, rate,
+// seed) and each cell's simulation is a pure function of its inputs,
+// parallel sweeps produce byte-identical reports to serial ones.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 
 	"laxgpu/internal/cp"
@@ -20,6 +32,11 @@ import (
 // (scheduler, benchmark, rate) cell — e.g. Figure 7 and Table 5 — pay for
 // it once. Job traces are generated deterministically from Seed, and the
 // same trace is replayed under every scheduler (paired comparison, §5.3).
+//
+// A Runner is safe for concurrent use: the run cache is sharded with
+// in-flight deduplication, job sets are generated once and replayed
+// read-only, and each simulation runs single-threaded on the goroutine
+// that missed the cache.
 type Runner struct {
 	// Cfg is the simulated system (defaults to the paper's Table 2).
 	Cfg cp.SystemConfig
@@ -40,12 +57,21 @@ type Runner struct {
 	// paired scheduler comparisons see identical fault draws.
 	Faults string
 
+	// Workers bounds the sweep worker pool: 0 means GOMAXPROCS, 1 forces
+	// the serial reference path. Results are identical at every width.
+	Workers int
+
 	// Progress, when non-nil, receives one line per fresh simulation run.
+	// Writes are serialized; line order under a parallel sweep follows
+	// completion order.
 	Progress io.Writer
 
-	mu    sync.Mutex
-	cache map[runKey]metrics.Summary
+	progressMu sync.Mutex
+
+	setMu sync.Mutex
 	sets  map[setKey]*workload.JobSet
+
+	cache *runCache
 }
 
 // Cell names one simulation: (scheduler, benchmark, rate).
@@ -73,19 +99,21 @@ func NewRunner() *Runner {
 		Lib:      workload.NewLibrary(cp.DefaultSystemConfig().GPU),
 		Seed:     1,
 		JobCount: workload.DefaultJobCount,
-		cache:    make(map[runKey]metrics.Summary),
+		cache:    newRunCache(),
 		sets:     make(map[setKey]*workload.JobSet),
 	}
 }
 
-// JobSet returns the memoized trace for (benchmark, rate).
-func (r *Runner) JobSet(benchName string, rate workload.Rate) (*workload.JobSet, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.jobSetLocked(benchName, rate)
-}
+// pool returns the runner's worker pool at its configured width.
+func (r *Runner) pool() Pool { return NewPool(r.Workers) }
 
-func (r *Runner) jobSetLocked(benchName string, rate workload.Rate) (*workload.JobSet, error) {
+// JobSet returns the memoized trace for (benchmark, rate), generating it on
+// first use. Generation is serialized so exactly one trace exists per cell;
+// the returned set is replayed read-only and may be shared across
+// concurrent simulations.
+func (r *Runner) JobSet(benchName string, rate workload.Rate) (*workload.JobSet, error) {
+	r.setMu.Lock()
+	defer r.setMu.Unlock()
 	k := setKey{benchName, rate}
 	if s, ok := r.sets[k]; ok {
 		return s, nil
@@ -112,66 +140,48 @@ func (r *Runner) cellSeed(benchName string, rate workload.Rate) int64 {
 // Run simulates (scheduler, benchmark, rate) and returns its Summary,
 // memoized.
 func (r *Runner) Run(schedName, benchName string, rate workload.Rate) (metrics.Summary, error) {
-	k := runKey{schedName, benchName, rate}
-	r.mu.Lock()
-	if s, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
-	sys, _, err := r.RunSystem(schedName, benchName, rate)
-	if err != nil {
-		return metrics.Summary{}, err
-	}
-	s := metrics.Summarize(sys, schedName, benchName, rate.String())
-	r.mu.Lock()
-	r.cache[k] = s
-	r.mu.Unlock()
-	return s, nil
+	return r.RunContext(context.Background(), schedName, benchName, rate)
 }
 
-// Prefetch simulates the given cells concurrently (bounded by GOMAXPROCS)
+// RunContext is Run with cooperative cancellation: a cancelled context
+// stops the simulation mid-cell and the aborted run is not cached.
+// Concurrent calls for the same cell share one simulation.
+func (r *Runner) RunContext(ctx context.Context, schedName, benchName string, rate workload.Rate) (metrics.Summary, error) {
+	k := runKey{schedName, benchName, rate}
+	return r.cache.do(k, func() (metrics.Summary, error) {
+		sys, _, err := r.RunSystemContext(ctx, schedName, benchName, rate)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return metrics.Summarize(sys, schedName, benchName, rate.String()), nil
+	})
+}
+
+// Sweep simulates the given cells across the worker pool (width Workers)
 // and fills the memoization cache, so subsequent Run calls are instant.
-// Simulations are independent — job sets are read-only while replayed — so
-// this is safe parallelism; results are identical to serial execution.
-func (r *Runner) Prefetch(cells []Cell) error {
-	// Materialize all job sets up front (shared map writes).
+// Job sets are materialized up front on the calling goroutine, then the
+// independent cells fan out; per-cell simulations stay single-threaded, so
+// results are byte-identical to serial execution. Duplicate cells cost one
+// simulation. Cancelling the context stops in-flight cells mid-simulation
+// and returns its error.
+func (r *Runner) Sweep(ctx context.Context, cells []Cell) error {
+	// Materialize all job sets first: deterministic generation order, and
+	// workers then share the traces read-only.
 	var todo []Cell
-	r.mu.Lock()
 	for _, c := range cells {
-		if _, ok := r.cache[runKey{c.Sched, c.Bench, c.Rate}]; ok {
+		if r.cache.cached(runKey{c.Sched, c.Bench, c.Rate}) {
 			continue
 		}
-		if _, err := r.jobSetLocked(c.Bench, c.Rate); err != nil {
-			r.mu.Unlock()
+		if _, err := r.JobSet(c.Bench, c.Rate); err != nil {
 			return err
 		}
 		todo = append(todo, c)
 	}
-	r.mu.Unlock()
-
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	var firstErr error
-	var errMu sync.Mutex
-	for _, c := range todo {
-		c := c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if _, err := r.Run(c.Sched, c.Bench, c.Rate); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return r.pool().Do(ctx, len(todo), func(ctx context.Context, i int) error {
+		c := todo[i]
+		_, err := r.RunContext(ctx, c.Sched, c.Bench, c.Rate)
+		return err
+	})
 }
 
 // GridCells enumerates schedulers x benchmarks at one rate.
@@ -198,6 +208,11 @@ func (r *Runner) MustRun(schedName, benchName string, rate workload.Rate) metric
 // and policy for experiments that need more than the Summary (Figure 10's
 // traces).
 func (r *Runner) RunSystem(schedName, benchName string, rate workload.Rate) (*cp.System, cp.Policy, error) {
+	return r.RunSystemContext(context.Background(), schedName, benchName, rate)
+}
+
+// RunSystemContext is RunSystem with cooperative cancellation.
+func (r *Runner) RunSystemContext(ctx context.Context, schedName, benchName string, rate workload.Rate) (*cp.System, cp.Policy, error) {
 	pol, err := sched.New(schedName)
 	if err != nil {
 		return nil, nil, err
@@ -218,10 +233,14 @@ func (r *Runner) RunSystem(schedName, benchName string, rate workload.Rate) (*cp
 	if !spec.Zero() {
 		sys.InstallFaults(faults.NewPlan(spec, r.cellSeed(benchName, rate)), spec.Retirements)
 	}
-	sys.Run()
+	if err := sys.RunContext(ctx); err != nil {
+		return nil, nil, err
+	}
 	if r.Progress != nil {
+		r.progressMu.Lock()
 		fmt.Fprintf(r.Progress, "ran %-8s %-7s %-6s: %3d/%d met, %d rejected\n",
 			schedName, benchName, rate, countMet(sys), len(sys.Jobs()), sys.RejectedCount())
+		r.progressMu.Unlock()
 	}
 	return sys, pol, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,14 +24,14 @@ var scalingCUCounts = []int{4, 8, 16, 36}
 //     still matches Table 1's isolated times?
 //  2. multi-tenant mix — all eight benchmarks sharing one GPU (the paper
 //     simulates one job type at a time, §5.3; real servers mix).
-func Scaling(r *Runner) *Report {
+func Scaling(ctx context.Context, r *Runner) *Report {
 	return &Report{
 		ID:    "scaling",
 		Title: "Device-size sweep and multi-tenant mix (extensions beyond the paper's figures)",
 		Tables: []*Table{
-			deviceSweepTable(r),
-			fleetTable(r),
-			multiTenantTable(r),
+			deviceSweepTable(ctx, r),
+			fleetTable(ctx, r),
+			multiTenantTable(ctx, r),
 		},
 		Notes: []string{
 			"Each device size gets a recalibrated kernel library (isolated times still match Table 1), and bandwidth scales with CU count.",
@@ -40,9 +41,15 @@ func Scaling(r *Runner) *Report {
 	}
 }
 
+// deviceSweepSchedulers are the policies contrasted at each machine size.
+var deviceSweepSchedulers = []string{"RR", "SJF", "LAX"}
+
 // deviceSweepTable scales the machine and reports LAX vs RR deadline-met
-// fractions on LSTM at an offered load proportional to machine size.
-func deviceSweepTable(r *Runner) *Table {
+// fractions on LSTM at an offered load proportional to machine size. The
+// per-size configs, recalibrated libraries, and traces are materialized up
+// front on the calling goroutine; the (size, scheduler) simulations then
+// fan out as independent pooled tasks.
+func deviceSweepTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "LSTM deadline-met % vs device size (offered load scaled with CUs; 8 CUs = Table 2 = 8000 jobs/s)",
 		Header: []string{"CUs", "RR", "SJF", "LAX", "LAX/RR"},
@@ -51,7 +58,9 @@ func deviceSweepTable(r *Runner) *Table {
 	if err != nil {
 		panic(err)
 	}
-	for _, cus := range scalingCUCounts {
+	cfgs := make([]cp.SystemConfig, len(scalingCUCounts))
+	sets := make([]*workload.JobSet, len(scalingCUCounts))
+	for i, cus := range scalingCUCounts {
 		cfg := r.Cfg
 		cfg.GPU.NumCUs = cus
 		// Bandwidth scales with the memory system, which grows with the
@@ -59,35 +68,49 @@ func deviceSweepTable(r *Runner) *Table {
 		cfg.GPU.MemBandwidthDemand = r.Cfg.GPU.MemBandwidthDemand * float64(cus) / 8
 		lib := workload.NewLibrary(cfg.GPU)
 		rate := bench.JobsPerSecond(workload.HighRate) * cus / 8
-		set := bench.GenerateCustom(lib, rate, r.JobCount, r.Seed)
-
-		met := map[string]int{}
-		for _, schedName := range []string{"RR", "SJF", "LAX"} {
-			pol, err := sched.New(schedName)
-			if err != nil {
-				panic(err)
-			}
-			sys := cp.NewSystem(cfg, set, pol)
-			sys.Run()
-			for _, j := range sys.Jobs() {
-				if j.MetDeadline() {
-					met[schedName]++
-				}
+		cfgs[i] = cfg
+		sets[i] = bench.GenerateCustom(lib, rate, r.JobCount, r.Seed)
+	}
+	met := make([][]int, len(scalingCUCounts))
+	for i := range met {
+		met[i] = make([]int, len(deviceSweepSchedulers))
+	}
+	mustDo(ctx, r, len(scalingCUCounts)*len(deviceSweepSchedulers), func(ctx context.Context, i int) error {
+		c, s := i/len(deviceSweepSchedulers), i%len(deviceSweepSchedulers)
+		pol, err := sched.New(deviceSweepSchedulers[s])
+		if err != nil {
+			return err
+		}
+		sys := cp.NewSystem(cfgs[c], sets[c], pol)
+		if err := sys.RunContext(ctx); err != nil {
+			return err
+		}
+		for _, j := range sys.Jobs() {
+			if j.MetDeadline() {
+				met[c][s]++
 			}
 		}
-		n := float64(r.JobCount)
+		return nil
+	})
+	n := float64(r.JobCount)
+	for c, cus := range scalingCUCounts {
 		t.AddRow(fint(cus),
-			f1(100*float64(met["RR"])/n),
-			f1(100*float64(met["SJF"])/n),
-			f1(100*float64(met["LAX"])/n),
-			f2(metrics.Ratio(float64(met["LAX"]), float64(met["RR"]))))
+			f1(100*float64(met[c][0])/n),
+			f1(100*float64(met[c][1])/n),
+			f1(100*float64(met[c][2])/n),
+			f2(metrics.Ratio(float64(met[c][2]), float64(met[c][0]))))
 	}
 	return t
 }
 
+// fleetGPUCounts are the scale-out points of the fleet study.
+var fleetGPUCounts = []int{1, 2, 4}
+
 // fleetTable scales out instead of up: the same overloaded LSTM trace
-// routed across 1-4 Table 2 GPUs by a least-loaded front end.
-func fleetTable(r *Runner) *Table {
+// routed across 1-4 Table 2 GPUs by a least-loaded front end. Each
+// (scheduler, fleet size) cluster run is one pooled task over the shared
+// trace.
+func fleetTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Fleet scale-out: LSTM at 4x the high rate, least-loaded routing (% of jobs meeting deadline)",
 		Header: []string{"Scheduler", "1 GPU", "2 GPUs", "4 GPUs"},
@@ -97,54 +120,81 @@ func fleetTable(r *Runner) *Table {
 		panic(err)
 	}
 	set := bench.GenerateCustom(r.Lib, 4*bench.JobsPerSecond(workload.HighRate), r.JobCount, r.Seed)
-	for _, schedName := range []string{"RR", "LAX"} {
+	scheds := []string{"RR", "LAX"}
+	fracs := make([][]float64, len(scheds))
+	for i := range fracs {
+		fracs[i] = make([]float64, len(fleetGPUCounts))
+	}
+	mustDo(ctx, r, len(scheds)*len(fleetGPUCounts), func(ctx context.Context, i int) error {
+		s, g := i/len(fleetGPUCounts), i%len(fleetGPUCounts)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := cluster.Run(cluster.Config{
+			GPUs:      fleetGPUCounts[g],
+			System:    r.Cfg,
+			Routing:   cluster.RouteLeastLoaded,
+			Scheduler: scheds[s],
+		}, set)
+		if err != nil {
+			return err
+		}
+		fracs[s][g] = res.DeadlineFrac()
+		return nil
+	})
+	for s, schedName := range scheds {
 		row := []string{schedName}
-		for _, gpus := range []int{1, 2, 4} {
-			res, err := cluster.Run(cluster.Config{
-				GPUs:      gpus,
-				System:    r.Cfg,
-				Routing:   cluster.RouteLeastLoaded,
-				Scheduler: schedName,
-			}, set)
-			if err != nil {
-				panic(err)
-			}
-			row = append(row, f1(100*res.DeadlineFrac()))
+		for g := range fleetGPUCounts {
+			row = append(row, f1(100*fracs[s][g]))
 		}
 		t.AddRow(row...)
 	}
 	return t
 }
 
-// multiTenantTable interleaves every benchmark into one shared-GPU trace.
-func multiTenantTable(r *Runner) *Table {
+// multiTenantSchedulers are the policies contrasted on the shared-GPU mix.
+var multiTenantSchedulers = []string{"RR", "EDF", "PREMA", "LAX"}
+
+// multiTenantTable interleaves every benchmark into one shared-GPU trace;
+// each scheduler replays the same trace as an independent pooled task.
+func multiTenantTable(ctx context.Context, r *Runner) *Table {
 	t := &Table{
 		Title:  "Multi-tenant: all 8 benchmarks sharing the GPU (per-class deadline-met)",
 		Header: append([]string{"Scheduler"}, append(workload.BenchmarkNames(), "TOTAL")...),
 	}
 	set := buildMultiTenantTrace(r)
-	for _, schedName := range []string{"RR", "EDF", "PREMA", "LAX"} {
-		pol, err := sched.New(schedName)
+	type tenantRow struct {
+		met   map[string]int
+		count map[string]int
+		total int
+	}
+	rows := make([]tenantRow, len(multiTenantSchedulers))
+	mustDo(ctx, r, len(multiTenantSchedulers), func(ctx context.Context, i int) error {
+		pol, err := sched.New(multiTenantSchedulers[i])
 		if err != nil {
-			panic(err)
+			return err
 		}
 		sys := cp.NewSystem(r.Cfg, set, pol)
-		sys.Run()
-		met := map[string]int{}
-		count := map[string]int{}
-		total := 0
+		if err := sys.RunContext(ctx); err != nil {
+			return err
+		}
+		row := tenantRow{met: map[string]int{}, count: map[string]int{}}
 		for _, j := range sys.Jobs() {
-			count[j.Job.Benchmark]++
+			row.count[j.Job.Benchmark]++
 			if j.MetDeadline() {
-				met[j.Job.Benchmark]++
-				total++
+				row.met[j.Job.Benchmark]++
+				row.total++
 			}
 		}
+		rows[i] = row
+		return nil
+	})
+	for i, schedName := range multiTenantSchedulers {
 		row := []string{schedName}
 		for _, b := range workload.BenchmarkNames() {
-			row = append(row, fmt.Sprintf("%d/%d", met[b], count[b]))
+			row = append(row, fmt.Sprintf("%d/%d", rows[i].met[b], rows[i].count[b]))
 		}
-		row = append(row, fint(total))
+		row = append(row, fint(rows[i].total))
 		t.AddRow(row...)
 	}
 	return t

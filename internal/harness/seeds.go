@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,21 +35,9 @@ func (s SeedStats) RelStd() float64 {
 	return s.MetStd / s.MetMean
 }
 
-// MultiSeed runs the cell once per seed (fresh runners, so traces differ)
-// and returns the cross-seed statistics.
-func MultiSeed(base *Runner, schedName, benchName string, rate workload.Rate, seeds []int64) (SeedStats, error) {
-	st := SeedStats{Scheduler: schedName, Benchmark: benchName, Rate: rate, Seeds: seeds}
-	for _, seed := range seeds {
-		r := NewRunner()
-		r.Cfg = base.Cfg
-		r.JobCount = base.JobCount
-		r.Seed = seed
-		sum, err := r.Run(schedName, benchName, rate)
-		if err != nil {
-			return SeedStats{}, err
-		}
-		st.Mets = append(st.Mets, sum.MetDeadline)
-	}
+// newSeedStats assembles the cross-seed statistics from per-seed counts.
+func newSeedStats(schedName, benchName string, rate workload.Rate, seeds []int64, mets []int) SeedStats {
+	st := SeedStats{Scheduler: schedName, Benchmark: benchName, Rate: rate, Seeds: seeds, Mets: mets}
 	var sum, sq float64
 	for _, m := range st.Mets {
 		sum += float64(m)
@@ -61,31 +50,76 @@ func MultiSeed(base *Runner, schedName, benchName string, rate workload.Rate, se
 	if len(st.Mets) > 1 {
 		st.MetStd = math.Sqrt(sq / float64(len(st.Mets)-1))
 	}
-	return st, nil
+	return st
+}
+
+// seedRunner clones the base runner's configuration at a different trace
+// seed. Fresh runner, fresh cache: the memoization key does not include the
+// seed.
+func seedRunner(base *Runner, seed int64) *Runner {
+	r := NewRunner()
+	r.Cfg = base.Cfg
+	r.JobCount = base.JobCount
+	r.Seed = seed
+	return r
+}
+
+// MultiSeed runs the cell once per seed (fresh runners, so traces differ)
+// across the base runner's worker pool and returns the cross-seed
+// statistics.
+func MultiSeed(ctx context.Context, base *Runner, schedName, benchName string, rate workload.Rate, seeds []int64) (SeedStats, error) {
+	mets := make([]int, len(seeds))
+	err := base.pool().Do(ctx, len(seeds), func(ctx context.Context, i int) error {
+		sum, err := seedRunner(base, seeds[i]).RunContext(ctx, schedName, benchName, rate)
+		if err != nil {
+			return err
+		}
+		mets[i] = sum.MetDeadline
+		return nil
+	})
+	if err != nil {
+		return SeedStats{}, err
+	}
+	return newSeedStats(schedName, benchName, rate, seeds, mets), nil
 }
 
 // defaultSeeds are the seeds the robustness experiment averages over.
 var defaultSeeds = []int64{1, 2, 3, 4, 5}
 
+// seedsSchedulers are the policies contrasted across seeds.
+var seedsSchedulers = []string{"RR", "SJF", "LAX"}
+
 // Seeds regenerates the headline comparison across independent arrival
 // traces: geomean-normalized LAX advantage with cross-seed variation, so
-// the reproduction's conclusions are demonstrably not one lucky trace.
-func Seeds(r *Runner) *Report {
+// the reproduction's conclusions are demonstrably not one lucky trace. The
+// whole benchmark x scheduler x seed cube fans out as one flat task set;
+// statistics assemble from the indexed counts.
+func Seeds(ctx context.Context, r *Runner) *Report {
 	t := &Table{
 		Title: fmt.Sprintf("Deadline-met counts across %d arrival-trace seeds (high rate): mean ± stdev",
 			len(defaultSeeds)),
 		Header: append([]string{"Benchmark"}, "RR", "SJF", "LAX", "LAX/RR"),
 	}
+	benches := workload.BenchmarkNames()
+	nS, nK := len(seedsSchedulers), len(defaultSeeds)
+	mets := make([]int, len(benches)*nS*nK)
+	mustDo(ctx, r, len(mets), func(ctx context.Context, i int) error {
+		b, s, k := i/(nS*nK), (i/nK)%nS, i%nK
+		sum, err := seedRunner(r, defaultSeeds[k]).RunContext(ctx, seedsSchedulers[s], benches[b], workload.HighRate)
+		if err != nil {
+			return err
+		}
+		mets[i] = sum.MetDeadline
+		return nil
+	})
 	var ratios []float64
-	for _, bench := range workload.BenchmarkNames() {
+	for b, bench := range benches {
 		row := []string{bench}
 		var means [3]float64
-		for i, s := range []string{"RR", "SJF", "LAX"} {
-			st, err := MultiSeed(r, s, bench, workload.HighRate, defaultSeeds)
-			if err != nil {
-				panic(err)
-			}
-			means[i] = st.MetMean
+		for s, schedName := range seedsSchedulers {
+			st := newSeedStats(schedName, bench, workload.HighRate, defaultSeeds,
+				mets[(b*nS+s)*nK:(b*nS+s+1)*nK])
+			means[s] = st.MetMean
 			row = append(row, fmt.Sprintf("%.1f±%.1f", st.MetMean, st.MetStd))
 		}
 		ratio := metrics.Ratio(means[2], means[0])

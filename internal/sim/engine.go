@@ -59,15 +59,27 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// interruptStride is the number of events executed between interrupt-check
+// polls during Run/RunUntil. Checking every event would put a closure call
+// on the hottest loop in the simulator; a stride keeps the overhead
+// unmeasurable while still bounding cancellation latency to a few hundred
+// events.
+const interruptStride = 64
+
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model components run inside event callbacks on the
 // same goroutine, mirroring how a cycle-level simulator advances time.
+// External cancellation (e.g. a context) reaches the event loop through
+// SetInterrupt.
 type Engine struct {
 	now     Time
 	nextSeq uint64
 	events  eventQueue
 	fired   uint64
 	running bool
+
+	interrupt   func() bool
+	interrupted bool
 }
 
 // NewEngine returns an engine with the clock at time zero and no pending
@@ -135,16 +147,51 @@ func (e *Engine) Step() bool {
 	}
 }
 
+// SetInterrupt installs a check polled every interruptStride events during
+// Run and RunUntil; when it returns true the run stops early with the queue
+// intact and Interrupted reporting true. The check also runs once before
+// the first event, so a run that is cancelled before it starts executes no
+// events. Pass nil to remove the check. The check must be cheap and must
+// not touch engine state.
+func (e *Engine) SetInterrupt(check func() bool) {
+	e.interrupt = check
+	e.interrupted = false
+}
+
+// Interrupted reports whether the most recent Run or RunUntil stopped early
+// because the installed interrupt check fired.
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
+// pollInterrupt evaluates the interrupt check, recording a stop.
+func (e *Engine) pollInterrupt() bool {
+	if e.interrupt != nil && e.interrupt() {
+		e.interrupted = true
+		return true
+	}
+	return false
+}
+
 // Run executes events until the queue drains. Model components typically
 // keep the queue non-empty while work remains, so Run naturally terminates
-// when the simulated system quiesces.
+// when the simulated system quiesces — or early, if an interrupt check is
+// installed and fires.
 func (e *Engine) Run() {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.pollInterrupt() {
+		return
+	}
+	stride := 0
 	for e.Step() {
+		if stride++; stride >= interruptStride {
+			stride = 0
+			if e.pollInterrupt() {
+				return
+			}
+		}
 	}
 }
 
@@ -158,6 +205,10 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 	e.running = true
 	defer func() { e.running = false }()
 	start := e.fired
+	if e.pollInterrupt() {
+		return 0
+	}
+	stride := 0
 	for {
 		head := e.events.peek()
 		if head == nil || head.At > limit {
@@ -170,6 +221,12 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 		e.now = ev.At
 		e.fired++
 		ev.fn()
+		if stride++; stride >= interruptStride {
+			stride = 0
+			if e.pollInterrupt() {
+				return e.fired - start
+			}
+		}
 	}
 	if e.now < limit {
 		e.now = limit

@@ -374,3 +374,76 @@ func TestRNGNormalStatistics(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineInterruptStopsRunEarly(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		e.After(1, tick)
+	}
+	e.Schedule(0, tick)
+	stop := false
+	e.SetInterrupt(func() bool { return stop })
+	e.Schedule(500, func() { stop = true })
+	e.Run()
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() = false after an interrupt stop")
+	}
+	// The stride bounds cancellation latency: the run must stop within one
+	// stride of the event that tripped the check, far short of forever.
+	if fired < 500 || fired > 500+2*interruptStride {
+		t.Fatalf("fired %d events; interrupt latency exceeded the stride bound", fired)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("interrupted run drained the queue")
+	}
+	// Clearing the interrupt lets the next run proceed (and terminate: stop
+	// scheduling at a horizon).
+	e.SetInterrupt(nil)
+	if e.Interrupted() {
+		t.Fatal("SetInterrupt(nil) did not reset Interrupted")
+	}
+}
+
+func TestEngineInterruptBeforeFirstEvent(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.SetInterrupt(func() bool { return true })
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("pre-cancelled run fired %d events", fired)
+	}
+	if !e.Interrupted() {
+		t.Fatal("pre-cancelled run not marked interrupted")
+	}
+	if n := e.RunUntil(100); n != 0 {
+		t.Fatalf("pre-cancelled RunUntil fired %d events", n)
+	}
+}
+
+func TestEngineRunUntilInterrupt(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		e.After(1, tick)
+	}
+	e.Schedule(0, tick)
+	stop := false
+	e.SetInterrupt(func() bool { return stop })
+	e.Schedule(200, func() { stop = true })
+	e.RunUntil(10000)
+	if !e.Interrupted() {
+		t.Fatal("RunUntil ignored the interrupt")
+	}
+	if e.Now() >= 10000 {
+		t.Fatal("interrupted RunUntil still advanced the clock to the horizon")
+	}
+	if fired < 200 || fired > 200+2*interruptStride {
+		t.Fatalf("fired %d events; interrupt latency exceeded the stride bound", fired)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //   - Run simulates one (scheduler, benchmark, arrival-rate) cell and
 //     returns its metrics;
+//   - Sweep simulates many cells across a worker pool, deterministically;
 //   - Experiment regenerates one of the paper's tables or figures;
 //   - Schedulers, Benchmarks and Experiments enumerate the valid names.
 //
@@ -17,65 +18,30 @@
 //	lax, _ := laxgpu.Run(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
 //	fmt.Printf("RR met %d, LAX met %d of %d\n", rr.MetDeadline, lax.MetDeadline, rr.TotalJobs)
 //
+// These package-level functions delegate to a shared default Session. A
+// Session owns the memoized simulation state and the worker pool; create
+// your own with NewSession to isolate caches, bound the pool width, or run
+// several independent sweeps concurrently. Every function has a Context
+// variant (RunContext, SweepContext, ExperimentContext) with cooperative
+// cancellation: cancelling stops simulations mid-event-loop.
+//
 // The heavier machinery (custom devices, custom job traces, new scheduling
 // policies) lives in the internal packages and is exercised by the examples
 // and the benchmark harness.
 package laxgpu
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"sync"
 	"time"
 
 	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
 	"laxgpu/internal/harness"
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
-
-// runnerKey identifies one memoized runner configuration.
-type runnerKey struct {
-	jobs   int
-	seed   int64
-	faults string
-}
-
-// maxRunners bounds the memo: each runner caches every simulated cell and
-// its job sets, so an unbounded map is a slow leak for callers sweeping
-// seeds or fault specs. Eight covers realistic interleaving (a scheduler
-// sweep touches one key; a paired fault comparison two) while keeping the
-// worst case small; eviction is FIFO.
-const maxRunners = 8
-
-// runners memoizes harness runners by (jobs, seed, faults) so repeated Run
-// calls — e.g. sweeping schedulers over the same trace — share simulation
-// results and job sets. Runners themselves are single-threaded; the mutex
-// guards the whole call.
-var (
-	runnersMu   sync.Mutex
-	runners     = map[runnerKey]*harness.Runner{}
-	runnerOrder []runnerKey // insertion order, oldest first
-)
-
-func runnerFor(jobs int, seed int64, faults string) *harness.Runner {
-	key := runnerKey{jobs, seed, faults}
-	if r, ok := runners[key]; ok {
-		return r
-	}
-	if len(runners) >= maxRunners {
-		delete(runners, runnerOrder[0])
-		runnerOrder = runnerOrder[1:]
-	}
-	r := harness.NewRunner()
-	r.JobCount = jobs
-	r.Seed = seed
-	r.Faults = faults
-	runners[key] = r
-	runnerOrder = append(runnerOrder, key)
-	return r
-}
 
 // Options selects one simulation cell.
 type Options struct {
@@ -157,34 +123,37 @@ func (r Result) DeadlineFrac() float64 {
 	return float64(r.MetDeadline) / float64(r.TotalJobs)
 }
 
-// Run simulates one cell on the paper's Table 2 system.
+// Run simulates one cell on the paper's Table 2 system using the default
+// session.
 func Run(o Options) (Result, error) {
-	if o.Scheduler == "" || o.Benchmark == "" {
-		return Result{}, fmt.Errorf("laxgpu: Options.Scheduler and Options.Benchmark are required")
-	}
-	rateName := o.Rate
-	if rateName == "" {
-		rateName = "high"
-	}
-	rate, err := workload.ParseRate(rateName)
-	if err != nil {
-		return Result{}, err
-	}
-	jobs := o.Jobs
-	if jobs <= 0 {
-		jobs = workload.DefaultJobCount
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	runnersMu.Lock()
-	defer runnersMu.Unlock()
-	s, err := runnerFor(jobs, seed, o.Faults).Run(o.Scheduler, o.Benchmark, rate)
-	if err != nil {
-		return Result{}, err
-	}
-	return toResult(s), nil
+	return defaultSession.Run(o)
+}
+
+// RunContext is Run with cooperative cancellation.
+func RunContext(ctx context.Context, o Options) (Result, error) {
+	return defaultSession.RunContext(ctx, o)
+}
+
+// Sweep simulates every cell across the default session's worker pool and
+// returns the results in input order.
+func Sweep(opts []Options) ([]Result, error) {
+	return defaultSession.Sweep(opts)
+}
+
+// SweepContext is Sweep with cooperative cancellation.
+func SweepContext(ctx context.Context, opts []Options) ([]Result, error) {
+	return defaultSession.SweepContext(ctx, opts)
+}
+
+// Experiment regenerates the named table or figure (see Experiments) and
+// writes its report to w, using the default session.
+func Experiment(id string, w io.Writer) error {
+	return defaultSession.Experiment(id, w)
+}
+
+// ExperimentContext is Experiment with cooperative cancellation.
+func ExperimentContext(ctx context.Context, id string, w io.Writer) error {
+	return defaultSession.ExperimentContext(ctx, id, w)
 }
 
 // toResult converts an internal summary to the public result type.
@@ -212,6 +181,41 @@ func toResult(s metrics.Summary) Result {
 	}
 }
 
+// SystemConfig overrides the simulated device for RunTraceOptions. Zero
+// fields keep the paper's Table 2 values.
+type SystemConfig struct {
+	// NumCUs is the compute-unit count (Table 2: 8). Memory bandwidth and
+	// the kernel library are recalibrated proportionally, as in the
+	// device-size study.
+	NumCUs int
+
+	// NumQueues is the number of hardware compute queues (Table 2: 128).
+	NumQueues int
+
+	// PriorityLevels, when positive, quantizes priorities to that many
+	// hardware levels (§2.2's contemporary-API limitation). 0 means
+	// unlimited, the paper's design.
+	PriorityLevels int
+}
+
+// TraceOptions parameterize RunTraceOptions.
+type TraceOptions struct {
+	// Scheduler is one of Schedulers().
+	Scheduler string
+
+	// Faults optionally injects deterministic device faults into the
+	// replay (same syntax as Options.Faults).
+	Faults string
+
+	// Seed feeds the fault plan; 0 means seed 1. The trace itself is
+	// deterministic input, so Seed matters only when Faults is set.
+	Seed int64
+
+	// System overrides the simulated device; nil means the paper's
+	// Table 2 system.
+	System *SystemConfig
+}
+
 // RunTrace replays a custom job trace under the named scheduler on the
 // Table 2 system. The trace is CSV with header "arrival_us,deadline_us,
 // kernels", one job per row; kernels is a semicolon-separated list of
@@ -219,31 +223,60 @@ func toResult(s metrics.Summary) Result {
 // (e.g. "rocBLASGEMMKernel1*16;ActivationKernel5"). This is the path for
 // replaying production arrival logs against the scheduler zoo.
 func RunTrace(trace io.Reader, scheduler string) (Result, error) {
-	pol, err := sched.New(scheduler)
+	return RunTraceOptions(trace, TraceOptions{Scheduler: scheduler})
+}
+
+// RunTraceOptions is RunTrace with fault injection and a custom device: the
+// trace replays on o.System (default Table 2) with o.Faults injected.
+func RunTraceOptions(trace io.Reader, o TraceOptions) (Result, error) {
+	return RunTraceContext(context.Background(), trace, o)
+}
+
+// RunTraceContext is RunTraceOptions with cooperative cancellation.
+func RunTraceContext(ctx context.Context, trace io.Reader, o TraceOptions) (Result, error) {
+	pol, err := sched.New(o.Scheduler)
+	if err != nil {
+		return Result{}, err
+	}
+	spec, err := faults.ParseSpec(o.Faults)
 	if err != nil {
 		return Result{}, err
 	}
 	cfg := cp.DefaultSystemConfig()
+	if o.System != nil {
+		if o.System.NumCUs > 0 {
+			// Bandwidth scales with the memory system, which grows with
+			// the chip: keep the per-CU ratio of the Table 2 machine.
+			cfg.GPU.MemBandwidthDemand = cfg.GPU.MemBandwidthDemand * float64(o.System.NumCUs) / float64(cfg.GPU.NumCUs)
+			cfg.GPU.NumCUs = o.System.NumCUs
+		}
+		if o.System.NumQueues > 0 {
+			cfg.NumQueues = o.System.NumQueues
+		}
+		if o.System.PriorityLevels > 0 {
+			cfg.PriorityLevels = o.System.PriorityLevels
+		}
+	}
+	if !spec.Zero() && spec.Recover {
+		cfg.Recovery = cp.DefaultRecoveryConfig()
+	}
 	lib := workload.NewLibrary(cfg.GPU)
 	set, err := workload.ReadTrace(trace, lib, "custom")
 	if err != nil {
 		return Result{}, err
 	}
 	sys := cp.NewSystem(cfg, set, pol)
-	sys.Run()
-	return toResult(metrics.Summarize(sys, scheduler, "custom", "trace")), nil
-}
-
-// Experiment regenerates the named table or figure (see Experiments) and
-// writes its report to w.
-func Experiment(id string, w io.Writer) error {
-	r := harness.NewRunner()
-	rep, err := harness.RunExperiment(r, id)
-	if err != nil {
-		return err
+	if !spec.Zero() {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sys.InstallFaults(faults.NewPlan(spec, seed), spec.Retirements)
 	}
-	rep.Render(w)
-	return nil
+	if err := sys.RunContext(ctx); err != nil {
+		return Result{}, err
+	}
+	return toResult(metrics.Summarize(sys, o.Scheduler, "custom", "trace")), nil
 }
 
 // Schedulers returns the scheduler names of Table 3, sorted.

@@ -2,6 +2,8 @@ package laxgpu
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -143,31 +145,38 @@ func TestRunWithFaults(t *testing.T) {
 	}
 }
 
-func TestRunnerMemoBounded(t *testing.T) {
-	runnersMu.Lock()
-	defer runnersMu.Unlock()
+func TestSessionMemoBounded(t *testing.T) {
+	s := NewSession(SessionOptions{})
 	for seed := int64(1); seed <= 3*maxRunners; seed++ {
-		runnerFor(8, seed, "")
+		s.runnerFor(runnerKey{8, seed, ""})
 	}
-	if len(runners) > maxRunners {
-		t.Fatalf("memo holds %d runners, cap is %d", len(runners), maxRunners)
+	if n := s.configCount(); n > maxRunners {
+		t.Fatalf("memo holds %d runners, cap is %d", n, maxRunners)
 	}
-	if len(runnerOrder) != len(runners) {
-		t.Fatalf("eviction order has %d entries for %d runners", len(runnerOrder), len(runners))
+	if len(s.order) != s.configCount() {
+		t.Fatalf("eviction order has %d entries for %d runners", len(s.order), s.configCount())
 	}
 	// The newest key is memoized; the oldest was evicted and comes back
 	// fresh without exceeding the cap.
-	newest := runnerFor(8, 3*maxRunners, "")
-	if runnerFor(8, 3*maxRunners, "") != newest {
+	newest := s.runnerFor(runnerKey{8, 3 * maxRunners, ""})
+	if s.runnerFor(runnerKey{8, 3 * maxRunners, ""}) != newest {
 		t.Fatal("hot key not memoized")
 	}
-	runnerFor(8, 1, "")
-	if len(runners) > maxRunners {
-		t.Fatalf("memo exceeded cap after re-adding evicted key: %d", len(runners))
+	s.runnerFor(runnerKey{8, 1, ""})
+	if n := s.configCount(); n > maxRunners {
+		t.Fatalf("memo exceeded cap after re-adding evicted key: %d", n)
 	}
 	// Distinct fault specs get distinct runners.
-	if runnerFor(8, 2, "hang=0.1") == runnerFor(8, 2, "") {
+	if s.runnerFor(runnerKey{8, 2, "hang=0.1"}) == s.runnerFor(runnerKey{8, 2, ""}) {
 		t.Fatal("fault spec not part of the memo key")
+	}
+	// A custom bound is honored.
+	small := NewSession(SessionOptions{MaxConfigs: 2})
+	for seed := int64(1); seed <= 5; seed++ {
+		small.runnerFor(runnerKey{8, seed, ""})
+	}
+	if n := small.configCount(); n > 2 {
+		t.Fatalf("MaxConfigs=2 session holds %d runners", n)
 	}
 }
 
@@ -213,6 +222,79 @@ func TestRunTrace(t *testing.T) {
 	}
 	if _, err := RunTrace(strings.NewReader("x"), "NOPE"); err == nil {
 		t.Fatal("bad scheduler accepted")
+	}
+}
+
+// traceCSV is a small fixed trace reused by the RunTraceOptions tests.
+const traceCSV = "arrival_us,deadline_us,kernels\n" +
+	"0,1000,IPV6Kernel\n" +
+	"10,1000,STEMKernel\n" +
+	"20,5000,GMMKernel\n" +
+	"30,10000,rocBLASGEMMKernel1*4;ActivationKernel5*4\n"
+
+func TestRunTraceOptionsDefaultsMatchRunTrace(t *testing.T) {
+	plain, err := RunTrace(strings.NewReader(traceCSV), "LAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := RunTraceOptions(strings.NewReader(traceCSV), TraceOptions{Scheduler: "LAX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != opts {
+		t.Fatalf("default TraceOptions diverged from RunTrace:\n%+v\n%+v", plain, opts)
+	}
+}
+
+func TestRunTraceOptionsHonorsFaults(t *testing.T) {
+	// This was the bug: the old trace path always ran the healthy default
+	// system, silently ignoring any fault configuration.
+	res, err := RunTraceOptions(strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "LAX", Faults: "hang=0.9,recover=on"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WatchdogKills == 0 {
+		t.Fatal("hang=0.9 trace run shows no watchdog kills: faults ignored")
+	}
+	if _, err := RunTraceOptions(strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "LAX", Faults: "hang=2"}); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+}
+
+func TestRunTraceOptionsHonorsSystemConfig(t *testing.T) {
+	// A one-CU device must be strictly slower end to end than a 32-CU one.
+	small, err := RunTraceOptions(strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "FCFS", System: &SystemConfig{NumCUs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunTraceOptions(strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "FCFS", System: &SystemConfig{NumCUs: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Makespan <= big.Makespan {
+		t.Fatalf("1-CU makespan %v <= 32-CU makespan %v: SystemConfig ignored", small.Makespan, big.Makespan)
+	}
+	// Queue/priority shape overrides must at least construct and run.
+	res, err := RunTraceOptions(strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "LAX", System: &SystemConfig{NumQueues: 4, PriorityLevels: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJobs != 4 {
+		t.Fatalf("TotalJobs = %d", res.TotalJobs)
+	}
+}
+
+func TestRunTraceContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTraceContext(ctx, strings.NewReader(traceCSV),
+		TraceOptions{Scheduler: "LAX"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

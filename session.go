@@ -1,0 +1,224 @@
+package laxgpu
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"laxgpu/internal/harness"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/workload"
+)
+
+// SessionOptions configure a Session.
+type SessionOptions struct {
+	// Parallel bounds the worker pool used by Sweep and by the experiment
+	// generators: 0 means GOMAXPROCS, 1 forces the serial reference path.
+	// Results are byte-identical at every width.
+	Parallel int
+
+	// MaxConfigs bounds the memoized runner configurations (one per
+	// distinct (Jobs, Seed, Faults) triple); the oldest is evicted FIFO.
+	// 0 means 8.
+	MaxConfigs int
+}
+
+// maxRunners is the default bound on memoized configurations: each one
+// caches every simulated cell and its job traces, so an unbounded memo is a
+// slow leak for callers sweeping seeds or fault specs. Eight covers
+// realistic interleaving (a scheduler sweep touches one key; a paired fault
+// comparison two) while keeping the worst case small.
+const maxRunners = 8
+
+// runnerKey identifies one memoized runner configuration.
+type runnerKey struct {
+	jobs   int
+	seed   int64
+	faults string
+}
+
+// Session owns the simulation state one caller shares across runs: the
+// memoized runners (simulation caches plus job traces, keyed by
+// (Jobs, Seed, Faults)) and the worker pool that fans sweep cells out.
+//
+// A Session is safe for concurrent use. Unlike a global memo guarded by one
+// lock, concurrent Run and Sweep calls on the same Session proceed in
+// parallel: the session lock only covers the configuration lookup, and the
+// underlying caches are sharded with in-flight deduplication, so two
+// goroutines asking for the same cell share one simulation instead of
+// running it twice.
+//
+// The zero value is not usable; call NewSession. Package-level Run,
+// Sweep and Experiment delegate to a shared default session.
+type Session struct {
+	parallel   int
+	maxConfigs int
+
+	mu      sync.Mutex
+	runners map[runnerKey]*harness.Runner
+	order   []runnerKey // insertion order, oldest first
+}
+
+// NewSession returns a Session with its own memo and worker pool.
+func NewSession(o SessionOptions) *Session {
+	maxConfigs := o.MaxConfigs
+	if maxConfigs <= 0 {
+		maxConfigs = maxRunners
+	}
+	return &Session{
+		parallel:   o.Parallel,
+		maxConfigs: maxConfigs,
+		runners:    make(map[runnerKey]*harness.Runner),
+	}
+}
+
+// defaultSession backs the package-level facade functions.
+var defaultSession = NewSession(SessionOptions{})
+
+// runnerFor returns the session's memoized runner for one configuration,
+// creating (and FIFO-evicting) under the session lock. The returned runner
+// is itself safe for concurrent use, so the lock is held only for the
+// lookup — never across a simulation.
+func (s *Session) runnerFor(key runnerKey) *harness.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r
+	}
+	if len(s.runners) >= s.maxConfigs {
+		delete(s.runners, s.order[0])
+		s.order = s.order[1:]
+	}
+	r := harness.NewRunner()
+	r.JobCount = key.jobs
+	r.Seed = key.seed
+	r.Faults = key.faults
+	r.Workers = s.parallel
+	s.runners[key] = r
+	s.order = append(s.order, key)
+	return r
+}
+
+// configCount reports how many runner configurations are currently
+// memoized (exposed for the memo-bound test).
+func (s *Session) configCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runners)
+}
+
+// normalizeOptions validates one cell and applies the documented defaults.
+func normalizeOptions(o Options) (runnerKey, workload.Rate, error) {
+	if o.Scheduler == "" || o.Benchmark == "" {
+		return runnerKey{}, 0, fmt.Errorf("laxgpu: Options.Scheduler and Options.Benchmark are required")
+	}
+	rateName := o.Rate
+	if rateName == "" {
+		rateName = "high"
+	}
+	rate, err := workload.ParseRate(rateName)
+	if err != nil {
+		return runnerKey{}, 0, err
+	}
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = workload.DefaultJobCount
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return runnerKey{jobs, seed, o.Faults}, rate, nil
+}
+
+// Run simulates one cell on the paper's Table 2 system, memoized within the
+// session.
+func (s *Session) Run(o Options) (Result, error) {
+	return s.RunContext(context.Background(), o)
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled context
+// stops the simulation mid-cell (between event batches) and the aborted run
+// is not cached.
+func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
+	key, rate, err := normalizeOptions(o)
+	if err != nil {
+		return Result{}, err
+	}
+	sum, err := s.runnerFor(key).RunContext(ctx, o.Scheduler, o.Benchmark, rate)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(sum), nil
+}
+
+// Sweep simulates every cell across the session's worker pool and returns
+// the results in input order. Cells may mix configurations (different Jobs,
+// Seed or Faults); duplicate cells cost one simulation. Results are
+// byte-for-byte identical to running the cells serially in order.
+func (s *Session) Sweep(opts []Options) ([]Result, error) {
+	return s.SweepContext(context.Background(), opts)
+}
+
+// SweepContext is Sweep with cooperative cancellation: cancelling the
+// context stops in-flight simulations mid-cell, waits for the workers to
+// drain, and returns the context's error.
+func (s *Session) SweepContext(ctx context.Context, opts []Options) ([]Result, error) {
+	type cell struct {
+		r    *harness.Runner
+		o    Options
+		rate workload.Rate
+	}
+	cells := make([]cell, len(opts))
+	for i, o := range opts {
+		key, rate, err := normalizeOptions(o)
+		if err == nil {
+			// Resolve the names up front too, so a bad cell is rejected
+			// before any simulation starts.
+			_, err = sched.New(o.Scheduler)
+		}
+		if err == nil {
+			_, err = workload.FindBenchmark(o.Benchmark)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("laxgpu: sweep cell %d: %w", i, err)
+		}
+		cells[i] = cell{s.runnerFor(key), o, rate}
+	}
+	results := make([]Result, len(cells))
+	err := harness.NewPool(s.parallel).Do(ctx, len(cells), func(ctx context.Context, i int) error {
+		c := cells[i]
+		sum, err := c.r.RunContext(ctx, c.o.Scheduler, c.o.Benchmark, c.rate)
+		if err != nil {
+			return err
+		}
+		results[i] = toResult(sum)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Experiment regenerates the named table or figure (see Experiments) and
+// writes its report to w. Experiments share the session's memo, so
+// overlapping cells — e.g. figure7 and table5 — are simulated once per
+// session.
+func (s *Session) Experiment(id string, w io.Writer) error {
+	return s.ExperimentContext(context.Background(), id, w)
+}
+
+// ExperimentContext is Experiment with cooperative cancellation: a
+// cancelled context aborts the experiment mid-cell and nothing is written
+// to w.
+func (s *Session) ExperimentContext(ctx context.Context, id string, w io.Writer) error {
+	r := s.runnerFor(runnerKey{workload.DefaultJobCount, 1, ""})
+	rep, err := harness.RunExperiment(ctx, r, id)
+	if err != nil {
+		return err
+	}
+	rep.Render(w)
+	return nil
+}

@@ -1,0 +1,184 @@
+package laxgpu
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sweepGrid is a small mixed grid reused by the Session tests: three
+// schedulers, two benchmarks, one duplicate cell at the end.
+func sweepGrid() []Options {
+	var opts []Options
+	for _, s := range []string{"RR", "SJF", "LAX"} {
+		for _, b := range []string{"IPV6", "LSTM"} {
+			opts = append(opts, Options{Scheduler: s, Benchmark: b, Rate: "medium", Jobs: 24})
+		}
+	}
+	return append(opts, opts[0])
+}
+
+// TestSessionSweepMatchesRun: Sweep returns results in input order and each
+// one is identical to what a serial Run of that cell produces.
+func TestSessionSweepMatchesRun(t *testing.T) {
+	opts := sweepGrid()
+	serial := NewSession(SessionOptions{Parallel: 1})
+	want := make([]Result, len(opts))
+	for i, o := range opts {
+		var err error
+		if want[i], err = serial.Run(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewSession(SessionOptions{Parallel: 4})
+	got, err := s.Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel sweep diverged from serial runs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSessionSweepValidation: a bad cell is rejected up front, before any
+// simulation, with the cell index in the error.
+func TestSessionSweepValidation(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	_, err := s.Sweep([]Options{
+		{Scheduler: "LAX", Benchmark: "IPV6", Jobs: 8},
+		{Scheduler: "NOPE", Benchmark: "IPV6", Jobs: 8},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("err = %v, want a cell-1 validation error", err)
+	}
+}
+
+// TestSessionConcurrentHammer drives one Session from many goroutines mixing
+// Run and Sweep over overlapping cells (run under -race). Every caller must
+// see the same results the serial reference produces.
+func TestSessionConcurrentHammer(t *testing.T) {
+	opts := sweepGrid()
+	ref := NewSession(SessionOptions{Parallel: 1})
+	want := make([]Result, len(opts))
+	for i, o := range opts {
+		var err error
+		if want[i], err = ref.Run(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewSession(SessionOptions{Parallel: 2})
+	const goroutines = 12
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				got, err := s.Sweep(opts)
+				if err == nil && !reflect.DeepEqual(got, want) {
+					err = errors.New("sweep result diverged under contention")
+				}
+				errs <- err
+				return
+			}
+			// Odd goroutines hit individual overlapping cells.
+			for i := range opts {
+				got, err := s.Run(opts[(g+i)%len(opts)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[(g+i)%len(opts)] {
+					errs <- errors.New("run result diverged under contention")
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionSweepCancellation: a cancelled context surfaces as the sweep
+// error, workers drain without leaking goroutines, and the session stays
+// usable afterwards.
+func TestSessionSweepCancellation(t *testing.T) {
+	s := NewSession(SessionOptions{Parallel: 4})
+	opts := sweepGrid()
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SweepContext(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked after cancelled sweep: %d -> %d", before, after)
+	}
+	// Aborted cells were not cached: the same sweep now completes.
+	if _, err := s.Sweep(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionExperimentCancellation: a cancelled experiment returns the
+// context error and writes nothing to w.
+func TestSessionExperimentCancellation(t *testing.T) {
+	s := NewSession(SessionOptions{Parallel: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := s.ExperimentContext(ctx, "table5", &buf); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("cancelled experiment wrote %d bytes", buf.Len())
+	}
+}
+
+// TestSessionRunContextCancellation: cancelling mid-run returns the context
+// error; the same cell then completes with a live context because the
+// aborted run never entered the cache.
+func TestSessionRunContextCancellation(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	o := Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high", Jobs: 64}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionsAreIsolated: distinct sessions hold distinct memos.
+func TestSessionsAreIsolated(t *testing.T) {
+	a := NewSession(SessionOptions{})
+	b := NewSession(SessionOptions{})
+	k := runnerKey{8, 1, ""}
+	if a.runnerFor(k) == b.runnerFor(k) {
+		t.Fatal("two sessions shared a runner")
+	}
+	if a.runnerFor(k) != a.runnerFor(k) {
+		t.Fatal("session memo not stable")
+	}
+}
