@@ -16,6 +16,7 @@ import (
 	"laxgpu/internal/gpu"
 	"laxgpu/internal/harness"
 	"laxgpu/internal/metrics"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/sim"
 	"laxgpu/internal/workload"
@@ -249,5 +250,47 @@ func BenchmarkFullRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys := cp.NewSystem(cp.DefaultSystemConfig(), set, sched.NewLAX())
 		sys.Run()
+	}
+}
+
+// BenchmarkFullRunProbed is BenchmarkFullRun with the full telemetry fan-out
+// attached (metrics registry, estimate pairing, and Perfetto trace events);
+// the delta against BenchmarkFullRun is the end-to-end cost of observing a
+// run, and running both under -benchmem shows the unprobed path allocating
+// nothing for telemetry.
+func BenchmarkFullRunProbed(b *testing.B) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := cp.NewSystem(cp.DefaultSystemConfig(), set, sched.NewLAX())
+		sys.SetProbe(obs.Multi(obs.NewMetrics(), obs.NewPerfetto()))
+		sys.Run()
+	}
+}
+
+// TestNoProbeHotPathAllocationFree pins the observer-off guarantee at the
+// public surface: with no probe attached, every emission site reduces to the
+// nil check below, so a plain run heap-allocates nothing for telemetry.
+// (internal/cp and internal/obs pin the same property on their unexported
+// helpers and on the registry instruments.)
+func TestNoProbeHotPathAllocationFree(t *testing.T) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 8, 1)
+	sys := cp.NewSystem(cp.DefaultSystemConfig(), set, sched.NewLAX())
+	if n := testing.AllocsPerRun(1000, func() {
+		if p := sys.Probe(); p != nil {
+			panic("no probe attached")
+		}
+	}); n != 0 {
+		t.Errorf("unprobed guard allocates %v per check, want 0", n)
 	}
 }

@@ -9,6 +9,10 @@
 //	laxsim -run LAX,LSTM,high       # one raw (scheduler,benchmark,rate) cell
 //	laxsim -run LAX,LSTM,high -trace run.jsonl   # + structured event trace
 //	laxsim -run LAX,STEM,high -timeline          # ASCII schedule timeline
+//	laxsim -run LAX,LSTM,high -metrics m.prom    # Prometheus telemetry snapshot
+//	laxsim -run LAX,LSTM,high -perfetto t.json   # Perfetto/Chrome trace export
+//	laxsim -run LAX,LSTM,high -probe             # estimate-accuracy digest
+//	laxsim -pprof localhost:6060 -experiment table5  # live pprof/expvar server
 //	laxsim -run LAX,LSTM,high -gpus 4            # multi-GPU fleet run
 //	laxsim -sweep high -csv out.csv # every scheduler x benchmark at one rate
 //	laxsim -run LAX,LSTM,high -faults hang=0.05,abort=0.1  # fault injection
@@ -23,9 +27,13 @@ package main
 import (
 	"bytes"
 	"context"
+	_ "expvar" // registers /debug/vars on DefaultServeMux for -pprof
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +42,7 @@ import (
 	"laxgpu/internal/cp"
 	"laxgpu/internal/harness"
 	"laxgpu/internal/metrics"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/viz"
 	"laxgpu/internal/workload"
@@ -41,20 +50,24 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment ID to run (default: all); see -list")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
-		rawRun     = flag.String("run", "", "run one cell: scheduler,benchmark,rate (e.g. LAX,LSTM,high)")
-		jobs       = flag.Int("jobs", workload.DefaultJobCount, "jobs per benchmark trace")
-		seed       = flag.Int64("seed", 1, "random seed for arrival traces")
-		verbose    = flag.Bool("v", false, "log each simulation run")
-		traceOut   = flag.String("trace", "", "with -run: write a JSON-lines event trace to this file")
-		timeline   = flag.Bool("timeline", false, "with -run: render an ASCII schedule timeline")
-		sweepRate  = flag.String("sweep", "", "run every Table 3 scheduler x Table 4 benchmark at this rate")
-		csvOut     = flag.String("csv", "", "with -sweep: write summaries as CSV to this file (default stdout)")
-		format     = flag.String("format", "text", "report format for experiments: text or markdown")
-		gpus       = flag.Int("gpus", 1, "with -run: route the trace over this many GPUs (least-loaded)")
-		faults     = flag.String("faults", "", "with -run/-sweep: inject deterministic device faults, e.g. hang=0.05,abort=0.1,slow=0.1x6,retire=2@2ms,recover=on")
-		parallel   = flag.Int("parallel", 0, "sweep worker pool width: 0 = one per CPU, 1 = serial")
+		experiment  = flag.String("experiment", "", "experiment ID to run (default: all); see -list")
+		list        = flag.Bool("list", false, "list experiment IDs and exit")
+		rawRun      = flag.String("run", "", "run one cell: scheduler,benchmark,rate (e.g. LAX,LSTM,high)")
+		jobs        = flag.Int("jobs", workload.DefaultJobCount, "jobs per benchmark trace")
+		seed        = flag.Int64("seed", 1, "random seed for arrival traces")
+		verbose     = flag.Bool("v", false, "log each simulation run")
+		traceOut    = flag.String("trace", "", "with -run: write a JSON-lines event trace to this file")
+		timeline    = flag.Bool("timeline", false, "with -run: render an ASCII schedule timeline")
+		sweepRate   = flag.String("sweep", "", "run every Table 3 scheduler x Table 4 benchmark at this rate")
+		csvOut      = flag.String("csv", "", "with -sweep: write summaries as CSV to this file (default stdout)")
+		format      = flag.String("format", "text", "report format for experiments: text or markdown")
+		gpus        = flag.Int("gpus", 1, "with -run: route the trace over this many GPUs (least-loaded)")
+		faults      = flag.String("faults", "", "with -run/-sweep: inject deterministic device faults, e.g. hang=0.05,abort=0.1,slow=0.1x6,retire=2@2ms,recover=on")
+		parallel    = flag.Int("parallel", 0, "sweep worker pool width: 0 = one per CPU, 1 = serial")
+		metricsOut  = flag.String("metrics", "", "with -run: write scheduler telemetry in Prometheus text format to this file")
+		perfettoOut = flag.String("perfetto", "", "with -run: write a Chrome trace-event JSON (ui.perfetto.dev) to this file")
+		probe       = flag.Bool("probe", false, "with -run: print per-run telemetry (decision counts, estimate accuracy) to stdout")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the process lifetime")
 	)
 	flag.Parse()
 
@@ -65,8 +78,14 @@ func main() {
 		return
 	}
 
-	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel); err != nil {
+	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel, *metricsOut, *perfettoOut, *probe); err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Ctrl-C cancels the context; in-flight simulations notice within a
@@ -136,8 +155,15 @@ func main() {
 			}
 			return
 		}
-		if *traceOut != "" || *timeline {
-			if err := runTraced(ctx, r, parts[0], parts[1], rate, *traceOut, *timeline); err != nil {
+		if *traceOut != "" || *timeline || *metricsOut != "" || *perfettoOut != "" || *probe {
+			err := runTraced(ctx, r, parts[0], parts[1], rate, obsOptions{
+				tracePath:    *traceOut,
+				timeline:     *timeline,
+				metricsPath:  *metricsOut,
+				perfettoPath: *perfettoOut,
+				probeSummary: *probe,
+			})
+			if err != nil {
 				fatal(err)
 			}
 			return
@@ -187,10 +213,19 @@ func main() {
 	}
 }
 
-// runTraced executes one cell with a structured event trace attached,
-// optionally writing the raw trace to a file and/or rendering an ASCII
-// timeline of the schedule.
-func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName string, rate workload.Rate, path string, timeline bool) error {
+// obsOptions selects the observability artifacts of one -run invocation.
+type obsOptions struct {
+	tracePath    string
+	timeline     bool
+	metricsPath  string
+	perfettoPath string
+	probeSummary bool
+}
+
+// runTraced executes one cell with the requested observers attached: the
+// structured JSONL event trace and/or ASCII timeline, the Prometheus metrics
+// snapshot, the Perfetto trace-event export, and the -probe stdout summary.
+func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName string, rate workload.Rate, o obsOptions) error {
 	pol, err := sched.New(schedName)
 	if err != nil {
 		return err
@@ -200,20 +235,41 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 		return err
 	}
 
+	sys := cp.NewSystem(r.Cfg, set, pol)
+
 	var buf bytes.Buffer
-	sinks := []io.Writer{&buf}
-	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
+	var tracer *cp.Tracer
+	if o.tracePath != "" || o.timeline {
+		sinks := []io.Writer{&buf}
+		if o.tracePath != "" {
+			f, err := os.Create(o.tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sinks = append(sinks, f)
 		}
-		defer f.Close()
-		sinks = append(sinks, f)
+		tracer = cp.NewTracer(io.MultiWriter(sinks...))
+		sys.SetTracer(tracer)
 	}
 
-	tracer := cp.NewTracer(io.MultiWriter(sinks...))
-	sys := cp.NewSystem(r.Cfg, set, pol)
-	sys.SetTracer(tracer)
+	var (
+		m      *obs.Metrics
+		pf     *obs.Perfetto
+		probes []obs.Probe
+	)
+	if o.metricsPath != "" || o.probeSummary {
+		m = obs.NewMetrics()
+		probes = append(probes, m)
+	}
+	if o.perfettoPath != "" {
+		pf = obs.NewPerfetto()
+		probes = append(probes, pf)
+	}
+	if len(probes) > 0 {
+		sys.SetProbe(obs.Multi(probes...))
+	}
+
 	if err := sys.RunContext(ctx); err != nil {
 		return err
 	}
@@ -223,10 +279,33 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 	s := metrics.Summarize(sys, schedName, benchName, rate.String())
 	fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected, %d cancelled\n",
 		s.Scheduler, s.Benchmark, s.Rate, s.MetDeadline, s.TotalJobs, s.Rejected, s.Cancelled)
-	if path != "" {
-		fmt.Printf("wrote %d trace events to %s\n", tracer.Events(), path)
+	if o.tracePath != "" {
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Events(), o.tracePath)
 	}
-	if timeline {
+	if m != nil && o.metricsPath != "" {
+		if err := writeMetricsFile(o.metricsPath, m); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", o.metricsPath)
+	}
+	if pf != nil {
+		f, err := os.Create(o.perfettoPath)
+		if err != nil {
+			return err
+		}
+		if err := pf.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d Perfetto events to %s\n", pf.Events(), o.perfettoPath)
+	}
+	if o.probeSummary {
+		printProbeSummary(m)
+	}
+	if o.timeline {
 		events, err := viz.ParseEvents(&buf)
 		if err != nil {
 			return err
@@ -234,6 +313,53 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 		fmt.Println()
 		return viz.RenderTimeline(os.Stdout, events, viz.Options{})
 	}
+	return nil
+}
+
+// writeMetricsFile snapshots the probe's registry to path in Prometheus
+// text exposition format.
+func writeMetricsFile(path string, m *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Registry().WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printProbeSummary renders the -probe stdout digest: decision counts and
+// estimate accuracy.
+func printProbeSummary(m *obs.Metrics) {
+	fmt.Printf("  probe: %d accepted, %d rejected\n", m.Accepted(), m.Rejected())
+	if ks := m.KernelEstimates(); ks.Count > 0 {
+		fmt.Printf("  kernel estimates: %d pairs, MAE %.1f%%, bias %+.1fµs, p50 |err| %.1fµs, p99 |err| %.1fµs\n",
+			ks.Count, ks.MAEPct, ks.MeanErrUs, ks.P50AbsUs, ks.P99AbsUs)
+	}
+	if cs := m.ChainEstimates(); cs.Count > 0 {
+		fmt.Printf("  chain estimates:  %d pairs, MAE %.1f%%, bias %+.1fµs, p50 |err| %.1fµs, p99 |err| %.1fµs\n",
+			cs.Count, cs.MAEPct, cs.MeanErrUs, cs.P50AbsUs, cs.P99AbsUs)
+	}
+}
+
+// servePprof starts the opt-in diagnostics server: net/http/pprof and expvar
+// on addr, for the process lifetime. The listener is bound synchronously so
+// a bad address fails loudly before any simulation starts.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "laxsim: pprof/expvar on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		// DefaultServeMux carries the net/http/pprof and expvar handlers
+		// registered by their imports.
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "laxsim: pprof server:", err)
+		}
+	}()
 	return nil
 }
 
@@ -264,7 +390,7 @@ func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate
 
 // validateFlags rejects contradictory flag combinations up front, so a
 // misplaced mode flag fails loudly instead of being silently ignored.
-func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int) error {
+func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int, metricsOut, perfettoOut string, probe bool) error {
 	modes := 0
 	for _, set := range []bool{experiment != "", rawRun != "", sweepRate != ""} {
 		if set {
@@ -288,7 +414,16 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 			return fmt.Errorf("-timeline requires -run")
 		case gpus != 1:
 			return fmt.Errorf("-gpus requires -run")
+		case metricsOut != "":
+			return fmt.Errorf("-metrics requires -run")
+		case perfettoOut != "":
+			return fmt.Errorf("-perfetto requires -run")
+		case probe:
+			return fmt.Errorf("-probe requires -run")
 		}
+	}
+	if gpus > 1 && (metricsOut != "" || perfettoOut != "" || probe || traceOut != "" || timeline) {
+		return fmt.Errorf("-gpus does not combine with the single-GPU observers (-trace, -timeline, -metrics, -perfetto, -probe)")
 	}
 	if csvOut != "" && sweepRate == "" {
 		return fmt.Errorf("-csv requires -sweep")
@@ -297,8 +432,8 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 		if rawRun == "" && sweepRate == "" {
 			return fmt.Errorf("-faults requires -run or -sweep")
 		}
-		if traceOut != "" || timeline || gpus != 1 {
-			return fmt.Errorf("-faults does not combine with -trace, -timeline or -gpus")
+		if traceOut != "" || timeline || gpus != 1 || metricsOut != "" || perfettoOut != "" || probe {
+			return fmt.Errorf("-faults does not combine with -trace, -timeline, -gpus or the telemetry flags")
 		}
 	}
 	return nil

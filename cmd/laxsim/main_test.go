@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -98,6 +99,44 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("metrics-perfetto-probe", func(t *testing.T) {
+		dir := t.TempDir()
+		metricsPath := filepath.Join(dir, "m.prom")
+		perfettoPath := filepath.Join(dir, "t.json")
+		out, err := run(t, bin, "-run", "LAX,LSTM,high", "-jobs", "24",
+			"-metrics", metricsPath, "-perfetto", perfettoPath, "-probe")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		for _, want := range []string{"wrote metrics to", "Perfetto events", "probe:", "kernel estimates:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("probed -run output missing %q:\n%s", want, out)
+			}
+		}
+		prom, err := os.ReadFile(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fam := range []string{"laxsim_admissions_accepted_total", "laxsim_estimate_kernel_error_us"} {
+			if !strings.Contains(string(prom), fam) {
+				t.Errorf("metrics file missing %q:\n%.300s", fam, prom)
+			}
+		}
+		raw, err := os.ReadFile(perfettoPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("perfetto file is not valid JSON: %v", err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Error("perfetto traceEvents is empty")
+		}
+	})
+
 	t.Run("run-faults", func(t *testing.T) {
 		out, err := run(t, bin, "-run", "LAX,LSTM,medium", "-jobs", "32", "-faults", "hang=0.1,abort=0.1")
 		if err != nil {
@@ -141,6 +180,13 @@ func TestCLI(t *testing.T) {
 			{"-faults", "hang=0.1", "-experiment", "figure3"},
 			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-timeline"},
 			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-gpus", "2"},
+			{"-metrics", "m.prom"},
+			{"-perfetto", "t.json"},
+			{"-probe"},
+			{"-metrics", "m.prom", "-run", "LAX,IPV6,high", "-gpus", "2"},
+			{"-perfetto", "t.json", "-run", "LAX,IPV6,high", "-gpus", "2"},
+			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-metrics", "m.prom"},
+			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-probe"},
 		}
 		for _, args := range bad {
 			if out, err := run(t, bin, args...); err == nil {

@@ -140,6 +140,10 @@ func (t *ProfilingTable) ObserveRate(name string, wgsPerNs float64) {
 	}
 }
 
+// Len returns the number of kernel types with a profiled completion rate —
+// the table's population, reported by the telemetry layer at each refresh.
+func (t *ProfilingTable) Len() int { return len(t.rates) }
+
 // Rate returns the profiled completion rate for the kernel type and whether
 // one exists yet.
 func (t *ProfilingTable) Rate(name string) (float64, bool) {

@@ -71,6 +71,20 @@ type AdvanceGate interface {
 	CanAdvance(j *JobRun) bool
 }
 
+// KernelEstimator is an optional Policy extension for policies that can
+// predict how long a job's current kernel will take to execute (LAX's
+// profiling table, SRF, the statically profiled schedulers). The System
+// calls it at each kernel's first WG dispatch — when a probe is attached —
+// and pairs the prediction with the kernel's actual completion to measure
+// estimate accuracy. Implementations must be pure: estimating must not
+// change any scheduling state, or probed and unprobed runs would diverge.
+type KernelEstimator interface {
+	// EstimateKernelTime predicts the execution time of j's current
+	// kernel. ok is false when no estimate exists yet (e.g. the kernel
+	// type has produced no profiling signal).
+	EstimateKernelTime(j *JobRun) (t sim.Time, ok bool)
+}
+
 // ServeObserver is an optional Policy extension notified when a job's
 // kernel actually receives workgroup slots in a dispatch round. Cyclic
 // policies (RR, MLFQ's high queue) use it to advance their grant pointer

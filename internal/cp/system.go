@@ -7,6 +7,7 @@ import (
 
 	"laxgpu/internal/core"
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 	"laxgpu/internal/workload"
 )
@@ -77,6 +78,17 @@ type System struct {
 	stallKickArmed bool
 
 	tracer *Tracer
+
+	// probe observes scheduler decisions and kernel lifecycle events. It
+	// never influences the simulation: every call site is a pure read of
+	// state the run already computed, and a nil probe costs one pointer
+	// compare (see the harness golden-equivalence test).
+	probe obs.Probe
+
+	// runStarted latches once RunContext begins so observer attachment
+	// after the fact is rejected (a tracer or probe attached mid-run would
+	// produce a silently truncated record).
+	runStarted bool
 
 	completed int
 	rejected  int
@@ -151,8 +163,30 @@ func (s *System) Active() []*JobRun { return s.active }
 func (s *System) Job(id int) *JobRun { return s.jobs[id] }
 
 // SetTracer installs a structured run tracer (JSON lines). Pass nil to
-// disable. Must be called before Run.
-func (s *System) SetTracer(t *Tracer) { s.tracer = t }
+// disable. Must be called before Run: attaching a tracer to a run already
+// in progress would record a trace with no arrivals for in-flight jobs —
+// unusable for timeline reconstruction — so it panics instead of producing
+// a silently truncated record.
+func (s *System) SetTracer(t *Tracer) {
+	if s.runStarted {
+		panic("cp: SetTracer after Run has started (attach observers before running)")
+	}
+	s.tracer = t
+}
+
+// SetProbe installs a decision probe (see obs.Probe); obs.Multi combines
+// several. Pass nil to disable. Like SetTracer, it must be called before
+// Run and panics afterwards.
+func (s *System) SetProbe(p obs.Probe) {
+	if s.runStarted {
+		panic("cp: SetProbe after Run has started (attach observers before running)")
+	}
+	s.probe = p
+}
+
+// Probe returns the attached decision probe (nil when none). Policies call
+// this from their Admit/Reprioritize hooks to emit decision events.
+func (s *System) Probe() obs.Probe { return s.probe }
 
 // Run schedules all arrivals and drives the simulation until every job has
 // either completed or been rejected. Runs with faults installed are bounded
@@ -169,6 +203,7 @@ func (s *System) Run() {
 // system in a consistent but incomplete state and its metrics must be
 // discarded.
 func (s *System) RunContext(ctx context.Context) error {
+	s.runStarted = true
 	s.arrivalsLeft = len(s.jobs)
 	for _, jr := range s.jobs {
 		jr := jr
@@ -200,10 +235,12 @@ func (s *System) RunContext(ctx context.Context) error {
 func (s *System) arrive(jr *JobRun) {
 	s.arrivalsLeft--
 	s.tracer.jobEvent("arrive", s.eng.Now(), jr)
+	s.probeJob(obs.JobArrive, jr)
 	if !s.pol.Admit(jr) {
 		jr.state = JobRejected
 		s.rejected++
 		s.tracer.jobEvent("reject", s.eng.Now(), jr)
+		s.probeJob(obs.JobReject, jr)
 		return
 	}
 	jr.SubmitTime = s.eng.Now()
@@ -281,6 +318,7 @@ func (s *System) makeFirstReady(jr *JobRun) {
 	jr.ReadyTime = s.eng.Now()
 	jr.Current().MarkReady(s.eng.Now())
 	s.tracer.jobEvent("ready", s.eng.Now(), jr)
+	s.probeJob(obs.JobReady, jr)
 	s.Dispatch()
 }
 
@@ -310,6 +348,7 @@ func (s *System) Cancel(jr *JobRun) {
 	jr.state = JobCancelled
 	jr.FinishTime = s.eng.Now()
 	s.tracer.jobEvent("cancel", s.eng.Now(), jr)
+	s.probeJob(obs.JobCancel, jr)
 	jr.Pause() // no further WG dispatch from any of its kernels
 	for i, a := range s.active {
 		if a == jr {
@@ -337,6 +376,12 @@ func (s *System) onKernelDone(inst *gpu.KernelInstance) {
 		panic(fmt.Sprintf("cp: out-of-order kernel completion for %v", jr))
 	}
 	s.tracer.kernelEvent("kernel_done", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+	if s.probe != nil {
+		s.probe.KernelDone(obs.KernelDone{
+			At: s.eng.Now(), Job: jr.Job.ID, Queue: jr.QueueID,
+			Seq: inst.Seq, Kernel: inst.Desc.Name, Start: inst.StartedAt,
+		})
+	}
 	s.disarmWatchdog(inst)
 	jr.cur++
 	if jr.Current() == nil {
@@ -400,6 +445,7 @@ func (s *System) finish(jr *JobRun) {
 	jr.FinishTime = s.eng.Now()
 	s.completed++
 	s.tracer.jobEvent("finish", s.eng.Now(), jr)
+	s.probeJob(obs.JobFinish, jr)
 	for i, a := range s.active {
 		if a == jr {
 			s.active = append(s.active[:i], s.active[i+1:]...)
@@ -456,6 +502,7 @@ func (s *System) Dispatch() {
 			}
 			if !wasRunning {
 				s.tracer.kernelEvent("kernel_start", s.eng.Now(), jr, inst.Desc.Name, inst.Seq)
+				s.probeKernelStart(jr, inst)
 				s.armWatchdog(jr, inst)
 			}
 			if observer != nil {
@@ -565,3 +612,41 @@ func (s *System) RejectedCount() int { return s.rejected }
 
 // HostQueueLen returns the number of admitted jobs waiting for a queue.
 func (s *System) HostQueueLen() int { return len(s.hostQ) }
+
+// probeJob emits one job lifecycle event. The event struct is built inside
+// the nil guard, so runs without a probe allocate nothing here.
+func (s *System) probeJob(kind obs.JobEventKind, jr *JobRun) {
+	if s.probe == nil {
+		return
+	}
+	e := obs.JobEvent{
+		At: s.eng.Now(), Kind: kind,
+		Job: jr.Job.ID, Queue: jr.QueueID, Benchmark: jr.Job.Benchmark,
+	}
+	switch kind {
+	case obs.JobArrive:
+		e.Deadline = jr.Job.AbsoluteDeadline()
+	case obs.JobFinish:
+		e.Met = jr.MetDeadline()
+	}
+	s.probe.Job(e)
+}
+
+// probeKernelStart emits a kernel's first WG dispatch, attaching the
+// policy's execution-time prediction when it implements KernelEstimator —
+// the pairing half of estimate-accuracy tracking.
+func (s *System) probeKernelStart(jr *JobRun, inst *gpu.KernelInstance) {
+	if s.probe == nil {
+		return
+	}
+	e := obs.KernelStart{
+		At: s.eng.Now(), Job: jr.Job.ID, Queue: jr.QueueID,
+		Seq: inst.Seq, Kernel: inst.Desc.Name,
+	}
+	if est, ok := s.pol.(KernelEstimator); ok {
+		if pred, ok := est.EstimateKernelTime(jr); ok {
+			e.Predicted, e.HasPrediction = pred, true
+		}
+	}
+	s.probe.KernelStart(e)
+}

@@ -36,11 +36,17 @@ type TraceEvent struct {
 
 // Tracer collects TraceEvents during a run. A nil Tracer is inert, so call
 // sites need no guards.
+//
+// The first write error latches (Err) and stops further writes, but the
+// tracer keeps counting the events it could not record (Dropped), so a
+// truncated trace is detectable: a run is fully recorded iff Err() == nil,
+// and Events()+Dropped() is the number the run emitted either way.
 type Tracer struct {
-	w      io.Writer
-	enc    *json.Encoder
-	events int
-	err    error
+	w       io.Writer
+	enc     *json.Encoder
+	events  int
+	dropped int
+	err     error
 }
 
 // NewTracer returns a tracer writing JSON lines to w.
@@ -64,12 +70,25 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// Dropped returns the number of events lost after the first write error.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
 func (t *Tracer) emit(e TraceEvent) {
-	if t == nil || t.err != nil {
+	if t == nil {
+		return
+	}
+	if t.err != nil {
+		t.dropped++
 		return
 	}
 	if err := t.enc.Encode(e); err != nil {
 		t.err = fmt.Errorf("cp: trace write: %w", err)
+		t.dropped++
 		return
 	}
 	t.events++

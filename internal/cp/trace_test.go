@@ -146,6 +146,42 @@ func TestTracerSurfacesWriteErrors(t *testing.T) {
 	}
 }
 
+// TestTracerCountsDroppedEvents pins the truncation contract: after the
+// first write error the tracer stops writing but keeps counting, so
+// Events()+Dropped() equals what an unbroken writer would have recorded.
+func TestTracerCountsDroppedEvents(t *testing.T) {
+	run := func(tr *Tracer) {
+		desc := testDesc("k", 1, 64, sim.Microsecond)
+		sys := NewSystem(smallConfig(), makeSet(3, 1, desc, 0, sim.Millisecond), &fifoPolicy{})
+		sys.SetTracer(tr)
+		sys.Run()
+	}
+	var buf bytes.Buffer
+	healthy := NewTracer(&buf)
+	run(healthy)
+	if healthy.Dropped() != 0 {
+		t.Fatalf("healthy tracer dropped %d events", healthy.Dropped())
+	}
+
+	// The failing writer accepts 2 events, then errors forever.
+	broken := NewTracer(&failWriter{})
+	run(broken)
+	if broken.Err() == nil {
+		t.Fatal("write error not latched")
+	}
+	if broken.Events() != 2 {
+		t.Fatalf("broken tracer recorded %d events, want 2", broken.Events())
+	}
+	if want := healthy.Events() - broken.Events(); broken.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d (total %d − recorded %d)",
+			broken.Dropped(), want, healthy.Events(), broken.Events())
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer must report zero dropped events")
+	}
+}
+
 func TestCancelLifecycle(t *testing.T) {
 	desc := testDesc("k", 2, 64, 100*sim.Microsecond)
 	set := makeSet(2, 3, desc, 0, 10*sim.Millisecond)

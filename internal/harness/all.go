@@ -14,28 +14,29 @@ import (
 // simulation errors (including context cancellation) they panic; use
 // RunExperiment, which converts cancellation panics back into errors.
 var Experiments = map[string]func(context.Context, *Runner) *Report{
-	"table1":   Table1,
-	"figure1":  Figure1,
-	"figure3":  func(ctx context.Context, _ *Runner) *Report { return Figure3(ctx) },
-	"figure4":  Figure4,
-	"figure6":  Figure6,
-	"figure7":  Figure7,
-	"figure8":  Figure8,
-	"figure9":  Figure9,
-	"figure10": Figure10,
-	"table5":   Table5,
-	"ablation": Ablation,
-	"analysis": Sensitivity,
-	"seeds":    Seeds,
-	"scaling":  Scaling,
-	"faults":   FaultSweep,
+	"table1":    Table1,
+	"figure1":   Figure1,
+	"figure3":   func(ctx context.Context, _ *Runner) *Report { return Figure3(ctx) },
+	"figure4":   Figure4,
+	"figure6":   Figure6,
+	"figure7":   Figure7,
+	"figure8":   Figure8,
+	"figure9":   Figure9,
+	"figure10":  Figure10,
+	"table5":    Table5,
+	"ablation":  Ablation,
+	"analysis":  Sensitivity,
+	"seeds":     Seeds,
+	"scaling":   Scaling,
+	"faults":    FaultSweep,
+	"estimates": Estimates,
 }
 
 // experimentOrder is the rendering order (paper order).
 var experimentOrder = []string{
 	"table1", "figure1", "figure3", "figure4",
 	"figure6", "figure7", "figure8", "figure9", "figure10", "table5",
-	"ablation", "analysis", "seeds", "scaling", "faults",
+	"ablation", "analysis", "seeds", "scaling", "faults", "estimates",
 }
 
 // ExperimentIDs returns the known experiment IDs in paper order.

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+
 	"laxgpu/internal/cp"
 	"laxgpu/internal/sim"
 )
@@ -50,6 +52,42 @@ func (k MissKind) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseMissKind inverts String for the six taxonomy names (it never
+// accepts "unknown": that is the display fallback for a corrupt value, not
+// a member of the taxonomy).
+func ParseMissKind(s string) (MissKind, error) {
+	for _, k := range MissKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown miss kind %q", s)
+}
+
+// MarshalJSON encodes the kind as its taxonomy name, so exported
+// breakdowns read "queued" rather than an opaque ordinal that would shift
+// if the enumeration were ever reordered.
+func (k MissKind) MarshalJSON() ([]byte, error) {
+	s := k.String()
+	if s == "unknown" {
+		return nil, fmt.Errorf("metrics: cannot marshal invalid MissKind(%d)", int(k))
+	}
+	return []byte(`"` + s + `"`), nil
+}
+
+// UnmarshalJSON decodes a taxonomy name produced by MarshalJSON.
+func (k *MissKind) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("metrics: miss kind must be a JSON string, got %s", data)
+	}
+	parsed, err := ParseMissKind(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // MissKinds enumerates the taxonomy in display order.

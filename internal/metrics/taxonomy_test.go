@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"testing"
 
 	"laxgpu/internal/cp"
@@ -112,5 +113,67 @@ func TestMissKindStrings(t *testing.T) {
 	}
 	if len(MissKinds()) != 6 {
 		t.Fatal("MissKinds enumeration wrong")
+	}
+}
+
+// TestMissKindJSONRoundTrip pins the JSON wire form of every taxonomy
+// member: marshal → name string → unmarshal must be the identity, and both
+// ParseMissKind and UnmarshalJSON must reject names outside the taxonomy.
+func TestMissKindJSONRoundTrip(t *testing.T) {
+	for _, k := range MissKinds() {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", k, err)
+		}
+		if want := `"` + k.String() + `"`; string(data) != want {
+			t.Errorf("%v marshals to %s, want %s", k, data, want)
+		}
+		var back MissKind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", k, err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %s -> %v", k, data, back)
+		}
+		parsed, err := ParseMissKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("ParseMissKind(%q) = %v, %v", k.String(), parsed, err)
+		}
+	}
+	if _, err := json.Marshal(MissKind(99)); err == nil {
+		t.Error("marshalling an invalid MissKind should fail")
+	}
+	var k MissKind
+	if err := json.Unmarshal([]byte(`"unknown"`), &k); err == nil {
+		t.Error(`"unknown" should not unmarshal: it is the display fallback, not a member`)
+	}
+	if err := json.Unmarshal([]byte(`3`), &k); err == nil {
+		t.Error("ordinal JSON numbers should not unmarshal")
+	}
+	if _, err := ParseMissKind("nope"); err == nil {
+		t.Error("ParseMissKind should reject names outside the taxonomy")
+	}
+}
+
+// TestMissKindTaxonomyIsClosed guards the enumeration: if a new MissKind
+// constant is added after MissContended, this fails until it is given a
+// String() name, wired into MissKinds(), and therefore into the JSON
+// round trip above.
+func TestMissKindTaxonomyIsClosed(t *testing.T) {
+	seen := make(map[string]bool)
+	for i, k := range MissKinds() {
+		if int(k) != i {
+			t.Errorf("MissKinds()[%d] = MissKind(%d); enumeration must stay in ordinal order", i, int(k))
+		}
+		if k.String() == "unknown" {
+			t.Errorf("MissKind(%d) in MissKinds() lacks a taxonomy string", int(k))
+		}
+		if seen[k.String()] {
+			t.Errorf("duplicate taxonomy name %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+	if next := MissKind(len(MissKinds())); next.String() != "unknown" {
+		t.Errorf("MissKind(%d) has a name %q but is missing from MissKinds(); extend MissKinds and the JSON round trip", int(next), next.String())
 	}
 }

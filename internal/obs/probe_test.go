@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+// countingProbe records how many times each hook fired.
+type countingProbe struct {
+	jobs, adm, epochs, samples, refreshes, starts, dones int
+}
+
+func (c *countingProbe) Job(JobEvent)                { c.jobs++ }
+func (c *countingProbe) Admission(AdmissionDecision) { c.adm++ }
+func (c *countingProbe) Epoch(EpochSnapshot)         { c.epochs++ }
+func (c *countingProbe) Sample(JobSample)            { c.samples++ }
+func (c *countingProbe) TableRefresh(TableRefresh)   { c.refreshes++ }
+func (c *countingProbe) KernelStart(KernelStart)     { c.starts++ }
+func (c *countingProbe) KernelDone(KernelDone)       { c.dones++ }
+
+func TestMultiFanOutAndCollapse(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() must collapse to nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) must collapse to nil")
+	}
+	a := &countingProbe{}
+	if got := Multi(nil, a); got != Probe(a) {
+		t.Fatal("Multi with one live probe must return it directly")
+	}
+	b := &countingProbe{}
+	m := Multi(a, b)
+	m.Job(JobEvent{})
+	m.Admission(AdmissionDecision{})
+	m.Epoch(EpochSnapshot{})
+	m.Sample(JobSample{})
+	m.TableRefresh(TableRefresh{})
+	m.KernelStart(KernelStart{})
+	m.KernelDone(KernelDone{})
+	for _, p := range []*countingProbe{a, b} {
+		if p.jobs != 1 || p.adm != 1 || p.epochs != 1 || p.samples != 1 ||
+			p.refreshes != 1 || p.starts != 1 || p.dones != 1 {
+			t.Fatalf("fan-out missed a hook: %+v", p)
+		}
+	}
+}
+
+func TestMetricsEstimatePairing(t *testing.T) {
+	m := NewMetrics()
+
+	// Kernel-level: predicted 100 µs, actual 80 µs → error +20 µs.
+	m.KernelStart(KernelStart{At: 0, Job: 3, Seq: 0, Kernel: "k",
+		HasPrediction: true, Predicted: 100 * sim.Microsecond})
+	m.KernelDone(KernelDone{At: 80 * sim.Microsecond, Job: 3, Seq: 0, Kernel: "k", Start: 0})
+
+	// A start without a prediction must not produce a pair.
+	m.KernelStart(KernelStart{At: 0, Job: 3, Seq: 1, Kernel: "k2"})
+	m.KernelDone(KernelDone{At: 10 * sim.Microsecond, Job: 3, Seq: 1, Kernel: "k2", Start: 0})
+
+	ks := m.KernelEstimates()
+	if ks.Count != 1 {
+		t.Fatalf("kernel pairs = %d, want 1", ks.Count)
+	}
+	if ks.MeanErrUs != 20 {
+		t.Errorf("kernel mean error = %v µs, want 20", ks.MeanErrUs)
+	}
+	if ks.MAEPct != 25 { // |20| / 80
+		t.Errorf("kernel MAE%% = %v, want 25", ks.MAEPct)
+	}
+
+	// Chain-level: newest sample wins; resolved at finish.
+	m.Sample(JobSample{At: 1 * sim.Millisecond, Job: 7,
+		HasPrediction: true, PredictedRem: 500 * sim.Microsecond})
+	m.Sample(JobSample{At: 2 * sim.Millisecond, Job: 7,
+		HasPrediction: true, PredictedRem: 300 * sim.Microsecond})
+	m.Job(JobEvent{At: 2400 * sim.Microsecond, Kind: JobFinish, Job: 7, Met: true})
+
+	cs := m.ChainEstimates()
+	if cs.Count != 1 {
+		t.Fatalf("chain pairs = %d, want 1", cs.Count)
+	}
+	// predicted 300 µs vs actual 400 µs → error −100 µs.
+	if cs.MeanErrUs != -100 {
+		t.Errorf("chain mean error = %v µs, want -100", cs.MeanErrUs)
+	}
+
+	// A cancelled job's pending sample must not resolve.
+	m.Sample(JobSample{At: 0, Job: 9, HasPrediction: true, PredictedRem: sim.Millisecond})
+	m.Job(JobEvent{At: sim.Millisecond, Kind: JobCancel, Job: 9})
+	m.Job(JobEvent{At: 2 * sim.Millisecond, Kind: JobFinish, Job: 9})
+	if got := m.ChainEstimates().Count; got != 1 {
+		t.Fatalf("cancelled job leaked a chain pair: %d", got)
+	}
+
+	// The error histograms must surface in the Prometheus exposition.
+	var sb strings.Builder
+	if err := m.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"laxsim_estimate_kernel_error_us_count 1",
+		"laxsim_estimate_chain_error_us_count 1",
+		"laxsim_jobs_met_deadline_total 1",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Admission(AdmissionDecision{Accepted: true, HasTerms: true, QueueDelay: sim.Millisecond})
+	m.Admission(AdmissionDecision{Accepted: false})
+	m.Epoch(EpochSnapshot{Active: 5, HostQueued: 2})
+	m.TableRefresh(TableRefresh{Kernels: 3})
+	m.Sample(JobSample{HasLaxity: true, Laxity: -sim.Microsecond})
+
+	var sb strings.Builder
+	if err := m.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"laxsim_admissions_accepted_total 1",
+		"laxsim_admissions_rejected_total 1",
+		"laxsim_epochs_total 1",
+		"laxsim_active_jobs 5",
+		"laxsim_host_queued_jobs 2",
+		"laxsim_profiled_kernel_types 3",
+		"laxsim_job_samples_total 1",
+		"laxsim_laxity_us_count 1",
+		"laxsim_admission_queue_delay_us_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestPerfettoTraceShape(t *testing.T) {
+	p := NewPerfetto()
+	p.Job(JobEvent{At: 0, Kind: JobArrive, Job: 0, Queue: -1, Deadline: sim.Millisecond})
+	p.KernelStart(KernelStart{At: 10, Job: 0, Queue: 2, Seq: 0, Kernel: "gemm"})
+	p.Sample(JobSample{At: 100 * sim.Microsecond, Job: 0, Queue: 2,
+		HasLaxity: true, Laxity: 300 * sim.Microsecond})
+	p.KernelDone(KernelDone{At: 200 * sim.Microsecond, Job: 0, Queue: 2, Seq: 0,
+		Kernel: "gemm", Start: 10})
+	p.Job(JobEvent{At: 210 * sim.Microsecond, Kind: JobFinish, Job: 0, Queue: 2, Met: true})
+
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	var sawQueueTrack, sawSpan, sawCounter, sawLaxityTrack bool
+	for _, ev := range trace.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event missing %q: %v", field, ev)
+			}
+		}
+		name, _ := ev["name"].(string)
+		switch ev["ph"] {
+		case "M":
+			if name == "thread_name" {
+				args := ev["args"].(map[string]any)
+				if args["name"] == "queue 2" {
+					sawQueueTrack = true
+				}
+				if args["name"] == "laxity job 0" {
+					sawLaxityTrack = true
+				}
+			}
+		case "X":
+			if name == "gemm" && ev["dur"].(float64) > 0 {
+				sawSpan = true
+			}
+		case "C":
+			if strings.HasPrefix(name, "laxity job") {
+				sawCounter = true
+			}
+		}
+	}
+	if !sawQueueTrack {
+		t.Error("missing per-queue track metadata")
+	}
+	if !sawLaxityTrack {
+		t.Error("missing per-job laxity counter track metadata")
+	}
+	if !sawSpan {
+		t.Error("missing kernel complete span")
+	}
+	if !sawCounter {
+		t.Error("missing laxity counter event")
+	}
+}

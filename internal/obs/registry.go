@@ -1,0 +1,272 @@
+// Package obs is the simulator's zero-dependency telemetry layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms) with an
+// allocation-free hot path and Prometheus text exposition, a scheduler
+// Probe interface that records per-epoch decision snapshots without
+// perturbing the simulation, estimate-accuracy tracking that pairs
+// predicted remaining times with actual completions, and a Perfetto/Chrome
+// trace-event exporter.
+//
+// obs sits below internal/cp in the import graph (it may import only
+// internal/sim and the standard library), so every layer — core, cp, sched,
+// harness, the public API — can emit into it without cycles.
+//
+// Observability must not perturb the schedule: probes are pure readers of
+// event data the simulation already computes, they never touch the engine,
+// and a nil Probe costs one pointer compare per call site (no allocation —
+// see TestProbeHotPathAllocs and the golden-equivalence test in
+// internal/harness).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits. All
+// methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observations are counted into
+// the bucket whose upper bound is the smallest one >= the value, plus an
+// implicit +Inf bucket. Bounds are fixed at registration, so Observe is
+// allocation-free and safe for concurrent use.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS loop
+}
+
+// NewHistogram builds a standalone histogram with the given bucket upper
+// bounds (sorted copies are taken; the registry's Histogram method is the
+// usual entry point).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the (upper bound, cumulative count) pairs, ending with the
+// +Inf bucket. The snapshot is deterministic but not atomic across buckets.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	cum := make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return h.bounds, cum
+}
+
+// metricKind distinguishes the registry's metric families for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders deterministic snapshots in the
+// Prometheus text exposition format. Registration is idempotent: asking for
+// an existing name returns the existing metric, so independent components
+// can share families. Registration takes a lock; the returned metrics' hot
+// paths do not.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// lookup returns the existing metric for name, verifying its kind, or nil.
+func (r *Registry) lookup(name string, kind metricKind) *metric {
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered twice with different kinds", name))
+		}
+		return m
+	}
+	return nil
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindCounter); m != nil {
+		return m.c
+	}
+	m := &metric{name: name, help: help, kind: kindCounter, c: &Counter{}}
+	r.metrics[name] = m
+	return m.c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindGauge); m != nil {
+		return m.g
+	}
+	m := &metric{name: name, help: help, kind: kindGauge, g: &Gauge{}}
+	r.metrics[name] = m
+	return m.g
+}
+
+// Histogram returns the named histogram, registering it on first use. The
+// bounds of an already-registered histogram win; they are fixed for the
+// registry's lifetime.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindHistogram); m != nil {
+		return m.h
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, h: NewHistogram(bounds)}
+	r.metrics[name] = m
+	return m.h
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name so snapshots are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ordered := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ordered = append(ordered, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+
+	for _, m := range ordered {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
+				return err
+			}
+			bounds, cum := m.h.Buckets()
+			for i, b := range bounds {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum[len(cum)-1]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.name, formatFloat(m.h.Sum()), m.name, m.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trippable decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -10,6 +10,7 @@ import (
 	"laxgpu/internal/core"
 	"laxgpu/internal/cp"
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -55,6 +56,76 @@ func staticRemainingTime(cfg gpu.Config, j *cp.JobRun) sim.Time {
 // instead of overflowing.
 func clampPriority(v sim.Time) int64 {
 	return int64(v)
+}
+
+// The probe helpers below route decision events to the system's attached
+// obs.Probe. Each is a no-op when no probe is attached, and every event is
+// built inside the nil guard, so unprobed runs pay one pointer compare and
+// zero allocations per decision. Probe emission must stay a pure read of
+// decisions the policy already made — never compute scheduling inputs here.
+
+// probeAdmission records an accept/reject verdict for a policy with no
+// Little's-Law terms (deadline-blind or heuristic admission).
+func probeAdmission(sys *cp.System, name string, j *cp.JobRun, accepted bool) {
+	if p := sys.Probe(); p != nil {
+		p.Admission(obs.AdmissionDecision{
+			At: sys.Now(), Scheduler: name, Job: j.Job.ID, Accepted: accepted,
+		})
+	}
+}
+
+// probeAdmissionTerms records an accept/reject verdict together with the
+// Algorithm 1 terms that produced it: queueDelay + hold < deadline.
+func probeAdmissionTerms(sys *cp.System, name string, j *cp.JobRun, accepted bool, queueDelay, hold sim.Time) {
+	if p := sys.Probe(); p != nil {
+		p.Admission(obs.AdmissionDecision{
+			At: sys.Now(), Scheduler: name, Job: j.Job.ID, Accepted: accepted,
+			HasTerms: true, QueueDelay: queueDelay, HoldTime: hold,
+			Deadline: j.Job.Deadline,
+		})
+	}
+}
+
+// probeEpoch marks the start of one Reprioritize pass.
+func probeEpoch(sys *cp.System, name string) {
+	if p := sys.Probe(); p != nil {
+		p.Epoch(obs.EpochSnapshot{
+			At: sys.Now(), Scheduler: name,
+			Active: len(sys.Active()), HostQueued: sys.HostQueueLen(),
+		})
+	}
+}
+
+// probeSamples emits one priority-only sample per active job, for policies
+// without laxity or remaining-time machinery. Policies that compute richer
+// quantities (LAX, SRF, ORACLE) emit their samples inline instead.
+func probeSamples(sys *cp.System) {
+	p := sys.Probe()
+	if p == nil {
+		return
+	}
+	now := sys.Now()
+	for _, j := range sys.Active() {
+		p.Sample(obs.JobSample{At: now, Job: j.Job.ID, Queue: j.QueueID, Priority: j.Priority})
+	}
+}
+
+// probeTableRefresh marks one Kernel Profiling Table update.
+func probeTableRefresh(sys *cp.System, name string, kernels int) {
+	if p := sys.Probe(); p != nil {
+		p.TableRefresh(obs.TableRefresh{At: sys.Now(), Scheduler: name, Kernels: kernels})
+	}
+}
+
+// staticKernelEstimate is the offline-profile prediction of a job's current
+// kernel: the KernelEstimator implementation shared by the statically
+// profiled policies (SJF, LJF, BAY, PRO, ORACLE).
+func staticKernelEstimate(sys *cp.System, j *cp.JobRun) (sim.Time, bool) {
+	k := j.Current()
+	if k == nil {
+		return 0, false
+	}
+	return gpu.IsolatedKernelTime(sys.Device().Config(), k.Desc), true
 }
 
 // registerCapacities tells the profiling table how many WGs of each of the

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"laxgpu/internal/cp"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -41,6 +42,7 @@ func (p *BAT) Attach(s *cp.System) {
 // batched.
 func (p *BAT) Admit(j *cp.JobRun) bool {
 	j.Priority = 0
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -49,6 +51,7 @@ func (p *BAT) Admit(j *cp.JobRun) bool {
 // into one batch. Larger batches are prioritized (batching efficiency),
 // which is exactly what ignores deadlines.
 func (p *BAT) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	type cell struct {
 		kernel string
 		index  int
@@ -70,6 +73,7 @@ func (p *BAT) Reprioritize() {
 			j.Priority = -int64(len(members))
 		}
 	}
+	probeSamples(p.sys)
 }
 
 // CanAdvance implements cp.AdvanceGate: lock-step cellular batching for
@@ -158,8 +162,13 @@ func (p *BAY) Admit(j *cp.JobRun) bool {
 	cfg := p.sys.Device().Config()
 	jobTime := staticJobTime(cfg, j) +
 		sim.Time(len(j.Instances))*HostLaunchOverhead
-	need := BaymaxModelOverhead + p.queueEstimate() + jobTime
-	if need >= j.Job.Deadline {
+	queue := p.queueEstimate()
+	need := BaymaxModelOverhead + queue + jobTime
+	accepted := need < j.Job.Deadline
+	// Baymax's test is need < deadline with the model cost folded into the
+	// queuing term; report queueDelay = wait-before-run, hold = run time.
+	probeAdmissionTerms(p.sys, p.Name(), j, accepted, BaymaxModelOverhead+queue, jobTime)
+	if !accepted {
 		return false
 	}
 	p.predicted[j] = jobTime
@@ -171,12 +180,20 @@ func (p *BAY) Admit(j *cp.JobRun) bool {
 // (absolute deadline minus now minus predicted remaining time). Smaller
 // headroom → more urgent.
 func (p *BAY) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	cfg := p.sys.Device().Config()
 	now := p.sys.Now()
+	pr := p.sys.Probe()
 	for _, j := range p.sys.Active() {
 		rem := staticRemainingTime(cfg, j)
 		headroom := j.Job.AbsoluteDeadline() - now - rem
 		j.Priority = clampPriority(headroom)
+		if pr != nil {
+			pr.Sample(obs.JobSample{
+				At: now, Job: j.Job.ID, Queue: j.QueueID, Priority: j.Priority,
+				HasPrediction: true, PredictedRem: rem,
+			})
+		}
 	}
 }
 
@@ -191,6 +208,12 @@ func (p *BAY) Overheads() cp.Overheads {
 		PerJobAdmission:       BaymaxModelOverhead,
 		PriorityUpdateLatency: HostLaunchOverhead,
 	}
+}
+
+// EstimateKernelTime implements cp.KernelEstimator from Baymax's regression
+// model (the offline isolated-time profile in this reproduction).
+func (p *BAY) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	return staticKernelEstimate(p.sys, j)
 }
 
 // PRO is Prophet [53]: offline profiles predict kernel resource usage and
@@ -216,6 +239,7 @@ func (p *PRO) Attach(s *cp.System) { p.sys = s }
 // rejecting latency-sensitive work.
 func (p *PRO) Admit(j *cp.JobRun) bool {
 	j.Priority = 0
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -223,6 +247,7 @@ func (p *PRO) Admit(j *cp.JobRun) bool {
 // summed thread and memory demand fits the device under the conservative
 // no-overlap model; hold the rest.
 func (p *PRO) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	cfg := p.sys.Device().Config()
 	threadBudget := cfg.TotalThreads()
 	memBudget := cfg.MemBandwidthDemand
@@ -246,6 +271,7 @@ func (p *PRO) Reprioritize() {
 			j.Priority = 1
 		}
 	}
+	probeSamples(p.sys)
 }
 
 // Interval implements cp.Policy.
@@ -258,4 +284,10 @@ func (p *PRO) Overheads() cp.Overheads {
 		PerKernelLaunch:       HostLaunchOverhead,
 		PriorityUpdateLatency: HostLaunchOverhead,
 	}
+}
+
+// EstimateKernelTime implements cp.KernelEstimator from Prophet's offline
+// kernel profiles.
+func (p *PRO) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	return staticKernelEstimate(p.sys, j)
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"laxgpu/internal/core"
 	"laxgpu/internal/cp"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -211,7 +212,9 @@ func (p *LAX) Admit(j *cp.JobRun) bool {
 		queueDelay += rem
 	}
 	hold := t.RemainingTime(j.TotalWGList())
-	if !p.cfg.DisableAdmission && !core.Admit(queueDelay, hold, 0, j.Job.Deadline) {
+	accepted := p.cfg.DisableAdmission || core.Admit(queueDelay, hold, 0, j.Job.Deadline)
+	probeAdmissionTerms(p.sys, p.Name(), j, accepted, queueDelay, hold)
+	if !accepted {
 		return false
 	}
 	switch p.cfg.InitialPriority {
@@ -229,11 +232,14 @@ func (p *LAX) Admit(j *cp.JobRun) bool {
 // Reprioritize implements cp.Policy — Algorithm 2 over all active jobs,
 // every 100 µs.
 func (p *LAX) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
+
 	// Host-side variants schedule from the previous window's rates.
 	if p.variant != VariantCP {
 		p.stale = p.pt.Snapshot()
 	}
 	p.pt.Update(p.sys.Device().Counters(), p.sys.Now())
+	probeTableRefresh(p.sys, p.Name(), p.pt.Len())
 
 	// A CU retirement since the last tick shrinks every kernel's concurrent
 	// capacity; re-register so Algorithm 1 stops admitting against the
@@ -247,11 +253,19 @@ func (p *LAX) Reprioritize() {
 
 	t := p.table()
 	now := p.sys.Now()
+	pr := p.sys.Probe()
 	for _, j := range p.sys.Active() {
 		rem := t.RemainingTime(p.remaining(j))
 		dur := now - j.SubmitTime
 		if !p.cfg.DisableLaxity {
 			j.Priority = core.Priority(j.Job.Deadline, rem, dur)
+		}
+		if pr != nil {
+			pr.Sample(obs.JobSample{
+				At: now, Job: j.Job.ID, Queue: j.QueueID, Priority: j.Priority,
+				HasLaxity: true, Laxity: core.Laxity(j.Job.Deadline, rem, dur),
+				HasPrediction: true, PredictedRem: rem,
+			})
 		}
 		if j.Job.ID == p.traceJob {
 			out := 0
@@ -296,6 +310,18 @@ func (p *LAX) Overheads() cp.Overheads {
 	default:
 		return cp.Overheads{}
 	}
+}
+
+// EstimateKernelTime implements cp.KernelEstimator: the profiling table's
+// launch-time estimate for the job's current kernel, used by the telemetry
+// layer to pair predictions with actual completions. An unprofiled kernel
+// estimates zero (§4.3 optimism), which is still a prediction worth scoring.
+func (p *LAX) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	k := j.Current()
+	if k == nil {
+		return 0, false
+	}
+	return p.table().KernelTime(k.Desc.Name, k.Desc.NumWGs), true
 }
 
 // EnableTrace records a Figure 10 trace for the given job ID.

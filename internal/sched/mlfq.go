@@ -35,12 +35,14 @@ func (p *MLFQ) Attach(s *cp.System) { p.sys = s }
 // Admit implements cp.Policy: jobs enter the high-priority queue.
 func (p *MLFQ) Admit(j *cp.JobRun) bool {
 	j.Priority = mlfqHigh
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
 // Reprioritize implements cp.Policy: apply the runtime-threshold demotion
 // and promotion rules.
 func (p *MLFQ) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	now := p.sys.Now()
 	for _, j := range p.sys.Active() {
 		runtime := now - j.SubmitTime
@@ -54,6 +56,7 @@ func (p *MLFQ) Reprioritize() {
 			j.Priority = mlfqHigh
 		}
 	}
+	probeSamples(p.sys)
 }
 
 // Interval implements cp.Policy.

@@ -4,6 +4,7 @@ import (
 	"laxgpu/internal/core"
 	"laxgpu/internal/cp"
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -25,6 +26,7 @@ func (p *FCFS) Attach(s *cp.System) { p.sys = s }
 // Admit implements cp.Policy: everything, one priority level.
 func (p *FCFS) Admit(j *cp.JobRun) bool {
 	j.Priority = 0
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -85,7 +87,9 @@ func (p *ORACLE) Admit(j *cp.JobRun) bool {
 		queueDelay += p.drain(a)
 	}
 	hold := staticJobTime(p.sys.Device().Config(), j)
-	if !core.Admit(queueDelay, hold, 0, j.Job.Deadline) {
+	accepted := core.Admit(queueDelay, hold, 0, j.Job.Deadline)
+	probeAdmissionTerms(p.sys, p.Name(), j, accepted, queueDelay, hold)
+	if !accepted {
 		return false
 	}
 	j.Priority = core.HighestPriority
@@ -95,12 +99,21 @@ func (p *ORACLE) Admit(j *cp.JobRun) bool {
 // Reprioritize implements cp.Policy — Algorithm 2 with exact remaining
 // times.
 func (p *ORACLE) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	cfg := p.sys.Device().Config()
 	now := p.sys.Now()
+	pr := p.sys.Probe()
 	for _, j := range p.sys.Active() {
 		rem := staticRemainingTime(cfg, j)
 		dur := now - j.SubmitTime
 		j.Priority = core.Priority(j.Job.Deadline, rem, dur)
+		if pr != nil {
+			pr.Sample(obs.JobSample{
+				At: now, Job: j.Job.ID, Queue: j.QueueID, Priority: j.Priority,
+				HasLaxity: true, Laxity: core.Laxity(j.Job.Deadline, rem, dur),
+				HasPrediction: true, PredictedRem: rem,
+			})
+		}
 	}
 }
 
@@ -109,3 +122,9 @@ func (p *ORACLE) Interval() sim.Time { return core.DefaultUpdateInterval }
 
 // Overheads implements cp.Policy: the oracle lives in the CP.
 func (p *ORACLE) Overheads() cp.Overheads { return cp.Overheads{} }
+
+// EstimateKernelTime implements cp.KernelEstimator with the oracle's exact
+// isolated kernel time — the zero-error reference for the accuracy tracker.
+func (p *ORACLE) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	return staticKernelEstimate(p.sys, j)
+}

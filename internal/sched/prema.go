@@ -39,6 +39,7 @@ func (p *PREMA) Attach(s *cp.System) { p.sys = s }
 // Admit implements cp.Policy: PREMA has no deadline-based admission.
 func (p *PREMA) Admit(j *cp.JobRun) bool {
 	j.Priority = 0
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -63,6 +64,7 @@ func (p *PREMA) token(j *cp.JobRun) float64 {
 // covered, pause the rest, and charge a stall for every preempted job that
 // had work in flight.
 func (p *PREMA) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	active := p.sys.Active()
 	if len(active) == 0 {
 		return
@@ -120,6 +122,7 @@ func (p *PREMA) Reprioritize() {
 			p.sys.Device().Stall(stall)
 		}
 	}
+	probeSamples(p.sys)
 }
 
 // Interval implements cp.Policy: the 250 µs preemption epoch.

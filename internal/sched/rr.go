@@ -26,7 +26,10 @@ func (p *RR) Name() string { return "RR" }
 func (p *RR) Attach(s *cp.System) { p.sys = s }
 
 // Admit implements cp.Policy: contemporary GPUs offload unconditionally.
-func (p *RR) Admit(j *cp.JobRun) bool { return true }
+func (p *RR) Admit(j *cp.JobRun) bool {
+	probeAdmission(p.sys, p.Name(), j, true)
+	return true
+}
 
 // Reprioritize implements cp.Policy: RR never changes priorities.
 func (p *RR) Reprioritize() {}

@@ -3,6 +3,7 @@ package sched
 import (
 	"laxgpu/internal/core"
 	"laxgpu/internal/cp"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -36,6 +37,7 @@ func (p *SRF) Attach(s *cp.System) {
 func (p *SRF) Admit(j *cp.JobRun) bool {
 	registerCapacities(p.pt, p.sys.Device(), j)
 	j.Priority = clampPriority(p.pt.RemainingTime(j.TotalWGList()))
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -43,15 +45,26 @@ func (p *SRF) Admit(j *cp.JobRun) bool {
 // device counters and re-rank every active job by its estimated remaining
 // time.
 func (p *SRF) Reprioritize() {
+	probeEpoch(p.sys, p.Name())
 	p.pt.Update(p.sys.Device().Counters(), p.sys.Now())
+	probeTableRefresh(p.sys, p.Name(), p.pt.Len())
 	if r := p.sys.Device().RetiredCUsCount(); r != p.seenRetiredCUs {
 		p.seenRetiredCUs = r
 		for _, j := range p.sys.Active() {
 			registerCapacities(p.pt, p.sys.Device(), j)
 		}
 	}
+	pr := p.sys.Probe()
+	now := p.sys.Now()
 	for _, j := range p.sys.Active() {
-		j.Priority = clampPriority(p.pt.RemainingTime(j.RemainingWGList()))
+		rem := p.pt.RemainingTime(j.RemainingWGList())
+		j.Priority = clampPriority(rem)
+		if pr != nil {
+			pr.Sample(obs.JobSample{
+				At: now, Job: j.Job.ID, Queue: j.QueueID, Priority: j.Priority,
+				HasPrediction: true, PredictedRem: rem,
+			})
+		}
 	}
 }
 
@@ -60,3 +73,13 @@ func (p *SRF) Interval() sim.Time { return core.DefaultUpdateInterval }
 
 // Overheads implements cp.Policy: SRF extends the CP.
 func (p *SRF) Overheads() cp.Overheads { return cp.Overheads{} }
+
+// EstimateKernelTime implements cp.KernelEstimator from SRF's own profiling
+// table (it shares LAX's estimator machinery, Table 3).
+func (p *SRF) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	k := j.Current()
+	if k == nil {
+		return 0, false
+	}
+	return p.pt.KernelTime(k.Desc.Name, k.Desc.NumWGs), true
+}

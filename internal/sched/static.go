@@ -25,6 +25,7 @@ func (p *EDF) Attach(s *cp.System) { p.sys = s }
 // becomes the job's static priority.
 func (p *EDF) Admit(j *cp.JobRun) bool {
 	j.Priority = clampPriority(j.Job.AbsoluteDeadline())
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -54,6 +55,7 @@ func (p *SJF) Attach(s *cp.System) { p.sys = s }
 // for the job's lifetime.
 func (p *SJF) Admit(j *cp.JobRun) bool {
 	j.Priority = clampPriority(staticJobTime(p.sys.Device().Config(), j))
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -65,6 +67,12 @@ func (p *SJF) Interval() sim.Time { return 0 }
 
 // Overheads implements cp.Policy.
 func (p *SJF) Overheads() cp.Overheads { return cp.Overheads{} }
+
+// EstimateKernelTime implements cp.KernelEstimator from the same offline
+// profile SJF's static ordering keys on.
+func (p *SJF) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	return staticKernelEstimate(p.sys, j)
+}
 
 // LJF schedules kernels from the longest job first (Table 3) — the mirror
 // image of SJF. It helps long RNN jobs at the cost of sacrificing short
@@ -83,6 +91,7 @@ func (p *LJF) Attach(s *cp.System) { p.sys = s }
 // Admit implements cp.Policy.
 func (p *LJF) Admit(j *cp.JobRun) bool {
 	j.Priority = -clampPriority(staticJobTime(p.sys.Device().Config(), j))
+	probeAdmission(p.sys, p.Name(), j, true)
 	return true
 }
 
@@ -94,3 +103,9 @@ func (p *LJF) Interval() sim.Time { return 0 }
 
 // Overheads implements cp.Policy.
 func (p *LJF) Overheads() cp.Overheads { return cp.Overheads{} }
+
+// EstimateKernelTime implements cp.KernelEstimator from the same offline
+// profile LJF's static ordering keys on.
+func (p *LJF) EstimateKernelTime(j *cp.JobRun) (sim.Time, bool) {
+	return staticKernelEstimate(p.sys, j)
+}

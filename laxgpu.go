@@ -39,6 +39,7 @@ import (
 	"laxgpu/internal/faults"
 	"laxgpu/internal/harness"
 	"laxgpu/internal/metrics"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
@@ -134,6 +135,20 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	return defaultSession.RunContext(ctx, o)
 }
 
+// RunProbed is Run with the telemetry probe attached: the run is simulated
+// fresh (uncached), its scheduler-decision metrics fold into the default
+// session's registry, and WriteMetrics snapshots them. The probe is a pure
+// observer, so the Result is identical to Run's.
+func RunProbed(o Options) (Result, error) {
+	return defaultSession.RunProbed(o)
+}
+
+// WriteMetrics writes the default session's accumulated telemetry (from
+// RunProbed calls) in Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error {
+	return defaultSession.WriteMetrics(w)
+}
+
 // Sweep simulates every cell across the default session's worker pool and
 // returns the results in input order.
 func Sweep(opts []Options) ([]Result, error) {
@@ -214,6 +229,15 @@ type TraceOptions struct {
 	// System overrides the simulated device; nil means the paper's
 	// Table 2 system.
 	System *SystemConfig
+
+	// Metrics, when non-nil, receives the run's telemetry in Prometheus
+	// text exposition format after the replay completes.
+	Metrics io.Writer
+
+	// Perfetto, when non-nil, receives a Chrome trace-event JSON document
+	// (loadable in ui.perfetto.dev) with one track per GPU queue and a
+	// laxity counter track per job, written after the replay completes.
+	Perfetto io.Writer
 }
 
 // RunTrace replays a custom job trace under the named scheduler on the
@@ -273,8 +297,38 @@ func RunTraceContext(ctx context.Context, trace io.Reader, o TraceOptions) (Resu
 		}
 		sys.InstallFaults(faults.NewPlan(spec, seed), spec.Retirements)
 	}
+	var (
+		m  *obs.Metrics
+		pf *obs.Perfetto
+	)
+	if o.Metrics != nil {
+		m = obs.NewMetrics()
+	}
+	if o.Perfetto != nil {
+		pf = obs.NewPerfetto()
+	}
+	if m != nil || pf != nil {
+		var probes []obs.Probe
+		if m != nil {
+			probes = append(probes, m)
+		}
+		if pf != nil {
+			probes = append(probes, pf)
+		}
+		sys.SetProbe(obs.Multi(probes...))
+	}
 	if err := sys.RunContext(ctx); err != nil {
 		return Result{}, err
+	}
+	if m != nil {
+		if err := m.Registry().WritePrometheus(o.Metrics); err != nil {
+			return Result{}, err
+		}
+	}
+	if pf != nil {
+		if err := pf.Write(o.Perfetto); err != nil {
+			return Result{}, err
+		}
 	}
 	return toResult(metrics.Summarize(sys, o.Scheduler, "custom", "trace")), nil
 }

@@ -102,7 +102,7 @@ func TestEnumerations(t *testing.T) {
 	if len(Benchmarks()) != 8 {
 		t.Fatalf("Benchmarks() = %v", Benchmarks())
 	}
-	if len(Experiments()) != 15 {
+	if len(Experiments()) != 16 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 	if len(Rates()) != 3 {

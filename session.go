@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"laxgpu/internal/harness"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
@@ -58,6 +59,11 @@ type Session struct {
 	mu      sync.Mutex
 	runners map[runnerKey]*harness.Runner
 	order   []runnerKey // insertion order, oldest first
+
+	// metricsReg accumulates telemetry across the session's RunProbed
+	// calls; WriteMetrics snapshots it. Counters are atomic and probed runs
+	// never share pairing state, so concurrent probed runs may feed it.
+	metricsReg *obs.Registry
 }
 
 // NewSession returns a Session with its own memo and worker pool.
@@ -70,6 +76,7 @@ func NewSession(o SessionOptions) *Session {
 		parallel:   o.Parallel,
 		maxConfigs: maxConfigs,
 		runners:    make(map[runnerKey]*harness.Runner),
+		metricsReg: obs.NewRegistry(),
 	}
 }
 
@@ -151,6 +158,38 @@ func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
 		return Result{}, err
 	}
 	return toResult(sum), nil
+}
+
+// RunProbed simulates one cell with the telemetry probe attached. Probed
+// runs bypass the session memo (telemetry is per-run state) but replay the
+// same memoized job trace, and the probe is a pure observer, so the Result
+// is identical to Run's. The run's metrics fold into the session registry;
+// snapshot them with WriteMetrics.
+func (s *Session) RunProbed(o Options) (Result, error) {
+	return s.RunProbedContext(context.Background(), o)
+}
+
+// RunProbedContext is RunProbed with cooperative cancellation.
+func (s *Session) RunProbedContext(ctx context.Context, o Options) (Result, error) {
+	key, rate, err := normalizeOptions(o)
+	if err != nil {
+		return Result{}, err
+	}
+	m := obs.NewMetricsWithRegistry(s.metricsReg)
+	pr, err := s.runnerFor(key).RunProbedInto(ctx, m, o.Scheduler, o.Benchmark, rate)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(pr.Summary), nil
+}
+
+// WriteMetrics writes the telemetry accumulated by the session's RunProbed
+// calls in Prometheus text exposition format (a before-probing session
+// writes an empty, valid exposition). Snapshots are deterministic: metric
+// families are name-sorted and repeated calls on a quiet session are
+// byte-identical.
+func (s *Session) WriteMetrics(w io.Writer) error {
+	return s.metricsReg.WritePrometheus(w)
 }
 
 // Sweep simulates every cell across the session's worker pool and returns
