@@ -13,7 +13,7 @@ import (
 type CapacityOptions struct {
 	// Scheduler and Benchmark name the cell under test.
 	Scheduler string
-	Benchmark string
+	Benchmark string // workload trace name, e.g. "CUCKOO"
 
 	// TargetMetFrac is the SLO: the fraction of jobs that must meet their
 	// deadline (default 0.95).
@@ -21,7 +21,7 @@ type CapacityOptions struct {
 
 	// Jobs per probe trace (default 96) and Seed (default 42).
 	Jobs int
-	Seed int64
+	Seed int64 // arrival-trace seed for every probe
 
 	// Faults optionally injects a fault plan into every probe (same syntax
 	// as Options.Faults), answering "what rate can a degraded device

@@ -12,6 +12,8 @@
 //	laxsim -run LAX,LSTM,high -metrics m.prom    # Prometheus telemetry snapshot
 //	laxsim -run LAX,LSTM,high -perfetto t.json   # Perfetto/Chrome trace export
 //	laxsim -run LAX,LSTM,high -probe             # estimate-accuracy digest
+//	laxsim -run LAX,LSTM,high -verify            # runtime invariant checker
+//	laxsim -experiment figure7 -verify           # checked experiment grid
 //	laxsim -pprof localhost:6060 -experiment table5  # live pprof/expvar server
 //	laxsim -run LAX,LSTM,high -gpus 4            # multi-GPU fleet run
 //	laxsim -sweep high -csv out.csv # every scheduler x benchmark at one rate
@@ -44,6 +46,7 @@ import (
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
+	"laxgpu/internal/verify"
 	"laxgpu/internal/viz"
 	"laxgpu/internal/workload"
 )
@@ -67,6 +70,7 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "with -run: write scheduler telemetry in Prometheus text format to this file")
 		perfettoOut = flag.String("perfetto", "", "with -run: write a Chrome trace-event JSON (ui.perfetto.dev) to this file")
 		probe       = flag.Bool("probe", false, "with -run: print per-run telemetry (decision counts, estimate accuracy) to stdout")
+		verifyRuns  = flag.Bool("verify", false, "attach the runtime invariant checker to every simulation; any violated guarantee (DESIGN.md section 9) aborts the run with a diagnostic")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the process lifetime")
 	)
 	flag.Parse()
@@ -78,7 +82,7 @@ func main() {
 		return
 	}
 
-	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel, *metricsOut, *perfettoOut, *probe); err != nil {
+	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel, *metricsOut, *perfettoOut, *probe, *verifyRuns); err != nil {
 		fatal(err)
 	}
 
@@ -98,6 +102,7 @@ func main() {
 	r.JobCount = *jobs
 	r.Faults = *faults
 	r.Workers = *parallel
+	r.Verify = *verifyRuns
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -162,6 +167,7 @@ func main() {
 				metricsPath:  *metricsOut,
 				perfettoPath: *perfettoOut,
 				probeSummary: *probe,
+				verify:       *verifyRuns,
 			})
 			if err != nil {
 				fatal(err)
@@ -220,6 +226,7 @@ type obsOptions struct {
 	metricsPath  string
 	perfettoPath string
 	probeSummary bool
+	verify       bool
 }
 
 // runTraced executes one cell with the requested observers attached: the
@@ -266,6 +273,12 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 		pf = obs.NewPerfetto()
 		probes = append(probes, pf)
 	}
+	var ck *verify.Checker
+	if o.verify {
+		ck = verify.New(verify.OptionsFor(schedName, pol, r.Cfg, false))
+		ck.Attach(sys)
+		probes = append(probes, ck)
+	}
 	if len(probes) > 0 {
 		sys.SetProbe(obs.Multi(probes...))
 	}
@@ -275,6 +288,11 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 	}
 	if err := tracer.Err(); err != nil {
 		return err
+	}
+	if ck != nil {
+		if err := ck.Finalize(); err != nil {
+			return fmt.Errorf("invariant violation: %w", err)
+		}
 	}
 	s := metrics.Summarize(sys, schedName, benchName, rate.String())
 	fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected, %d cancelled\n",
@@ -304,6 +322,9 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 	}
 	if o.probeSummary {
 		printProbeSummary(m)
+	}
+	if ck != nil {
+		fmt.Printf("  verify: %d invariant checks, no violations\n", ck.Checks())
 	}
 	if o.timeline {
 		events, err := viz.ParseEvents(&buf)
@@ -390,7 +411,7 @@ func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate
 
 // validateFlags rejects contradictory flag combinations up front, so a
 // misplaced mode flag fails loudly instead of being silently ignored.
-func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int, metricsOut, perfettoOut string, probe bool) error {
+func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int, metricsOut, perfettoOut string, probe, verifyRuns bool) error {
 	modes := 0
 	for _, set := range []bool{experiment != "", rawRun != "", sweepRate != ""} {
 		if set {
@@ -422,8 +443,8 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 			return fmt.Errorf("-probe requires -run")
 		}
 	}
-	if gpus > 1 && (metricsOut != "" || perfettoOut != "" || probe || traceOut != "" || timeline) {
-		return fmt.Errorf("-gpus does not combine with the single-GPU observers (-trace, -timeline, -metrics, -perfetto, -probe)")
+	if gpus > 1 && (metricsOut != "" || perfettoOut != "" || probe || traceOut != "" || timeline || verifyRuns) {
+		return fmt.Errorf("-gpus does not combine with the single-GPU observers (-trace, -timeline, -metrics, -perfetto, -probe, -verify)")
 	}
 	if csvOut != "" && sweepRate == "" {
 		return fmt.Errorf("-csv requires -sweep")

@@ -137,6 +137,34 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("verify", func(t *testing.T) {
+		// Plain checked run: the checker is invisible on success.
+		out, err := run(t, bin, "-run", "LAX,IPV6,high", "-jobs", "16", "-verify")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "met deadline") {
+			t.Errorf("unexpected checked -run output:\n%s", out)
+		}
+		// Checked observer run reports the check count.
+		out, err = run(t, bin, "-run", "LAX,IPV6,high", "-jobs", "16", "-verify", "-probe")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "invariant checks, no violations") {
+			t.Errorf("checked -probe run missing verify summary:\n%s", out)
+		}
+		// Checked fault-injected run: relaxed rules still pass.
+		out, err = run(t, bin, "-run", "EDF,CUCKOO,high", "-jobs", "16", "-verify",
+			"-faults", "hang=0.1,abort=0.1")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		if !strings.Contains(out, "recovery:") {
+			t.Errorf("checked faulted run missing recovery counters:\n%s", out)
+		}
+	})
+
 	t.Run("run-faults", func(t *testing.T) {
 		out, err := run(t, bin, "-run", "LAX,LSTM,medium", "-jobs", "32", "-faults", "hang=0.1,abort=0.1")
 		if err != nil {
@@ -187,6 +215,7 @@ func TestCLI(t *testing.T) {
 			{"-perfetto", "t.json", "-run", "LAX,IPV6,high", "-gpus", "2"},
 			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-metrics", "m.prom"},
 			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-probe"},
+			{"-verify", "-run", "LAX,IPV6,high", "-gpus", "2"},
 		}
 		for _, args := range bad {
 			if out, err := run(t, bin, args...); err == nil {

@@ -55,3 +55,63 @@ func ExampleBenchmarks() {
 	// Output:
 	// LSTM GRU VAN HYBRID IPV6 CUCKOO GMM STEM
 }
+
+// The telemetry probe is a pure observer: a probed run returns exactly the
+// same Result as a plain run while folding scheduler-decision metrics into
+// the session registry.
+func ExampleRunProbed() {
+	o := laxgpu.Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "high"}
+	plain, err := laxgpu.Run(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probed, err := laxgpu.RunProbed(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("probe changes nothing:", probed == plain)
+	// Output:
+	// probe changes nothing: true
+}
+
+// Snapshotting the telemetry a session accumulated across probed runs, in
+// Prometheus text exposition format.
+func ExampleSession_WriteMetrics() {
+	s := laxgpu.NewSession(laxgpu.SessionOptions{})
+	if _, err := s.RunProbed(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"}); err != nil {
+		log.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.WriteMetrics(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("has admission counters:", strings.Contains(buf.String(), "laxsim_admissions_accepted_total"))
+
+	// Snapshots of a quiet session are deterministic and byte-identical.
+	var again strings.Builder
+	if err := s.WriteMetrics(&again); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("repeatable snapshot:", again.String() == buf.String())
+	// Output:
+	// has admission counters: true
+	// repeatable snapshot: true
+}
+
+// The runtime invariant checker (DESIGN.md section 9) rides along as a pure
+// observer: a verified run yields the same Result as a plain run, or an
+// error naming the first violated guarantee.
+func ExampleRunVerified() {
+	o := laxgpu.Options{Scheduler: "EDF", Benchmark: "IPV6", Rate: "medium"}
+	plain, err := laxgpu.Run(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	checked, err := laxgpu.RunVerified(o)
+	if err != nil {
+		log.Fatal(err) // an invariant violation would surface here
+	}
+	fmt.Println("checker changes nothing:", checked == plain)
+	// Output:
+	// checker changes nothing: true
+}

@@ -2,6 +2,7 @@ package cp
 
 import (
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -316,6 +317,7 @@ func (s *System) fallbackToCPU(jr *JobRun) {
 		jr.FinishTime = s.eng.Now()
 		s.completed++
 		s.tracer.jobEvent("finish", s.eng.Now(), jr)
+		s.probeJob(obs.JobFinish, jr)
 	})
 	s.Dispatch()
 }

@@ -149,6 +149,9 @@ func (s *System) Engine() *sim.Engine { return s.eng }
 // Device returns the GPU model.
 func (s *System) Device() *gpu.Device { return s.dev }
 
+// Config returns the system configuration the run was built with.
+func (s *System) Config() SystemConfig { return s.cfg }
+
 // Now returns the current simulated time.
 func (s *System) Now() sim.Time { return s.eng.Now() }
 

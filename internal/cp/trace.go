@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -42,11 +43,10 @@ type TraceEvent struct {
 // truncated trace is detectable: a run is fully recorded iff Err() == nil,
 // and Events()+Dropped() is the number the run emitted either way.
 type Tracer struct {
-	w       io.Writer
-	enc     *json.Encoder
-	events  int
-	dropped int
-	err     error
+	w      io.Writer
+	enc    *json.Encoder
+	events int
+	latch  obs.ErrorLatch
 }
 
 // NewTracer returns a tracer writing JSON lines to w.
@@ -67,7 +67,7 @@ func (t *Tracer) Err() error {
 	if t == nil {
 		return nil
 	}
-	return t.err
+	return t.latch.Err()
 }
 
 // Dropped returns the number of events lost after the first write error.
@@ -75,20 +75,20 @@ func (t *Tracer) Dropped() int {
 	if t == nil {
 		return 0
 	}
-	return t.dropped
+	return t.latch.Dropped()
 }
 
 func (t *Tracer) emit(e TraceEvent) {
 	if t == nil {
 		return
 	}
-	if t.err != nil {
-		t.dropped++
+	if t.latch.Failed() {
+		t.latch.CountDropped()
 		return
 	}
 	if err := t.enc.Encode(e); err != nil {
-		t.err = fmt.Errorf("cp: trace write: %w", err)
-		t.dropped++
+		t.latch.Latch(fmt.Errorf("cp: trace write: %w", err))
+		t.latch.CountDropped()
 		return
 	}
 	t.events++

@@ -400,6 +400,25 @@ func (d *Device) FreeThreads() int {
 	return n
 }
 
+// CanFit reports whether the device could place one WG of desc right now:
+// some non-retired CU has room for its footprint and the device is not
+// stalled. It is a pure query — unlike TryDispatch it reserves nothing and
+// does not advance the round-robin placement cursor — so observers (the
+// verification checker's dispatch-order rule) can probe occupancy without
+// perturbing the run.
+func (d *Device) CanFit(desc *KernelDesc) bool {
+	if d.Stalled() {
+		return false
+	}
+	f := footprintOf(desc, d.cfg.WavefrontSize)
+	for _, cu := range d.cus {
+		if cu.fits(f) {
+			return true
+		}
+	}
+	return false
+}
+
 // MaxConcurrentWGs returns how many WGs of desc the device could host
 // simultaneously if idle, counting only non-retired CUs — admission
 // heuristics see the *current* capacity of a degraded device, not nominal.

@@ -9,6 +9,7 @@ import (
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
+	"laxgpu/internal/verify"
 	"laxgpu/internal/workload"
 )
 
@@ -57,9 +58,21 @@ func (r *Runner) RunProbedInto(ctx context.Context, m *obs.Metrics, schedName, b
 	if !spec.Zero() {
 		sys.InstallFaults(faults.NewPlan(spec, r.cellSeed(benchName, rate)), spec.Retirements)
 	}
-	sys.SetProbe(m)
+	var ck *verify.Checker
+	probe := obs.Probe(m)
+	if r.Verify {
+		ck = verify.New(verify.OptionsFor(schedName, pol, cfg, !spec.Zero()))
+		ck.Attach(sys)
+		probe = obs.Multi(m, ck)
+	}
+	sys.SetProbe(probe)
 	if err := sys.RunContext(ctx); err != nil {
 		return ProbedRun{}, err
+	}
+	if ck != nil {
+		if err := ck.Finalize(); err != nil {
+			return ProbedRun{}, fmt.Errorf("%s/%s/%s: invariant violation: %w", schedName, benchName, rate, err)
+		}
 	}
 	return ProbedRun{
 		Summary: metrics.Summarize(sys, schedName, benchName, rate.String()),

@@ -25,6 +25,7 @@ import (
 	"laxgpu/internal/faults"
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/sched"
+	"laxgpu/internal/verify"
 	"laxgpu/internal/workload"
 )
 
@@ -60,6 +61,12 @@ type Runner struct {
 	// Workers bounds the sweep worker pool: 0 means GOMAXPROCS, 1 forces
 	// the serial reference path. Results are identical at every width.
 	Workers int
+
+	// Verify attaches the internal/verify invariant checker to every fresh
+	// simulation: a run that violates a scheduler invariant fails with the
+	// first violation instead of returning results. Probes are pure
+	// observers, so checked runs produce byte-identical summaries.
+	Verify bool
 
 	// Progress, when non-nil, receives one line per fresh simulation run.
 	// Writes are serialized; line order under a parallel sweep follows
@@ -233,8 +240,19 @@ func (r *Runner) RunSystemContext(ctx context.Context, schedName, benchName stri
 	if !spec.Zero() {
 		sys.InstallFaults(faults.NewPlan(spec, r.cellSeed(benchName, rate)), spec.Retirements)
 	}
+	var ck *verify.Checker
+	if r.Verify {
+		ck = verify.New(verify.OptionsFor(schedName, pol, cfg, !spec.Zero()))
+		ck.Attach(sys)
+		sys.SetProbe(ck)
+	}
 	if err := sys.RunContext(ctx); err != nil {
 		return nil, nil, err
+	}
+	if ck != nil {
+		if err := ck.Finalize(); err != nil {
+			return nil, nil, fmt.Errorf("%s/%s/%s: invariant violation: %w", schedName, benchName, rate, err)
+		}
 	}
 	if r.Progress != nil {
 		r.progressMu.Lock()

@@ -1,0 +1,160 @@
+package verify
+
+import (
+	"sort"
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+)
+
+// metaRun replays a reference-domain workload through the production
+// simulator under the named policy (checker attached) and returns per-job
+// miss flags and latencies keyed by job ID.
+func metaRun(t *testing.T, policy string, jobs []RefJob) (missed map[int]bool, latency map[int]sim.Time) {
+	t.Helper()
+	cfg, _ := refSystemConfig(t)
+	pol, err := sched.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cp.NewSystem(cfg, RefJobSet(jobs), pol)
+	ck := New(OptionsFor(policy, pol, cfg, false))
+	ck.Attach(sys)
+	sys.SetProbe(ck)
+	sys.Run()
+	if err := ck.Finalize(); err != nil {
+		t.Fatalf("%s: invariant violation: %v", policy, err)
+	}
+	missed = map[int]bool{}
+	latency = map[int]sim.Time{}
+	for _, jr := range sys.Jobs() {
+		missed[jr.Job.ID] = !jr.MetDeadline()
+		latency[jr.Job.ID] = jr.Latency()
+	}
+	return missed, latency
+}
+
+func countMisses(m map[int]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TestMetamorphicRelaxedDeadlines: adding slack to every deadline must
+// never increase the miss count. For EDF the relaxation even preserves the
+// schedule exactly (priorities all shift by the same constant only when the
+// slack is constant — here it is), so each individual job's verdict can
+// only improve; for LAX the property is the paper's motivating monotonicity
+// and is checked empirically per seed.
+func TestMetamorphicRelaxedDeadlines(t *testing.T) {
+	_, slots := refSystemConfig(t)
+	const seeds = 40
+	for _, policy := range []string{"EDF", "LAX"} {
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				jobs := RandomRefJobs(sim.NewRNG(seed*104729), 10, slots)
+				relaxed := make([]RefJob, len(jobs))
+				copy(relaxed, jobs)
+				for i := range relaxed {
+					relaxed[i].Deadline += 500 * sim.Microsecond
+				}
+				before, _ := metaRun(t, policy, jobs)
+				after, _ := metaRun(t, policy, relaxed)
+				if nb, na := countMisses(before), countMisses(after); na > nb {
+					t.Fatalf("seed %d: relaxing every deadline raised misses %d → %d", seed, nb, na)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicStretchedArrivals: halving the arrival rate (doubling
+// every inter-arrival gap) must not make things worse. For EDF the checked
+// quantity is p99 latency (less contention cannot worsen the tail of a
+// deadline-ordered schedule; p99 over so few jobs is the max). LAX is
+// deliberately NOT latency-monotone — it optimizes deadline hits and will
+// hold a high-laxity job longer when the device is idle — so for LAX the
+// property is stated on the quantity it optimizes: the miss count.
+func TestMetamorphicStretchedArrivals(t *testing.T) {
+	_, slots := refSystemConfig(t)
+	const seeds = 40
+	p99 := func(lat map[int]sim.Time) sim.Time {
+		var all []sim.Time
+		for _, l := range lat {
+			all = append(all, l)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		return all[(len(all)*99)/100]
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		jobs := RandomRefJobs(sim.NewRNG(seed*7177), 10, slots)
+		stretched := make([]RefJob, len(jobs))
+		copy(stretched, jobs)
+		for i := range stretched {
+			stretched[i].Arrival *= 2
+		}
+		mBefore, lBefore := metaRun(t, "EDF", jobs)
+		mAfter, lAfter := metaRun(t, "EDF", stretched)
+		if pb, pa := p99(lBefore), p99(lAfter); pa > pb {
+			t.Fatalf("EDF seed %d: halving the rate raised p99 latency %v → %v", seed, pb, pa)
+		}
+		if nb, na := countMisses(mBefore), countMisses(mAfter); na > nb {
+			t.Fatalf("EDF seed %d: halving the rate raised misses %d → %d", seed, nb, na)
+		}
+		mBefore, _ = metaRun(t, "LAX", jobs)
+		mAfter, _ = metaRun(t, "LAX", stretched)
+		if nb, na := countMisses(mBefore), countMisses(mAfter); na > nb {
+			t.Fatalf("LAX seed %d: halving the rate raised misses %d → %d", seed, nb, na)
+		}
+	}
+}
+
+// TestMetamorphicPermutedJobs: permuting trace order and renumbering job
+// IDs must leave aggregate metrics (miss count, latency multiset) exactly
+// unchanged — IDs only break ties, and the generator's distinct arrivals
+// leave no ties to break.
+func TestMetamorphicPermutedJobs(t *testing.T) {
+	_, slots := refSystemConfig(t)
+	const seeds = 40
+	multiset := func(lat map[int]sim.Time) []sim.Time {
+		var all []sim.Time
+		for _, l := range lat {
+			all = append(all, l)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		return all
+	}
+	for _, policy := range []string{"EDF", "RR", "LAX"} {
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				rng := sim.NewRNG(seed * 31337)
+				jobs := RandomRefJobs(rng, 10, slots)
+				perm := make([]RefJob, len(jobs))
+				copy(perm, jobs)
+				rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				for i := range perm {
+					perm[i].ID = i // IDs must stay dense per workload.Job's contract
+				}
+				mA, lA := metaRun(t, policy, jobs)
+				mB, lB := metaRun(t, policy, perm)
+				if countMisses(mA) != countMisses(mB) {
+					t.Fatalf("seed %d: permuting jobs changed miss count %d → %d",
+						seed, countMisses(mA), countMisses(mB))
+				}
+				la, lb := multiset(lA), multiset(lB)
+				for i := range la {
+					if la[i] != lb[i] {
+						t.Fatalf("seed %d: permuting jobs changed the latency multiset at rank %d: %v vs %v",
+							seed, i, la[i], lb[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package verify
+
+import "laxgpu/internal/cp"
+
+// OptionsFor derives the right checker Options for a production scheduler:
+// which invariants are meaningful depends on the policy's shape.
+//
+//   - LAX-NOADMIT computes Algorithm 1 terms but ignores the verdict, so
+//     the accept-direction of the admission rule is ablated.
+//   - The dispatch-order rule assumes the CP serves queues strictly by the
+//     priority register, so it is off for policies that impose their own
+//     order (cp.Orderer: RR, MLFQ), policies that gate chain advancement
+//     (cp.AdvanceGate: BAT), quantized priority registers
+//     (SystemConfig.PriorityLevels > 0), and fault-injected runs (kill and
+//     retry reshuffle mid-round).
+//   - Fault-injected runs may strand hung jobs and re-emit kernel starts
+//     on retry, so AllowStranded relaxes the completeness rules.
+func OptionsFor(schedName string, pol cp.Policy, cfg cp.SystemConfig, faulted bool) Options {
+	_, isOrderer := pol.(cp.Orderer)
+	_, hasGate := pol.(cp.AdvanceGate)
+	return Options{
+		Scheduler:          schedName,
+		AdmissionAblated:   schedName == "LAX-NOADMIT",
+		CheckDispatchOrder: !isOrderer && !hasGate && cfg.PriorityLevels == 0 && !faulted,
+		AllowStranded:      faulted,
+	}
+}

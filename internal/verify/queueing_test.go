@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/queueing"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+)
+
+// TestUtilizationMatchesMMK cross-checks simulated device utilization and
+// queueing probability against the internal/queueing M/M/k model. Within
+// the oracle domain a stream of single-WG jobs is exactly a k-server queue
+// with deterministic service, so:
+//
+//   - the long-run busy fraction must match ρ = λS/k (work conservation —
+//     distribution-free, so the bound is tight), and
+//   - the fraction of jobs that wait for a slot must track Erlang C within
+//     loose confidence bounds: deterministic service waits less than the
+//     exponential model, parser-smoothed arrivals wait slightly more, so
+//     the comparison is an approximation check, not an exact law.
+func TestUtilizationMatchesMMK(t *testing.T) {
+	cfg, slots := refSystemConfig(t)
+	// Service long enough that the WG slots, not the packet parser
+	// (ParseStreams/ParseLatency ⇒ 2M jobs/s), are the bottleneck.
+	const service = 50 * sim.Microsecond
+	for _, tc := range []struct {
+		name string
+		rho  float64
+	}{
+		{"moderate-load", 0.55},
+		{"heavy-load", 0.85},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lambda := tc.rho * float64(slots) / service.Seconds()
+			mmk := queueing.MMK{Lambda: lambda, ServiceTime: service, K: slots}
+			erlangC, err := mmk.ErlangC()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const n = 4000
+			rng := sim.NewRNG(17)
+			meanGap := sim.Time(float64(sim.Second) / lambda)
+			var at sim.Time
+			jobs := make([]RefJob, 0, n)
+			for i := 0; i < n; i++ {
+				at += rng.Exp(meanGap)
+				jobs = append(jobs, RefJob{
+					ID: i, Arrival: at, Deadline: sim.Second,
+					Kernels: []RefKernel{{WGs: 1, WGTime: service}},
+				})
+			}
+
+			pol, err := sched.New("RR")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := cp.NewSystem(cfg, RefJobSet(jobs), pol)
+			ck := New(OptionsFor("RR", pol, cfg, false))
+			ck.Attach(sys)
+			sys.SetProbe(ck)
+			sys.Run()
+			if err := ck.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+
+			var lastFinish sim.Time
+			waited := 0
+			for _, jr := range sys.Jobs() {
+				if !jr.Done() {
+					t.Fatalf("job %d did not complete", jr.Job.ID)
+				}
+				if jr.FinishTime > lastFinish {
+					lastFinish = jr.FinishTime
+				}
+				if jr.FirstDispatch > jr.ReadyTime {
+					waited++
+				}
+			}
+			busy := float64(n) * service.Seconds() / (float64(slots) * lastFinish.Seconds())
+			waitFrac := float64(waited) / float64(n)
+
+			if d := busy - tc.rho; d < -0.05 || d > 0.05 {
+				t.Errorf("simulated utilization %.3f, M/M/k model predicts %.3f (|Δ| > 0.05)", busy, tc.rho)
+			}
+			if d := waitFrac - erlangC; d < -0.08 || d > 0.08 {
+				t.Errorf("%.1f%% of jobs waited for a WG slot; Erlang C predicts %.1f%% (|Δ| > 8%%)",
+					100*waitFrac, 100*erlangC)
+			}
+			t.Logf("rho=%.2f: busy=%.3f waitFrac=%.3f erlangC=%.3f", tc.rho, busy, waitFrac, erlangC)
+		})
+	}
+}

@@ -72,19 +72,15 @@ type Options struct {
 
 // Result summarizes one simulation run.
 type Result struct {
-	Scheduler string
-	Benchmark string
-	Rate      string
+	Scheduler string // policy that produced this result
+	Benchmark string // workload trace that was offered
+	Rate      string // arrival-rate class: "low", "medium", or "high"
 
-	// TotalJobs is the offered load; MetDeadline of them finished by their
-	// deadline; Rejected were refused by admission control; Cancelled were
-	// preempted and dropped mid-flight; Completed ran to the end regardless
-	// of deadline.
-	TotalJobs   int
-	MetDeadline int
-	Completed   int
-	Rejected    int
-	Cancelled   int
+	TotalJobs   int // offered load
+	MetDeadline int // finished by their deadline
+	Completed   int // ran to the end, regardless of deadline
+	Rejected    int // refused by admission control
+	Cancelled   int // preempted and dropped mid-flight
 
 	// Throughput is successful jobs per second (Table 5a).
 	Throughput float64
@@ -106,14 +102,12 @@ type Result struct {
 	// Makespan is the completion time of the last finished job.
 	Makespan time.Duration
 
-	// Recovery counters, all zero on a healthy run (see Options.Faults):
-	// watchdog kills, transient aborts, kernel retries, CPU-fallback
-	// completions, and CUs retired by the end of the run.
-	WatchdogKills int
-	Aborts        int
-	Retries       int
-	Fallbacks     int
-	RetiredCUs    int
+	// Recovery counters, all zero on a healthy run (see Options.Faults).
+	WatchdogKills int // hung kernels killed by the CP watchdog
+	Aborts        int // transient device aborts injected by the fault plan
+	Retries       int // kernels re-issued after a transient abort
+	Fallbacks     int // jobs finished on the CPU after GPU recovery gave up
+	RetiredCUs    int // compute units permanently retired by end of run
 }
 
 // DeadlineFrac is the fraction of offered jobs that met their deadline.
@@ -133,6 +127,20 @@ func Run(o Options) (Result, error) {
 // RunContext is Run with cooperative cancellation.
 func RunContext(ctx context.Context, o Options) (Result, error) {
 	return defaultSession.RunContext(ctx, o)
+}
+
+// RunVerified is Run with the runtime invariant checker attached: the
+// simulation's live event stream is validated against the guarantees in
+// DESIGN.md §9 (workgroup conservation, monotone time, admission sums,
+// laxity arithmetic, dispatch order, job accounting), and any violation is
+// returned as an error instead of a Result.
+func RunVerified(o Options) (Result, error) {
+	return defaultSession.RunVerified(o)
+}
+
+// RunVerifiedContext is RunVerified with cooperative cancellation.
+func RunVerifiedContext(ctx context.Context, o Options) (Result, error) {
+	return defaultSession.RunVerifiedContext(ctx, o)
 }
 
 // RunProbed is Run with the telemetry probe attached: the run is simulated

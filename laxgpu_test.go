@@ -148,7 +148,7 @@ func TestRunWithFaults(t *testing.T) {
 func TestSessionMemoBounded(t *testing.T) {
 	s := NewSession(SessionOptions{})
 	for seed := int64(1); seed <= 3*maxRunners; seed++ {
-		s.runnerFor(runnerKey{8, seed, ""})
+		s.runnerFor(runnerKey{jobs: 8, seed: seed})
 	}
 	if n := s.configCount(); n > maxRunners {
 		t.Fatalf("memo holds %d runners, cap is %d", n, maxRunners)
@@ -158,22 +158,22 @@ func TestSessionMemoBounded(t *testing.T) {
 	}
 	// The newest key is memoized; the oldest was evicted and comes back
 	// fresh without exceeding the cap.
-	newest := s.runnerFor(runnerKey{8, 3 * maxRunners, ""})
-	if s.runnerFor(runnerKey{8, 3 * maxRunners, ""}) != newest {
+	newest := s.runnerFor(runnerKey{jobs: 8, seed: 3 * maxRunners})
+	if s.runnerFor(runnerKey{jobs: 8, seed: 3 * maxRunners}) != newest {
 		t.Fatal("hot key not memoized")
 	}
-	s.runnerFor(runnerKey{8, 1, ""})
+	s.runnerFor(runnerKey{jobs: 8, seed: 1})
 	if n := s.configCount(); n > maxRunners {
 		t.Fatalf("memo exceeded cap after re-adding evicted key: %d", n)
 	}
 	// Distinct fault specs get distinct runners.
-	if s.runnerFor(runnerKey{8, 2, "hang=0.1"}) == s.runnerFor(runnerKey{8, 2, ""}) {
+	if s.runnerFor(runnerKey{jobs: 8, seed: 2, faults: "hang=0.1"}) == s.runnerFor(runnerKey{jobs: 8, seed: 2}) {
 		t.Fatal("fault spec not part of the memo key")
 	}
 	// A custom bound is honored.
 	small := NewSession(SessionOptions{MaxConfigs: 2})
 	for seed := int64(1); seed <= 5; seed++ {
-		small.runnerFor(runnerKey{8, seed, ""})
+		small.runnerFor(runnerKey{jobs: 8, seed: seed})
 	}
 	if n := small.configCount(); n > 2 {
 		t.Fatalf("MaxConfigs=2 session holds %d runners", n)

@@ -37,6 +37,7 @@ type runnerKey struct {
 	jobs   int
 	seed   int64
 	faults string
+	verify bool
 }
 
 // Session owns the simulation state one caller shares across runs: the
@@ -102,6 +103,7 @@ func (s *Session) runnerFor(key runnerKey) *harness.Runner {
 	r.Seed = key.seed
 	r.Faults = key.faults
 	r.Workers = s.parallel
+	r.Verify = key.verify
 	s.runners[key] = r
 	s.order = append(s.order, key)
 	return r
@@ -136,7 +138,7 @@ func normalizeOptions(o Options) (runnerKey, workload.Rate, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	return runnerKey{jobs, seed, o.Faults}, rate, nil
+	return runnerKey{jobs: jobs, seed: seed, faults: o.Faults}, rate, nil
 }
 
 // Run simulates one cell on the paper's Table 2 system, memoized within the
@@ -153,6 +155,33 @@ func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sum, err := s.runnerFor(key).RunContext(ctx, o.Scheduler, o.Benchmark, rate)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(sum), nil
+}
+
+// RunVerified simulates one cell with the runtime invariant checker
+// (internal/verify) riding along as a probe. The checker validates the live
+// event stream — workgroup conservation, monotone simulated time, admission
+// sums, laxity arithmetic, dispatch order, end-of-run job accounting — and
+// any violation surfaces as an error instead of a Result. A verified run
+// costs a few percent over Run and its (identical) Result is memoized
+// separately, so mixing Run and RunVerified in one session never skips a
+// check. Fault-injected cells relax the rules that faults legitimately break
+// (stranded jobs, dispatch order) but keep conservation and accounting.
+func (s *Session) RunVerified(o Options) (Result, error) {
+	return s.RunVerifiedContext(context.Background(), o)
+}
+
+// RunVerifiedContext is RunVerified with cooperative cancellation.
+func (s *Session) RunVerifiedContext(ctx context.Context, o Options) (Result, error) {
+	key, rate, err := normalizeOptions(o)
+	if err != nil {
+		return Result{}, err
+	}
+	key.verify = true
 	sum, err := s.runnerFor(key).RunContext(ctx, o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
@@ -253,7 +282,7 @@ func (s *Session) Experiment(id string, w io.Writer) error {
 // cancelled context aborts the experiment mid-cell and nothing is written
 // to w.
 func (s *Session) ExperimentContext(ctx context.Context, id string, w io.Writer) error {
-	r := s.runnerFor(runnerKey{workload.DefaultJobCount, 1, ""})
+	r := s.runnerFor(runnerKey{jobs: workload.DefaultJobCount, seed: 1})
 	rep, err := harness.RunExperiment(ctx, r, id)
 	if err != nil {
 		return err

@@ -174,11 +174,40 @@ func TestSessionRunContextCancellation(t *testing.T) {
 func TestSessionsAreIsolated(t *testing.T) {
 	a := NewSession(SessionOptions{})
 	b := NewSession(SessionOptions{})
-	k := runnerKey{8, 1, ""}
+	k := runnerKey{jobs: 8, seed: 1}
 	if a.runnerFor(k) == b.runnerFor(k) {
 		t.Fatal("two sessions shared a runner")
 	}
 	if a.runnerFor(k) != a.runnerFor(k) {
 		t.Fatal("session memo not stable")
+	}
+}
+
+// TestRunVerifiedMatchesRun: the checker is a pure observer, so a verified
+// run returns exactly Run's result — on healthy and fault-injected cells —
+// and verified runs are memoized under their own key.
+func TestRunVerifiedMatchesRun(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	for _, o := range []Options{
+		{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "high", Jobs: 16},
+		{Scheduler: "EDF", Benchmark: "LSTM", Rate: "medium", Jobs: 16},
+		{Scheduler: "RR", Benchmark: "CUCKOO", Rate: "high", Jobs: 16,
+			Faults: "hang=0.05,abort=0.05,recover=on"},
+	} {
+		plain, err := s.Run(o)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", o, err)
+		}
+		checked, err := s.RunVerified(o)
+		if err != nil {
+			t.Fatalf("RunVerified(%+v): %v", o, err)
+		}
+		if plain != checked {
+			t.Fatalf("verified result diverged:\n  plain   %+v\n  checked %+v", plain, checked)
+		}
+	}
+	key := runnerKey{jobs: 16, seed: 1}
+	if s.runnerFor(key) == s.runnerFor(runnerKey{jobs: 16, seed: 1, verify: true}) {
+		t.Fatal("verified and unverified cells share a runner")
 	}
 }
