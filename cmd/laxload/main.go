@@ -1,0 +1,254 @@
+// Command laxload drives a running laxd with open- or closed-loop load and
+// reports the admission split and latency distribution — the serving-mode
+// analogue of the simulator's arrival-rate sweep.
+//
+// Usage:
+//
+//	laxload -duration 5s                      # 8 closed-loop workers, STEM
+//	laxload -mode closed -c 16 -benchmark GMM # more workers, another workload
+//	laxload -mode open -rate 4000             # open loop at 4000 jobs/s
+//	laxload -x 2.0                            # 2x the server's estimated capacity
+//	laxload -addr http://host:8080            # a remote laxd
+//
+// Closed-loop workers submit with ?wait=1 and hold one job in flight each,
+// so offered load adapts to completions (optionally capped by -rate or -x).
+// Open-loop mode fires submissions at a fixed rate regardless of outcomes,
+// which is how overload is demonstrated: past the device's capacity,
+// Algorithm 1 starts answering 429 with a Retry-After drain estimate.
+//
+// -x scales against the server's own capacity estimate from
+// GET /v1/benchmarks, so "laxload -mode open -x 2" means 2x the sustainable
+// rate for the chosen benchmark whatever the device configuration is.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// jobStatus mirrors the server's JobStatus JSON (the fields laxload reads).
+type jobStatus struct {
+	State        string `json:"state"`
+	MetDeadline  bool   `json:"met_deadline"`
+	LatencyUs    int64  `json:"latency_us"`
+	RetryAfterUs int64  `json:"retry_after_us"`
+	Error        string `json:"error"`
+}
+
+// tally accumulates outcomes across workers.
+type tally struct {
+	submitted, admitted, rejected int64
+	limited, overflow, errors     int64
+	met                           int64
+
+	mu        sync.Mutex
+	latencies []float64 // server-reported, milliseconds, completed jobs only
+}
+
+func (t *tally) record(code int, st jobStatus) {
+	atomic.AddInt64(&t.submitted, 1)
+	switch {
+	case code == http.StatusOK || code == http.StatusAccepted:
+		atomic.AddInt64(&t.admitted, 1)
+		if st.State == "done" {
+			if st.MetDeadline {
+				atomic.AddInt64(&t.met, 1)
+			}
+			t.mu.Lock()
+			t.latencies = append(t.latencies, float64(st.LatencyUs)/1000)
+			t.mu.Unlock()
+		}
+	case code == http.StatusTooManyRequests && st.State == "rejected":
+		atomic.AddInt64(&t.rejected, 1)
+	case code == http.StatusTooManyRequests:
+		atomic.AddInt64(&t.limited, 1)
+	case code == http.StatusServiceUnavailable:
+		atomic.AddInt64(&t.overflow, 1)
+	default:
+		atomic.AddInt64(&t.errors, 1)
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "laxd base URL")
+		benchmark = flag.String("benchmark", "STEM", "benchmark to submit")
+		mode      = flag.String("mode", "closed", "load mode: closed (workers wait for completion) or open (fixed rate)")
+		workers   = flag.Int("c", 8, "closed-loop worker count")
+		rate      = flag.Float64("rate", 0, "offered jobs/second (open mode; optional cap in closed mode)")
+		mult      = flag.Float64("x", 0, "rate as a multiple of the server's capacity estimate (overrides -rate)")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to offer load")
+		seed      = flag.Int64("seed", 1, "seed for the Poisson arrival gaps (open mode)")
+	)
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	if *mode != "closed" && *mode != "open" {
+		fatal(fmt.Errorf("unknown -mode %q (want closed or open)", *mode))
+	}
+	offered := *rate
+	if *mult > 0 {
+		capacity, err := fetchCapacity(base, *benchmark)
+		if err != nil {
+			fatal(err)
+		}
+		offered = *mult * capacity
+		fmt.Fprintf(os.Stderr, "laxload: capacity estimate %.0f jobs/s, offering %.1fx = %.0f jobs/s\n",
+			capacity, *mult, offered)
+	}
+	if *mode == "open" && offered <= 0 {
+		fatal(fmt.Errorf("open mode needs -rate or -x"))
+	}
+
+	body := fmt.Sprintf(`{"benchmark":%q}`, *benchmark)
+	t := &tally{}
+	stopAt := time.Now().Add(*duration)
+
+	// In open mode (or a rate-capped closed loop) tokens pace submissions
+	// as a Poisson process — exponential inter-arrival gaps at the offered
+	// rate, the same arrival model the paper's traces use. Bursts are the
+	// point: they are what pushes the live queue past a deadline and makes
+	// Algorithm 1 reject.
+	var tokens chan struct{}
+	if offered > 0 {
+		tokens = make(chan struct{}, 64)
+		go func() {
+			rng := rand.New(rand.NewSource(*seed))
+			next := time.Now()
+			for time.Now().Before(stopAt) {
+				next = next.Add(time.Duration(rng.ExpFloat64() * float64(time.Second) / offered))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case tokens <- struct{}{}:
+				default: // submission side is saturated; shed the token
+				}
+			}
+			close(tokens)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stopAt) {
+					if tokens != nil {
+						if _, ok := <-tokens; !ok {
+							return
+						}
+					}
+					code, st := post(base+"/v1/jobs?wait=1", body)
+					t.record(code, st)
+				}
+			}()
+		}
+	case "open":
+		// One dispatcher fires a goroutine per token; a semaphore bounds
+		// the in-flight request count so an unresponsive server cannot
+		// accumulate unbounded goroutines.
+		sem := make(chan struct{}, 512)
+		for range tokens {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				code, st := post(base+"/v1/jobs", body)
+				t.record(code, st)
+			}()
+		}
+	}
+	wg.Wait()
+
+	report(t, *mode, *benchmark, *duration)
+	if t.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// post submits one job and decodes the outcome; transport failures count as
+// errors via code 0.
+func post(url, body string) (int, jobStatus) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, jobStatus{}
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err == nil {
+		_ = json.Unmarshal(bytes.TrimSpace(raw), &st)
+	}
+	return resp.StatusCode, st
+}
+
+// fetchCapacity asks the server for its own sustainable-rate estimate.
+func fetchCapacity(base, benchmark string) (float64, error) {
+	resp, err := http.Get(base + "/v1/benchmarks")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var infos []struct {
+		Name               string  `json:"name"`
+		CapacityJobsPerSec float64 `json:"capacity_jobs_per_sec"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return 0, err
+	}
+	for _, bi := range infos {
+		if bi.Name == benchmark && bi.CapacityJobsPerSec > 0 {
+			return bi.CapacityJobsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("server reported no capacity for %q", benchmark)
+}
+
+// report prints the final split and the latency distribution.
+func report(t *tally, mode, benchmark string, d time.Duration) {
+	fmt.Printf("laxload: %s-loop, %s for %v\n", mode, benchmark, d)
+	fmt.Printf("submitted %d: admitted %d, rejected %d (admission), limited %d (client cap), unavailable %d, errors %d\n",
+		t.submitted, t.admitted, t.rejected, t.limited, t.overflow, t.errors)
+	if t.submitted > 0 {
+		fmt.Printf("admission rate %.1f%%, offered %.0f jobs/s\n",
+			100*float64(t.admitted)/float64(t.submitted),
+			float64(t.submitted)/d.Seconds())
+	}
+	if n := len(t.latencies); n > 0 {
+		fmt.Printf("completed %d, met deadline %d (%.1f%%)\n",
+			n, t.met, 100*float64(t.met)/float64(n))
+		sort.Float64s(t.latencies)
+		fmt.Printf("latency ms (simulated): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
+			pct(t.latencies, 50), pct(t.latencies, 95), pct(t.latencies, 99), t.latencies[n-1])
+	}
+}
+
+// pct reads the p-th percentile from a sorted slice.
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laxload:", err)
+	os.Exit(1)
+}

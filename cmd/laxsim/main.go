@@ -39,7 +39,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
+	"laxgpu"
 	"laxgpu/internal/cluster"
 	"laxgpu/internal/cp"
 	"laxgpu/internal/harness"
@@ -174,14 +176,27 @@ func main() {
 			}
 			return
 		}
-		s, err := r.RunContext(ctx, parts[0], parts[1], rate)
+		// The plain single-cell path goes through the public Session API —
+		// the same surface library callers use — and releases its memo via
+		// Close on the way out.
+		ses := laxgpu.NewSession(laxgpu.SessionOptions{Parallel: *parallel})
+		defer ses.Close()
+		o := laxgpu.Options{
+			Scheduler: parts[0], Benchmark: parts[1], Rate: parts[2],
+			Jobs: *jobs, Seed: *seed, Faults: *faults,
+		}
+		run := ses.RunContext
+		if *verifyRuns {
+			run = ses.RunVerifiedContext
+		}
+		s, err := run(ctx, o)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected\n",
 			s.Scheduler, s.Benchmark, s.Rate, s.MetDeadline, s.TotalJobs, s.Rejected)
 		fmt.Printf("  throughput %.0f successful jobs/s, p99 latency %.3f ms, useful work %.1f%%\n",
-			s.ThroughputJobsPerSec, s.P99LatencyMs, 100*s.UsefulWorkFrac)
+			s.Throughput, float64(s.P99Latency)/float64(time.Millisecond), 100*s.UsefulWorkFrac)
 		if s.MetDeadline > 0 {
 			fmt.Printf("  energy %.2f mJ per successful job\n", s.EnergyPerSuccessMJ)
 		}

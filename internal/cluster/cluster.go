@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
 	"laxgpu/internal/gpu"
 	"laxgpu/internal/metrics"
 	"laxgpu/internal/sched"
@@ -63,6 +64,34 @@ type Config struct {
 
 	// Scheduler names the per-GPU queue scheduler.
 	Scheduler string
+
+	// Faults optionally degrades individual GPUs: entry g is a
+	// faults.ParseSpec string applied to GPU g (empty entries and GPUs
+	// beyond the slice stay healthy). Scheduled CU retirements feed the
+	// router's health signal, so least-loaded routing steers work away from
+	// degraded devices at the arrival times the capacity is actually lost.
+	Faults []string
+
+	// Seed derives each GPU's fault plan (GPU g draws from Seed+g), keeping
+	// fleet runs reproducible.
+	Seed int64
+}
+
+// faultSpecs parses the per-GPU fault strings, padding to the fleet size.
+func (c Config) faultSpecs() ([]faults.Spec, error) {
+	specs := make([]faults.Spec, c.GPUs)
+	for g := range specs {
+		if g >= len(c.Faults) {
+			specs[g] = faults.Spec{Recover: true}
+			continue
+		}
+		sp, err := faults.ParseSpec(c.Faults[g])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gpu%d: %w", g, err)
+		}
+		specs[g] = sp
+	}
+	return specs, nil
 }
 
 // Result aggregates the fleet outcome.
@@ -96,7 +125,11 @@ func Run(cfg Config, set *workload.JobSet) (Result, error) {
 	if _, err := sched.New(cfg.Scheduler); err != nil {
 		return Result{}, err
 	}
-	subsets, err := route(cfg, set)
+	specs, err := cfg.faultSpecs()
+	if err != nil {
+		return Result{}, err
+	}
+	subsets, err := route(cfg, specs, set)
 	if err != nil {
 		return Result{}, err
 	}
@@ -114,7 +147,15 @@ func Run(cfg Config, set *workload.JobSet) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		sys := cp.NewSystem(cfg.System, sub, pol)
+		sysCfg := cfg.System
+		if !specs[g].Zero() && specs[g].Recover {
+			sysCfg.Recovery = cp.DefaultRecoveryConfig()
+		}
+		sys := cp.NewSystem(sysCfg, sub, pol)
+		if !specs[g].Zero() {
+			plan := faults.NewPlan(specs[g], cfg.Seed+int64(g))
+			sys.InstallFaults(plan, plan.Retirements())
+		}
 		sys.Run()
 		sum := metrics.Summarize(sys, cfg.Scheduler, set.Benchmark, fmt.Sprintf("gpu%d", g))
 		res.PerGPU = append(res.PerGPU, sum)
@@ -129,8 +170,9 @@ func Run(cfg Config, set *workload.JobSet) (Result, error) {
 }
 
 // route splits the trace into per-GPU job sets with dense per-GPU IDs,
-// preserving arrival times.
-func route(cfg Config, set *workload.JobSet) ([]*workload.JobSet, error) {
+// preserving arrival times. Scheduled CU retirements from the fault specs
+// are replayed into the router's health signal as arrivals pass them.
+func route(cfg Config, specs []faults.Spec, set *workload.JobSet) ([]*workload.JobSet, error) {
 	subsets := make([]*workload.JobSet, cfg.GPUs)
 	for g := range subsets {
 		subsets[g] = &workload.JobSet{
@@ -139,48 +181,66 @@ func route(cfg Config, set *workload.JobSet) ([]*workload.JobSet, error) {
 		}
 	}
 
-	// Front-end load estimates for least-loaded routing: outstanding
-	// estimated work per GPU, decayed by wall-clock progress between
-	// arrivals (work drains at ~1 device-second per second).
-	outstanding := make([]sim.Time, cfg.GPUs)
-	var lastArrival sim.Time
-
-	pick := func(i int, j *workload.Job) int {
-		switch cfg.Routing {
-		case RouteLeastLoaded:
-			elapsed := j.Arrival - lastArrival
-			for g := range outstanding {
-				outstanding[g] -= elapsed
-				if outstanding[g] < 0 {
-					outstanding[g] = 0
-				}
-			}
-			lastArrival = j.Arrival
-			best := 0
-			for g := 1; g < cfg.GPUs; g++ {
-				if outstanding[g] < outstanding[best] {
-					best = g
-				}
-			}
-			outstanding[best] += j.SerialTime(cfg.System.GPU)
-			return best
-		case RouteJobHash:
-			return j.ID % cfg.GPUs
-		default:
-			return i % cfg.GPUs
-		}
-	}
+	router := NewRouter(cfg.Routing, cfg.GPUs)
+	health := NewHealthSchedule(cfg.System.GPU.NumCUs, specs)
 
 	// Jobs are already arrival-sorted in generated sets; keep that order.
 	jobs := append([]*workload.Job(nil), set.Jobs...)
 	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
-	for i, j := range jobs {
-		g := pick(i, j)
+	for _, j := range jobs {
+		health.Apply(router, j.Arrival)
+		g := router.Pick(j.Arrival, j.SerialTime(cfg.System.GPU), j.ID)
 		clone := *j
 		clone.ID = subsets[g].Len()
 		subsets[g].Jobs = append(subsets[g].Jobs, &clone)
 	}
 	return subsets, nil
+}
+
+// healthEvent is one scheduled capacity loss the front end knows about.
+type healthEvent struct {
+	at   sim.Time
+	gpu  int
+	frac float64 // surviving capacity fraction after the loss
+}
+
+// HealthSchedule replays fault-plan CU retirements into Router.SetHealth as
+// simulated time passes — the front-end analogue of a health checker that
+// learns about degraded devices with no latency. Retirement times are known
+// upfront (the plans are deterministic), so the schedule is a sorted list
+// consumed by arrival time. Shared by the offline trace splitter and the
+// online serving frontend.
+type HealthSchedule struct {
+	events []healthEvent
+	next   int
+}
+
+// NewHealthSchedule builds the schedule for a fleet of numCUs-CU devices,
+// one fault spec per device.
+func NewHealthSchedule(numCUs int, specs []faults.Spec) *HealthSchedule {
+	h := &HealthSchedule{}
+	for g, sp := range specs {
+		retired := 0
+		for _, r := range sp.Retirements {
+			retired += r.CUs
+			frac := 0.0
+			if numCUs > 0 && retired < numCUs {
+				frac = float64(numCUs-retired) / float64(numCUs)
+			}
+			h.events = append(h.events, healthEvent{at: r.At, gpu: g, frac: frac})
+		}
+	}
+	sort.SliceStable(h.events, func(a, b int) bool { return h.events[a].at < h.events[b].at })
+	return h
+}
+
+// Apply pushes every event at or before now into the router.
+func (h *HealthSchedule) Apply(r *Router, now sim.Time) {
+	for h.next < len(h.events) && h.events[h.next].at <= now {
+		e := h.events[h.next]
+		r.SetHealth(e.gpu, e.frac)
+		h.next++
+	}
 }
 
 // Capacity estimates the per-GPU device-time capacity consumed by the set,

@@ -85,6 +85,18 @@ type KernelEstimator interface {
 	EstimateKernelTime(j *JobRun) (t sim.Time, ok bool)
 }
 
+// DrainEstimator is an optional Policy extension for policies that can
+// predict how long the device needs to drain every admitted unfinished job
+// — the queueDelay term of Algorithm 1 evaluated on demand. The serving
+// frontend turns it into the Retry-After hint on a 429 rejection: a client
+// that waits that long meets an (estimated) empty queue. Implementations
+// must be pure reads of scheduling state.
+type DrainEstimator interface {
+	// EstimateDrain predicts the time until the currently admitted work
+	// drains, under the policy's own estimation machinery.
+	EstimateDrain() sim.Time
+}
+
 // ServeObserver is an optional Policy extension notified when a job's
 // kernel actually receives workgroup slots in a dispatch round. Cyclic
 // policies (RR, MLFQ's high queue) use it to advance their grant pointer

@@ -90,6 +90,12 @@ type System struct {
 	// produce a silently truncated record).
 	runStarted bool
 
+	// online marks a system driven by StartOnline/SubmitNow instead of a
+	// pre-scheduled trace (see online.go). The reprioritization timer then
+	// self-arms on the same k·Interval grid sim mode ticks on, so both
+	// modes make identical scheduling decisions for identical submissions.
+	online bool
+
 	completed int
 	rejected  int
 
@@ -578,6 +584,17 @@ func (s *System) quantizedPriority() func(*JobRun) int64 {
 
 // armTimer (re)schedules the policy's reprioritization tick. The timer
 // self-disarms when no work remains so the event queue can drain.
+//
+// In sim mode the timer is armed at t=0 and every re-arm happens inside a
+// tick, so ticks always land on the grid iv, 2·iv, 3·iv, …. Online mode must
+// tick on the same grid — the profiling-table windows and priority updates
+// of the two modes line up only then — but the timer there disarms during
+// idle stretches (no trace end is known) and re-arms from SubmitNow at
+// arbitrary times, so the online re-arm rounds up to the next grid point
+// instead of adding a full interval. Ticks sim mode fires during stretches
+// online mode slept through touch no scheduler state: with no completions in
+// a window the profiling table keeps its last rates (delta == 0) and there
+// are no active jobs to re-rank, so skipping them preserves equivalence.
 func (s *System) armTimer() {
 	iv := s.pol.Interval()
 	if iv <= 0 || s.timerArmed {
@@ -587,23 +604,32 @@ func (s *System) armTimer() {
 		return
 	}
 	s.timerArmed = true
-	s.eng.After(iv, func() {
-		s.timerArmed = false
-		lat := s.pol.Overheads().PriorityUpdateLatency
-		if lat > 0 {
-			// CPU-side policies: the decision lands a round trip later.
-			s.eng.After(lat, func() {
-				s.pol.Reprioritize()
-				s.recheckBlocked()
-				s.Dispatch()
-			})
-		} else {
+	at := s.eng.Now() + iv
+	if s.online {
+		at = (s.eng.Now()/iv + 1) * iv // next strict grid point
+	}
+	s.eng.Schedule(at, s.tick)
+}
+
+// tick is the reprioritization timer body: run the policy's Algorithm 2 pass
+// (a host round trip later for CPU-side policies), re-test gate-blocked
+// jobs, dispatch, and re-arm.
+func (s *System) tick() {
+	s.timerArmed = false
+	lat := s.pol.Overheads().PriorityUpdateLatency
+	if lat > 0 {
+		// CPU-side policies: the decision lands a round trip later.
+		s.eng.After(lat, func() {
 			s.pol.Reprioritize()
 			s.recheckBlocked()
 			s.Dispatch()
-		}
-		s.armTimer()
-	})
+		})
+	} else {
+		s.pol.Reprioritize()
+		s.recheckBlocked()
+		s.Dispatch()
+	}
+	s.armTimer()
 }
 
 // Completed returns the number of jobs that finished (regardless of

@@ -150,6 +150,13 @@ func (m *Metrics) Job(e JobEvent) {
 	case JobCancel:
 		m.jobsCanceled.Inc()
 		delete(m.lastChain, e.Job)
+		// Kernel predictions for a cancelled job will never resolve; drop
+		// them so long-running servers don't accumulate dead entries.
+		for k := range m.pendingKernels {
+			if k.job == e.Job {
+				delete(m.pendingKernels, k)
+			}
+		}
 	}
 }
 

@@ -199,19 +199,8 @@ func (p *LAX) remaining(j *cp.JobRun) []core.WGEntry {
 // programmer-provided deadline", Algorithm 1 footnote).
 func (p *LAX) Admit(j *cp.JobRun) bool {
 	registerCapacities(p.pt, p.sys.Device(), j)
-	t := p.table()
-	now := p.sys.Now()
-	var queueDelay sim.Time
-	for _, a := range p.sys.Active() {
-		rem := t.RemainingDrain(p.remaining(a))
-		if rem == 0 && !a.Done() {
-			if budget := a.Job.AbsoluteDeadline() - now; budget > 0 {
-				rem = budget
-			}
-		}
-		queueDelay += rem
-	}
-	hold := t.RemainingTime(j.TotalWGList())
+	queueDelay := p.EstimateDrain()
+	hold := p.table().RemainingTime(j.TotalWGList())
 	accepted := p.cfg.DisableAdmission || core.Admit(queueDelay, hold, 0, j.Job.Deadline)
 	probeAdmissionTerms(p.sys, p.Name(), j, accepted, queueDelay, hold)
 	if !accepted {
@@ -227,6 +216,26 @@ func (p *LAX) Admit(j *cp.JobRun) bool {
 		j.Priority = core.HighestPriority
 	}
 	return true
+}
+
+// EstimateDrain implements cp.DrainEstimator: the queueDelay term of
+// Algorithm 1 — the summed remaining-time estimate of every admitted
+// unfinished job, with the remaining deadline budget standing in for jobs
+// whose kernels have produced no profiling signal yet.
+func (p *LAX) EstimateDrain() sim.Time {
+	t := p.table()
+	now := p.sys.Now()
+	var queueDelay sim.Time
+	for _, a := range p.sys.Active() {
+		rem := t.RemainingDrain(p.remaining(a))
+		if rem == 0 && !a.Done() {
+			if budget := a.Job.AbsoluteDeadline() - now; budget > 0 {
+				rem = budget
+			}
+		}
+		queueDelay += rem
+	}
+	return queueDelay
 }
 
 // Reprioritize implements cp.Policy — Algorithm 2 over all active jobs,

@@ -80,12 +80,19 @@ func (p *ORACLE) drain(j *cp.JobRun) sim.Time {
 	return sim.Time(total)
 }
 
-// Admit implements cp.Policy — Algorithm 1 with exact estimates.
-func (p *ORACLE) Admit(j *cp.JobRun) bool {
+// EstimateDrain implements cp.DrainEstimator: the summed perfect-information
+// drain time of every active job.
+func (p *ORACLE) EstimateDrain() sim.Time {
 	var queueDelay sim.Time
 	for _, a := range p.sys.Active() {
 		queueDelay += p.drain(a)
 	}
+	return queueDelay
+}
+
+// Admit implements cp.Policy — Algorithm 1 with exact estimates.
+func (p *ORACLE) Admit(j *cp.JobRun) bool {
+	queueDelay := p.EstimateDrain()
 	hold := staticJobTime(p.sys.Device().Config(), j)
 	accepted := core.Admit(queueDelay, hold, 0, j.Job.Deadline)
 	probeAdmissionTerms(p.sys, p.Name(), j, accepted, queueDelay, hold)

@@ -1,0 +1,72 @@
+// Package serve runs the paper's admission controller (Algorithm 1) and
+// laxity scheduler (Algorithm 2) as an online service: the same cp.System
+// and sched policies that power the simulator, driven by a wall clock
+// instead of a pre-scheduled trace, fronted by an HTTP API.
+//
+// The layering is deliberate:
+//
+//   - Clock abstracts "what simulated time is it" away from "how long do I
+//     wait": WallClock maps real time onto the simulation timeline at a
+//     configurable speed factor.
+//   - Node owns one cp.System in online mode and is clock-free — it only
+//     ever sees simulated instants, so tests drive it deterministically and
+//     the equivalence suite proves a replayed trace matches sim mode
+//     job-for-job.
+//   - Driver is the single goroutine that paces a Node against a Clock and
+//     serializes every touch of the (single-threaded) simulation.
+//   - Server is the HTTP frontend: admission verdicts as status codes,
+//     per-job records, server-sent events, Prometheus metrics, graceful
+//     drain.
+package serve
+
+import (
+	"time"
+
+	"laxgpu/internal/sim"
+)
+
+// Clock maps between simulated time and the caller's real timeline. Now is
+// monotonically non-decreasing. Implementations must be safe for concurrent
+// use.
+type Clock interface {
+	// Now returns the current simulated instant.
+	Now() sim.Time
+
+	// Until returns how long the caller must really wait for the simulated
+	// instant t to arrive (zero if it already passed).
+	Until(t sim.Time) time.Duration
+}
+
+// WallClock maps wall-clock time onto the simulation timeline: simulated
+// time zero is the moment the clock was created, and simulated time advances
+// speed× as fast as real time. Speed 1 is real time; larger factors compress
+// wall time (a speed-100 clock fits 1 s of simulated load into 10 ms of
+// wall time), which is how the test suite exercises seconds of traffic in
+// milliseconds.
+type WallClock struct {
+	start time.Time
+	speed float64
+}
+
+// NewWallClock returns a wall clock starting at simulated time zero, with
+// the given speed factor (values <= 0 mean real time).
+func NewWallClock(speed float64) *WallClock {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &WallClock{start: time.Now(), speed: speed}
+}
+
+// Now implements Clock.
+func (c *WallClock) Now() sim.Time {
+	return sim.Time(float64(time.Since(c.start)) * c.speed)
+}
+
+// Until implements Clock.
+func (c *WallClock) Until(t sim.Time) time.Duration {
+	d := time.Duration(float64(t-c.Now()) / c.speed)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

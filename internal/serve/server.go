@@ -1,0 +1,673 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laxgpu/internal/cluster"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// maxOverrideKernels bounds an explicit WGList override so one request
+// cannot allocate unbounded kernel instances.
+const maxOverrideKernels = 4096
+
+// Options configures a serving frontend.
+type Options struct {
+	// Scheduler names the per-device queue policy (default "LAX").
+	Scheduler string
+
+	// Devices is the GPU count (default 1).
+	Devices int
+
+	// Routing selects the front-end placement policy across devices.
+	Routing cluster.RoutingPolicy
+
+	// System configures each simulated GPU; the zero value means
+	// cp.DefaultSystemConfig (the paper's Table 2 system).
+	System cp.SystemConfig
+
+	// Speed is the simulated-seconds-per-wall-second factor (default 1 =
+	// real time). Tests and demos compress time with larger values.
+	Speed float64
+
+	// AcceptQueue bounds commands awaiting the per-device driver; a full
+	// queue surfaces as HTTP 503 backpressure (default 64).
+	AcceptQueue int
+
+	// MaxPerClient caps one client's in-flight (non-terminal) jobs;
+	// exceeding it yields HTTP 429 before admission runs (default 64).
+	MaxPerClient int
+
+	// MaxRecords bounds the job-status registry; the oldest records are
+	// evicted first (default 65536).
+	MaxRecords int
+
+	// DrainGrace is the wall-clock grace Shutdown gives in-flight jobs to
+	// finish naturally before forcing the CPU-fallback path (default 5s).
+	DrainGrace time.Duration
+
+	// Faults optionally degrades individual devices: entry g is a
+	// faults.ParseSpec string for device g.
+	Faults []string
+
+	// Seed feeds fault plans (device g uses Seed+g) and the benchmark
+	// sampler.
+	Seed int64
+}
+
+// Server is the HTTP serving frontend: it routes submitted jobs across
+// devices, runs the paper's admission test on the live queue state of the
+// chosen device, reports verdicts as status codes (202 admitted, 429
+// rejected-to-CPU with a Retry-After drain estimate), and tracks every job
+// to a terminal state.
+type Server struct {
+	opts  Options
+	clock Clock
+	reg   *obs.Registry
+	lib   *workload.Library
+	gpu   gpu.Config
+
+	nodes     []*Node
+	drivers   []*Driver
+	recorders []*recorder
+
+	records *recordTable
+	broker  *broker
+
+	// routeMu guards routing, ID allocation, sampling and client limits.
+	routeMu   sync.Mutex
+	router    *cluster.Router
+	health    *cluster.HealthSchedule
+	rng       *sim.RNG
+	nextID    int64
+	perClient map[string]int
+	inflight  int
+
+	draining atomic.Bool
+
+	cSubmitted, cAdmitted, cRejected     *obs.Counter
+	cCompleted, cMet, cFellBack          *obs.Counter
+	cCancelled, cOverflow, cLimited      *obs.Counter
+	cDrainRejected, cPanics, cSSEDropped *obs.Counter
+	gInflight                            *obs.Gauge
+}
+
+// New builds a server and its per-device nodes and drivers. Call Start to
+// begin pacing.
+func New(opts Options) (*Server, error) {
+	if opts.Scheduler == "" {
+		opts.Scheduler = "LAX"
+	}
+	if opts.Devices < 1 {
+		opts.Devices = 1
+	}
+	if opts.Speed <= 0 {
+		opts.Speed = 1
+	}
+	if opts.MaxPerClient < 1 {
+		opts.MaxPerClient = 64
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 5 * time.Second
+	}
+	sysCfg := opts.System
+	if sysCfg.NumQueues == 0 {
+		sysCfg = cp.DefaultSystemConfig()
+	}
+	if len(opts.Faults) > opts.Devices {
+		return nil, fmt.Errorf("serve: %d fault specs for %d devices", len(opts.Faults), opts.Devices)
+	}
+	specs := make([]faults.Spec, opts.Devices)
+	for g := range specs {
+		specs[g] = faults.Spec{Recover: true}
+		if g < len(opts.Faults) {
+			sp, err := faults.ParseSpec(opts.Faults[g])
+			if err != nil {
+				return nil, fmt.Errorf("serve: device %d: %w", g, err)
+			}
+			specs[g] = sp
+		}
+	}
+
+	reg := obs.NewRegistry()
+	s := &Server{
+		opts:      opts,
+		clock:     NewWallClock(opts.Speed),
+		reg:       reg,
+		lib:       workload.NewLibrary(sysCfg.GPU),
+		gpu:       sysCfg.GPU,
+		records:   newRecordTable(opts.MaxRecords),
+		router:    cluster.NewRouter(opts.Routing, opts.Devices),
+		health:    cluster.NewHealthSchedule(sysCfg.GPU.NumCUs, specs),
+		rng:       sim.NewRNG(opts.Seed),
+		perClient: make(map[string]int),
+
+		cSubmitted:     reg.Counter("laxd_jobs_submitted_total", "Jobs received on POST /v1/jobs (before admission)."),
+		cAdmitted:      reg.Counter("laxd_jobs_admitted_total", "Jobs admitted by Algorithm 1 (HTTP 202)."),
+		cRejected:      reg.Counter("laxd_jobs_rejected_total", "Jobs rejected by Algorithm 1 (HTTP 429)."),
+		cCompleted:     reg.Counter("laxd_jobs_completed_total", "Jobs that reached a finished terminal state."),
+		cMet:           reg.Counter("laxd_jobs_met_deadline_total", "Finished jobs that met their deadline."),
+		cFellBack:      reg.Counter("laxd_jobs_fallback_total", "Jobs completed on the CPU fallback path."),
+		cCancelled:     reg.Counter("laxd_jobs_cancelled_total", "Jobs cancelled mid-flight."),
+		cOverflow:      reg.Counter("laxd_accept_queue_overflow_total", "Submissions refused because the accept queue was full (HTTP 503)."),
+		cLimited:       reg.Counter("laxd_client_limited_total", "Submissions refused by the per-client in-flight cap (HTTP 429)."),
+		cDrainRejected: reg.Counter("laxd_drain_rejected_total", "Submissions refused because the server was draining (HTTP 503)."),
+		cPanics:        reg.Counter("laxd_handler_panics_total", "HTTP handler panics recovered (HTTP 500)."),
+		cSSEDropped:    reg.Counter("laxd_sse_dropped_total", "Events dropped because an SSE subscriber fell behind."),
+		gInflight:      reg.Gauge("laxd_inflight_jobs", "Submitted jobs not yet in a terminal state."),
+	}
+	s.broker = newBroker(s.cSSEDropped)
+
+	for g := 0; g < opts.Devices; g++ {
+		rec := &recorder{srv: s, byLocal: make(map[int]*record)}
+		probe := obs.Multi(obs.NewMetricsWithRegistry(reg), rec)
+		node, err := NewNode(NodeConfig{
+			System:    sysCfg,
+			Scheduler: opts.Scheduler,
+			Probe:     probe,
+			Faults:    specs[g],
+			Seed:      opts.Seed + int64(g),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.node = node
+		s.nodes = append(s.nodes, node)
+		s.recorders = append(s.recorders, rec)
+		s.drivers = append(s.drivers, NewDriver(node, s.clock, opts.AcceptQueue))
+	}
+	return s, nil
+}
+
+// Start launches every device's pacing loop.
+func (s *Server) Start() {
+	for _, d := range s.drivers {
+		d.Start()
+	}
+}
+
+// Registry returns the server's metrics registry (scraped on /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Clock returns the server's clock.
+func (s *Server) Clock() Clock { return s.clock }
+
+// Scheduler returns the configured policy name.
+func (s *Server) Scheduler() string { return s.opts.Scheduler }
+
+// Devices returns the device count.
+func (s *Server) Devices() int { return len(s.nodes) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully drains the server: new submissions are refused, every
+// device keeps executing until its in-flight jobs reach terminal states or
+// the drain grace expires (remaining jobs are forced onto the CPU-fallback
+// path so they still terminate and are accounted), and the event stream is
+// closed. It returns ctx.Err if the context expires before the drain
+// completes — the drivers still finish in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		var wg sync.WaitGroup
+		for _, d := range s.drivers {
+			wg.Add(1)
+			go func(d *Driver) {
+				defer wg.Done()
+				d.Shutdown(s.opts.DrainGrace)
+			}(d)
+		}
+		go func() {
+			wg.Wait()
+			s.broker.close()
+		}()
+	}
+	for _, d := range s.drivers {
+		select {
+		case <-d.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Handler returns the server's HTTP handler: the /v1 job API, /v1/events
+// SSE stream, Prometheus /metrics and /healthz, all wrapped in a
+// panic-isolating middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a 500 and a counter rather
+// than a dropped connection and a dead process.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.cPanics.Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	// Benchmark names one of the Table 4 workloads.
+	Benchmark string `json:"benchmark"`
+
+	// DeadlineUs optionally overrides the benchmark's relative deadline
+	// (microseconds).
+	DeadlineUs int64 `json:"deadline_us,omitempty"`
+
+	// Kernels optionally overrides the sampled kernel chain with an
+	// explicit WGList: each entry launches Count instances of Kernel.
+	Kernels []kernelCount `json:"kernels,omitempty"`
+}
+
+// kernelCount is one WGList override entry.
+type kernelCount struct {
+	Kernel string `json:"kernel"`
+	Count  int    `json:"count"`
+}
+
+// submitOutcome carries the driver goroutine's admission verdict back to
+// the waiting handler.
+type submitOutcome struct {
+	rejected bool
+	retry    sim.Time
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.cDrainRejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	bench, err := workload.FindBenchmark(req.Benchmark)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deadline := bench.Deadline
+	if req.DeadlineUs > 0 {
+		deadline = sim.Time(req.DeadlineUs) * sim.Microsecond
+	}
+
+	job := &workload.Job{Benchmark: bench.Name, Deadline: deadline}
+	if len(req.Kernels) > 0 {
+		total := 0
+		for _, kc := range req.Kernels {
+			desc, ok := s.lib.Find(kc.Kernel)
+			if !ok {
+				writeError(w, http.StatusBadRequest, "unknown kernel "+strconv.Quote(kc.Kernel))
+				return
+			}
+			n := kc.Count
+			if n < 1 {
+				n = 1
+			}
+			if total += n; total > maxOverrideKernels {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("kernel override exceeds %d launches", maxOverrideKernels))
+				return
+			}
+			for i := 0; i < n; i++ {
+				job.Kernels = append(job.Kernels, desc)
+			}
+		}
+	}
+	client := clientKey(r.RemoteAddr)
+	est := job.SerialTime(s.gpu) // zero for sampled jobs; refined below
+
+	// Route under the lock: ID allocation, per-client cap, health replay,
+	// and — for jobs without an explicit WGList — the benchmark sample,
+	// which must draw from the shared RNG stream.
+	s.routeMu.Lock()
+	if s.perClient[client] >= s.opts.MaxPerClient {
+		s.routeMu.Unlock()
+		s.cLimited.Inc()
+		writeError(w, http.StatusTooManyRequests, "too many in-flight jobs for this client")
+		return
+	}
+	if len(job.Kernels) == 0 {
+		sampled := bench.Sample(s.lib, s.rng, 0, 0)
+		job.Kernels, job.SeqLen = sampled.Kernels, sampled.SeqLen
+		est = job.SerialTime(s.gpu)
+	}
+	id := s.nextID
+	s.nextID++
+	now := s.clock.Now()
+	s.health.Apply(s.router, now)
+	dev := s.router.Pick(now, est, int(id))
+	s.perClient[client]++
+	s.inflight++
+	s.gInflight.Set(float64(s.inflight))
+	s.routeMu.Unlock()
+
+	rec := &record{
+		status: JobStatus{
+			ID:         id,
+			Benchmark:  bench.Name,
+			Device:     dev,
+			State:      "submitted",
+			DeadlineUs: usOf(deadline),
+		},
+		client:    client,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.records.add(rec)
+	s.cSubmitted.Inc()
+
+	reply := make(chan submitOutcome, 1)
+	driver, recorder := s.drivers[dev], s.recorders[dev]
+	ok := driver.Do(func() {
+		jr := recorder.node.Submit(job)
+		rec.run = jr
+		if jr.Rejected() {
+			retry := recorder.node.EstimateDrain()
+			st, _ := s.records.update(rec, func(js *JobStatus) {
+				js.State = "rejected"
+				js.RetryAfterUs = usOf(retry)
+			}, true)
+			s.cRejected.Inc()
+			s.releaseClient(rec.client)
+			s.broker.publish("rejected", st)
+			reply <- submitOutcome{rejected: true, retry: retry}
+			return
+		}
+		recorder.byLocal[jr.Job.ID] = rec
+		st, _ := s.records.update(rec, func(js *JobStatus) {
+			js.State = "admitted"
+			js.Admitted = true
+		}, false)
+		s.cAdmitted.Inc()
+		s.broker.publish("admitted", st)
+		reply <- submitOutcome{}
+	})
+	if !ok {
+		s.cOverflow.Inc()
+		s.records.update(rec, func(js *JobStatus) { js.State = "dropped" }, true)
+		s.releaseClient(client)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "accept queue full")
+		return
+	}
+
+	var out submitOutcome
+	select {
+	case out = <-reply:
+	case <-r.Context().Done():
+		// The client gave up; the job still runs and its record remains
+		// queryable. Nothing sensible to write.
+		return
+	}
+	st, _ := s.records.get(id)
+	if out.rejected {
+		secs := int64(out.retry/sim.Second) + 1
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, st)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-rec.done:
+			st, _ = s.records.get(id)
+			writeJSON(w, http.StatusOK, st)
+		case <-r.Context().Done():
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	st, ok := s.records.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := s.broker.subscribe()
+	defer cancel()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case payload, open := <-ch:
+			if !open {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// benchmarkInfo is one GET /v1/benchmarks entry.
+type benchmarkInfo struct {
+	// Name is the Table 4 benchmark name.
+	Name string `json:"name"`
+
+	// DeadlineUs is the benchmark's relative deadline in microseconds.
+	DeadlineUs int64 `json:"deadline_us"`
+
+	// RatesPerSec maps the paper's load levels to offered jobs/second.
+	RatesPerSec map[string]int `json:"rates_per_sec"`
+
+	// CapacityJobsPerSec estimates the fleet's sustainable wall-clock rate
+	// from static serial job times and the clock speed — the anchor load
+	// generators scale against.
+	CapacityJobsPerSec float64 `json:"capacity_jobs_per_sec"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var out []benchmarkInfo
+	for _, b := range workload.Benchmarks() {
+		rates := make(map[string]int, 3)
+		for _, lvl := range []workload.Rate{workload.LowRate, workload.MediumRate, workload.HighRate} {
+			rates[lvl.String()] = b.JobsPerSecond(lvl)
+		}
+		out = append(out, benchmarkInfo{
+			Name:               b.Name,
+			DeadlineUs:         usOf(b.Deadline),
+			RatesPerSec:        rates,
+			CapacityJobsPerSec: s.benchmarkCapacity(b),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// benchmarkCapacity estimates sustainable jobs per *wall* second for the
+// fleet: device count over the mean serial job time of a fixed deterministic
+// sample, scaled by the clock speed (a time-compressed server drains
+// proportionally more wall-clock arrivals). Load generators anchor their
+// offered rates against this, so "2x capacity" overloads at any -speed.
+func (s *Server) benchmarkCapacity(b *workload.Benchmark) float64 {
+	const samples = 32
+	rng := sim.NewRNG(12345)
+	var total sim.Time
+	for i := 0; i < samples; i++ {
+		total += b.Sample(s.lib, rng, i, 0).SerialTime(s.gpu)
+	}
+	mean := float64(total) / samples
+	if mean <= 0 {
+		return 0
+	}
+	return s.opts.Speed * float64(len(s.nodes)) * float64(sim.Second) / mean
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"scheduler": s.opts.Scheduler,
+		"devices":   len(s.nodes),
+	})
+}
+
+// completeJob finalizes a record when its job reaches a terminal state.
+// Called on the owning device's driver goroutine (from the recorder probe),
+// so reading the JobRun is safe.
+func (s *Server) completeJob(rec *record, state string, met bool) {
+	jr := rec.run
+	fellBack := jr != nil && jr.FellBack
+	var latency sim.Time
+	if jr != nil {
+		latency = jr.Latency()
+	}
+	st, first := s.records.update(rec, func(js *JobStatus) {
+		js.State = state
+		js.MetDeadline = met
+		js.FellBack = fellBack
+		js.LatencyUs = usOf(latency)
+	}, true)
+	if !first {
+		return
+	}
+	switch state {
+	case "done":
+		s.cCompleted.Inc()
+		if met {
+			s.cMet.Inc()
+		}
+		if fellBack {
+			s.cFellBack.Inc()
+		}
+	case "cancelled":
+		s.cCancelled.Inc()
+	}
+	s.releaseClient(rec.client)
+	s.broker.publish(state, st)
+}
+
+// releaseClient returns one in-flight slot to the client's budget.
+func (s *Server) releaseClient(client string) {
+	s.routeMu.Lock()
+	if n := s.perClient[client]; n <= 1 {
+		delete(s.perClient, client)
+	} else {
+		s.perClient[client] = n - 1
+	}
+	s.inflight--
+	s.gInflight.Set(float64(s.inflight))
+	s.routeMu.Unlock()
+}
+
+// recorder is the per-device probe that maps local job IDs back to server
+// records and finalizes them on terminal transitions. All methods run on
+// the device's driver goroutine.
+type recorder struct {
+	srv     *Server
+	node    *Node
+	byLocal map[int]*record
+}
+
+// Job implements obs.Probe.
+func (r *recorder) Job(e obs.JobEvent) {
+	switch e.Kind {
+	case obs.JobFinish, obs.JobCancel:
+		rec := r.byLocal[e.Job]
+		if rec == nil {
+			return
+		}
+		delete(r.byLocal, e.Job)
+		if e.Kind == obs.JobFinish {
+			r.srv.completeJob(rec, "done", e.Met)
+		} else {
+			r.srv.completeJob(rec, "cancelled", false)
+		}
+	}
+}
+
+// Admission implements obs.Probe.
+func (r *recorder) Admission(obs.AdmissionDecision) {}
+
+// Epoch implements obs.Probe.
+func (r *recorder) Epoch(obs.EpochSnapshot) {}
+
+// Sample implements obs.Probe.
+func (r *recorder) Sample(obs.JobSample) {}
+
+// TableRefresh implements obs.Probe.
+func (r *recorder) TableRefresh(obs.TableRefresh) {}
+
+// KernelStart implements obs.Probe.
+func (r *recorder) KernelStart(obs.KernelStart) {}
+
+// KernelDone implements obs.Probe.
+func (r *recorder) KernelDone(obs.KernelDone) {}
+
+// clientKey reduces a RemoteAddr to its host, so ports (one per connection)
+// do not defeat the per-client limit.
+func clientKey(remote string) string {
+	if host, _, err := net.SplitHostPort(remote); err == nil {
+		return host
+	}
+	return remote
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

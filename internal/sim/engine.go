@@ -195,6 +195,66 @@ func (e *Engine) Run() {
 	}
 }
 
+// PeekTime returns the timestamp of the earliest pending live event.
+// Cancelled events at the head of the queue are discarded in passing. The
+// second return is false when no live events remain. Real-time frontends use
+// this to decide how long to sleep before the next batch of simulated work.
+func (e *Engine) PeekTime() (Time, bool) {
+	for {
+		head := e.events.peek()
+		if head == nil {
+			return 0, false
+		}
+		if head.dead {
+			e.events.pop()
+			continue
+		}
+		return head.At, true
+	}
+}
+
+// RunBefore executes events with timestamps strictly before limit and then
+// sets the clock to limit. Unlike RunUntil, events scheduled AT limit stay
+// queued: work injected at the new now (e.g. an online arrival) is therefore
+// ordered ahead of them, matching sim mode, where arrivals are scheduled
+// before any device event and so win the same-instant seq tie-break. It
+// reports the number of events fired.
+func (e *Engine) RunBefore(limit Time) uint64 {
+	if e.running {
+		panic("sim: RunBefore called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	start := e.fired
+	if e.pollInterrupt() {
+		return 0
+	}
+	stride := 0
+	for {
+		head := e.events.peek()
+		if head == nil || head.At >= limit {
+			break
+		}
+		ev := e.events.pop()
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.fn()
+		if stride++; stride >= interruptStride {
+			stride = 0
+			if e.pollInterrupt() {
+				return e.fired - start
+			}
+		}
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.fired - start
+}
+
 // RunUntil executes events with timestamps <= limit and then sets the clock
 // to limit (if it has not already passed it). Events beyond the horizon stay
 // queued. It reports the number of events fired.

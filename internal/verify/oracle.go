@@ -78,10 +78,10 @@ func (h refHeap) Less(a, b int) bool {
 	}
 	return h[a].seq < h[b].seq
 }
-func (h refHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *refHeap) Push(x any)         { *h = append(*h, x.(*refEvent)) }
-func (h *refHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h refHeap) Peek() *refEvent     { return h[0] }
+func (h refHeap) Swap(a, b int)        { h[a], h[b] = h[b], h[a] }
+func (h *refHeap) Push(x any)          { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any            { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h refHeap) Peek() *refEvent      { return h[0] }
 func (h *refHeap) PopEvent() *refEvent { return heap.Pop(h).(*refEvent) }
 
 // refJobState is the reference's per-job ledger.

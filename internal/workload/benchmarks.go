@@ -234,6 +234,18 @@ func FindBenchmark(name string) (*Benchmark, error) {
 	return nil, fmt.Errorf("workload: unknown benchmark %q (valid: %v)", name, valid)
 }
 
+// Sample draws one job from the benchmark's kernel-chain distribution. It
+// consumes exactly the RNG draws GenerateCustom's loop body consumes after
+// the inter-arrival gap, so a frontend sampling jobs one at a time from the
+// same RNG stream reproduces a generated trace byte for byte.
+func (b *Benchmark) Sample(lib *Library, rng *sim.RNG, id int, arrival sim.Time) *Job {
+	kernels, seqLen := b.build(lib, rng)
+	return &Job{
+		ID: id, Benchmark: b.Name, Arrival: arrival,
+		Deadline: b.Deadline, Kernels: kernels, SeqLen: seqLen,
+	}
+}
+
 // Generate builds the deterministic job trace for (benchmark, rate, seed):
 // n jobs with exponential inter-arrival times at the Table 4 rate, each
 // with an independently sampled kernel chain.
@@ -274,11 +286,7 @@ func (b *Benchmark) GenerateBursty(lib *Library, jobsPerSec int, burst float64, 
 			if i > 0 {
 				t += rng.Exp(onGap)
 			}
-			kernels, seqLen := b.build(lib, rng)
-			set.Jobs = append(set.Jobs, &Job{
-				ID: i, Benchmark: b.Name, Arrival: t,
-				Deadline: b.Deadline, Kernels: kernels, SeqLen: seqLen,
-			})
+			set.Jobs = append(set.Jobs, b.Sample(lib, rng, i, t))
 			i++
 		}
 		if i < n && burst > 1 {
@@ -305,15 +313,7 @@ func (b *Benchmark) GenerateCustom(lib *Library, jobsPerSec, n int, seed int64) 
 		if i > 0 {
 			t += rng.Exp(meanGap)
 		}
-		kernels, seqLen := b.build(lib, rng)
-		set.Jobs = append(set.Jobs, &Job{
-			ID:        i,
-			Benchmark: b.Name,
-			Arrival:   t,
-			Deadline:  b.Deadline,
-			Kernels:   kernels,
-			SeqLen:    seqLen,
-		})
+		set.Jobs = append(set.Jobs, b.Sample(lib, rng, i, t))
 	}
 	return set
 }

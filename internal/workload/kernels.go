@@ -66,6 +66,14 @@ func (l *Library) Kernel(name string) *gpu.KernelDesc {
 	return k
 }
 
+// Find returns the calibrated descriptor for a kernel name, or false when
+// the name is unknown — the non-panicking lookup for callers handling
+// untrusted input (e.g. WGList overrides arriving over the network).
+func (l *Library) Find(name string) (*gpu.KernelDesc, bool) {
+	k, ok := l.kernels[name]
+	return k, ok
+}
+
 // Names returns all kernel names in the library.
 func (l *Library) Names() []string {
 	names := make([]string, 0, len(l.kernels))

@@ -148,7 +148,7 @@ func TestRunWithFaults(t *testing.T) {
 func TestSessionMemoBounded(t *testing.T) {
 	s := NewSession(SessionOptions{})
 	for seed := int64(1); seed <= 3*maxRunners; seed++ {
-		s.runnerFor(runnerKey{jobs: 8, seed: seed})
+		mustRunner(t, s, runnerKey{jobs: 8, seed: seed})
 	}
 	if n := s.configCount(); n > maxRunners {
 		t.Fatalf("memo holds %d runners, cap is %d", n, maxRunners)
@@ -158,22 +158,22 @@ func TestSessionMemoBounded(t *testing.T) {
 	}
 	// The newest key is memoized; the oldest was evicted and comes back
 	// fresh without exceeding the cap.
-	newest := s.runnerFor(runnerKey{jobs: 8, seed: 3 * maxRunners})
-	if s.runnerFor(runnerKey{jobs: 8, seed: 3 * maxRunners}) != newest {
+	newest := mustRunner(t, s, runnerKey{jobs: 8, seed: 3 * maxRunners})
+	if mustRunner(t, s, runnerKey{jobs: 8, seed: 3 * maxRunners}) != newest {
 		t.Fatal("hot key not memoized")
 	}
-	s.runnerFor(runnerKey{jobs: 8, seed: 1})
+	mustRunner(t, s, runnerKey{jobs: 8, seed: 1})
 	if n := s.configCount(); n > maxRunners {
 		t.Fatalf("memo exceeded cap after re-adding evicted key: %d", n)
 	}
 	// Distinct fault specs get distinct runners.
-	if s.runnerFor(runnerKey{jobs: 8, seed: 2, faults: "hang=0.1"}) == s.runnerFor(runnerKey{jobs: 8, seed: 2}) {
+	if mustRunner(t, s, runnerKey{jobs: 8, seed: 2, faults: "hang=0.1"}) == mustRunner(t, s, runnerKey{jobs: 8, seed: 2}) {
 		t.Fatal("fault spec not part of the memo key")
 	}
 	// A custom bound is honored.
 	small := NewSession(SessionOptions{MaxConfigs: 2})
 	for seed := int64(1); seed <= 5; seed++ {
-		small.runnerFor(runnerKey{jobs: 8, seed: seed})
+		mustRunner(t, small, runnerKey{jobs: 8, seed: seed})
 	}
 	if n := small.configCount(); n > 2 {
 		t.Fatalf("MaxConfigs=2 session holds %d runners", n)

@@ -2,6 +2,7 @@ package laxgpu
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -11,6 +12,10 @@ import (
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
+
+// ErrSessionClosed is returned by every Run/Sweep/Experiment variant called
+// on a Session after Close.
+var ErrSessionClosed = errors.New("laxgpu: session is closed")
 
 // SessionOptions configure a Session.
 type SessionOptions struct {
@@ -58,6 +63,7 @@ type Session struct {
 	maxConfigs int
 
 	mu      sync.Mutex
+	closed  bool
 	runners map[runnerKey]*harness.Runner
 	order   []runnerKey // insertion order, oldest first
 
@@ -88,11 +94,14 @@ var defaultSession = NewSession(SessionOptions{})
 // creating (and FIFO-evicting) under the session lock. The returned runner
 // is itself safe for concurrent use, so the lock is held only for the
 // lookup — never across a simulation.
-func (s *Session) runnerFor(key runnerKey) *harness.Runner {
+func (s *Session) runnerFor(key runnerKey) (*harness.Runner, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	if r, ok := s.runners[key]; ok {
-		return r
+		return r, nil
 	}
 	if len(s.runners) >= s.maxConfigs {
 		delete(s.runners, s.order[0])
@@ -106,7 +115,23 @@ func (s *Session) runnerFor(key runnerKey) *harness.Runner {
 	r.Verify = key.verify
 	s.runners[key] = r
 	s.order = append(s.order, key)
-	return r
+	return r, nil
+}
+
+// Close releases the session's memoized simulation state — every cached
+// runner with its simulated cells and generated job traces — and marks the
+// session closed: subsequent Run/Sweep/Experiment calls return
+// ErrSessionClosed. Simulations already in flight finish normally (they hold
+// their runner directly). Close is idempotent and always returns nil; the
+// error return exists so a Session satisfies io.Closer and slots into defer
+// chains.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.runners = nil
+	s.order = nil
+	return nil
 }
 
 // configCount reports how many runner configurations are currently
@@ -155,7 +180,11 @@ func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sum, err := s.runnerFor(key).RunContext(ctx, o.Scheduler, o.Benchmark, rate)
+	r, err := s.runnerFor(key)
+	if err != nil {
+		return Result{}, err
+	}
+	sum, err := r.RunContext(ctx, o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
 	}
@@ -182,7 +211,11 @@ func (s *Session) RunVerifiedContext(ctx context.Context, o Options) (Result, er
 		return Result{}, err
 	}
 	key.verify = true
-	sum, err := s.runnerFor(key).RunContext(ctx, o.Scheduler, o.Benchmark, rate)
+	r, err := s.runnerFor(key)
+	if err != nil {
+		return Result{}, err
+	}
+	sum, err := r.RunContext(ctx, o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
 	}
@@ -204,8 +237,12 @@ func (s *Session) RunProbedContext(ctx context.Context, o Options) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	r, err := s.runnerFor(key)
+	if err != nil {
+		return Result{}, err
+	}
 	m := obs.NewMetricsWithRegistry(s.metricsReg)
-	pr, err := s.runnerFor(key).RunProbedInto(ctx, m, o.Scheduler, o.Benchmark, rate)
+	pr, err := r.RunProbedInto(ctx, m, o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
 	}
@@ -252,7 +289,11 @@ func (s *Session) SweepContext(ctx context.Context, opts []Options) ([]Result, e
 		if err != nil {
 			return nil, fmt.Errorf("laxgpu: sweep cell %d: %w", i, err)
 		}
-		cells[i] = cell{s.runnerFor(key), o, rate}
+		r, err := s.runnerFor(key)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = cell{r, o, rate}
 	}
 	results := make([]Result, len(cells))
 	err := harness.NewPool(s.parallel).Do(ctx, len(cells), func(ctx context.Context, i int) error {
@@ -282,7 +323,10 @@ func (s *Session) Experiment(id string, w io.Writer) error {
 // cancelled context aborts the experiment mid-cell and nothing is written
 // to w.
 func (s *Session) ExperimentContext(ctx context.Context, id string, w io.Writer) error {
-	r := s.runnerFor(runnerKey{jobs: workload.DefaultJobCount, seed: 1})
+	r, err := s.runnerFor(runnerKey{jobs: workload.DefaultJobCount, seed: 1})
+	if err != nil {
+		return err
+	}
 	rep, err := harness.RunExperiment(ctx, r, id)
 	if err != nil {
 		return err

@@ -4,13 +4,27 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"reflect"
 	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"laxgpu/internal/harness"
 )
+
+// mustRunner is runnerFor for tests on open sessions, where an error is a
+// test bug rather than an expected outcome.
+func mustRunner(t *testing.T, s *Session, k runnerKey) *harness.Runner {
+	t.Helper()
+	r, err := s.runnerFor(k)
+	if err != nil {
+		t.Fatalf("runnerFor(%+v): %v", k, err)
+	}
+	return r
+}
 
 // sweepGrid is a small mixed grid reused by the Session tests: three
 // schedulers, two benchmarks, one duplicate cell at the end.
@@ -175,10 +189,10 @@ func TestSessionsAreIsolated(t *testing.T) {
 	a := NewSession(SessionOptions{})
 	b := NewSession(SessionOptions{})
 	k := runnerKey{jobs: 8, seed: 1}
-	if a.runnerFor(k) == b.runnerFor(k) {
+	if mustRunner(t, a, k) == mustRunner(t, b, k) {
 		t.Fatal("two sessions shared a runner")
 	}
-	if a.runnerFor(k) != a.runnerFor(k) {
+	if mustRunner(t, a, k) != mustRunner(t, a, k) {
 		t.Fatal("session memo not stable")
 	}
 }
@@ -207,7 +221,42 @@ func TestRunVerifiedMatchesRun(t *testing.T) {
 		}
 	}
 	key := runnerKey{jobs: 16, seed: 1}
-	if s.runnerFor(key) == s.runnerFor(runnerKey{jobs: 16, seed: 1, verify: true}) {
+	if mustRunner(t, s, key) == mustRunner(t, s, runnerKey{jobs: 16, seed: 1, verify: true}) {
 		t.Fatal("verified and unverified cells share a runner")
+	}
+}
+
+// TestSessionClose: a closed session refuses every entry point with
+// ErrSessionClosed, Close is idempotent, and it satisfies io.Closer.
+func TestSessionClose(t *testing.T) {
+	s := NewSession(SessionOptions{})
+	o := Options{Scheduler: "LAX", Benchmark: "IPV6", Rate: "medium", Jobs: 8}
+	if _, err := s.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	var c io.Closer = s
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if n := s.configCount(); n != 0 {
+		t.Fatalf("closed session still memoizes %d runners", n)
+	}
+	if _, err := s.Run(o); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.RunVerified(o); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("RunVerified after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.RunProbed(o); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("RunProbed after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Sweep([]Options{o}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Sweep after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if err := s.Experiment("figure3", io.Discard); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Experiment after Close: err = %v, want ErrSessionClosed", err)
 	}
 }
