@@ -1,0 +1,169 @@
+// Command laxgw runs the fleet gateway: one HTTP front tier multiplexing
+// arrivals across N serving nodes, routing each job to the node reporting
+// the most laxity headroom, health-checking nodes with per-node circuit
+// breakers, and journaling every accepted job so node death never loses one
+// (unfinished jobs of a dead node re-dispatch to survivors or finish on the
+// CPU fallback).
+//
+// Usage:
+//
+//	laxgw                                   # in-process fleet of 3 nodes
+//	laxgw -gpus 5 -scheduler EDF            # bigger in-process fleet
+//	laxgw -nodes http://a:8080,http://b:8080  # front real laxd daemons
+//	laxgw -chaos "crash@5s;;netdrop=0.1"    # per-node chaos, ';'-separated
+//	laxgw -probe-interval 50ms -fail-threshold 3
+//
+// Endpoints: POST /v1/jobs (?wait=1 blocks until terminal; body takes an
+// optional "criticality": best-effort | standard | critical), GET
+// /v1/jobs/{id}, GET /v1/fleet (per-node breaker states and the live
+// no-lost-jobs verdict), GET /metrics, GET /healthz.
+//
+// SIGINT/SIGTERM drains: new submissions get 503, in-process nodes finish
+// their in-flight jobs (CPU fallback after the grace), then the process
+// exits 0. Remote nodes are left running — they drain themselves.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"laxgpu/internal/faults"
+	"laxgpu/internal/gateway"
+	"laxgpu/internal/obs"
+	"laxgpu/internal/serve"
+	"laxgpu/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "HTTP listen address")
+		nodes     = flag.String("nodes", "", "comma-separated laxd base URLs to front (empty = in-process fleet)")
+		gpus      = flag.Int("gpus", 3, "in-process node count (one simulated GPU each; ignored with -nodes)")
+		scheduler = flag.String("scheduler", "LAX", "queue policy for in-process nodes")
+		speed     = flag.Float64("speed", 1, "simulated seconds per wall second for in-process nodes")
+		queue     = flag.Int("queue", 64, "per-node accept queue depth (in-process)")
+		chaos     = flag.String("chaos", "", "per-node chaos specs, ';'-separated (crash@D, freeze@D+W, netdelay=D, netdrop=P)")
+		probeIv   = flag.Duration("probe-interval", 50*time.Millisecond, "wall interval between health-probe rounds")
+		failThr   = flag.Int("fail-threshold", 3, "consecutive probe failures that open a node's breaker")
+		backoff   = flag.Duration("probe-backoff", 100*time.Millisecond, "initial breaker backoff between recovery probes (simulated)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace before forcing CPU fallback (in-process)")
+		seed      = flag.Int64("seed", 1, "seed for chaos plans and the benchmark sampler")
+	)
+	flag.Parse()
+
+	clock := serve.NewWallClock(*speed)
+	reg := obs.NewRegistry()
+
+	var specs []string
+	if *chaos != "" {
+		specs = strings.Split(*chaos, ";")
+	}
+
+	var backends []gateway.Backend
+	var closers []func()
+	if *nodes != "" {
+		for i, u := range strings.Split(*nodes, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			rb := gateway.NewRemoteBackend(fmt.Sprintf("node%d", i), u, nil)
+			closers = append(closers, rb.Close)
+			backends = append(backends, rb)
+		}
+	} else {
+		if *gpus < 1 {
+			*gpus = 1
+		}
+		for g := 0; g < *gpus; g++ {
+			ib, err := gateway.NewInprocBackend(gateway.InprocConfig{
+				Name:        fmt.Sprintf("node%d", g),
+				Node:        serve.NodeConfig{Scheduler: *scheduler, Seed: *seed + int64(g)},
+				Clock:       clock,
+				AcceptQueue: *queue,
+				Registry:    reg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			backends = append(backends, ib)
+		}
+	}
+	if len(specs) > len(backends) {
+		fatal(fmt.Errorf("%d chaos specs for %d nodes", len(specs), len(backends)))
+	}
+	for g, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		ns, err := faults.ParseNodeSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		backends[g] = gateway.NewChaosBackend(backends[g], faults.NewNodePlan(ns, *seed+int64(g)), clock)
+	}
+
+	gw, err := gateway.New(gateway.Options{
+		Backends:      backends,
+		Clock:         clock,
+		Registry:      reg,
+		FailThreshold: *failThr,
+		ProbeBackoff:  sim.FromDuration(time.Duration(float64(*backoff) * *speed)),
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: gw.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+
+	// Prime the health view before announcing readiness, so the first
+	// arrival routes on real headroom instead of zeros.
+	gw.TickProbes(clock.Now())
+	stopProber := gw.StartProber(*probeIv)
+
+	mode := "in-process"
+	if *nodes != "" {
+		mode = "remote"
+	}
+	fmt.Fprintf(os.Stderr, "laxgw: serving on %s (%d %s node(s), %s, speed %gx, probe %v, threshold %d)\n",
+		ln.Addr(), len(backends), mode, *scheduler, *speed, *probeIv, *failThr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "laxgw: draining...")
+
+	stopProber()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain+10*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(sctx, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "laxgw: shutdown:", err)
+		os.Exit(1)
+	}
+	_ = hs.Shutdown(sctx)
+	for _, c := range closers {
+		c()
+	}
+	fmt.Fprintln(os.Stderr, "laxgw: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laxgw:", err)
+	os.Exit(1)
+}

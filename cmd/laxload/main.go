@@ -43,6 +43,7 @@ type jobStatus struct {
 	MetDeadline  bool   `json:"met_deadline"`
 	LatencyUs    int64  `json:"latency_us"`
 	RetryAfterUs int64  `json:"retry_after_us"`
+	Reason       string `json:"reason"`
 	Error        string `json:"error"`
 }
 
@@ -53,11 +54,16 @@ type tally struct {
 	met                           int64
 
 	mu        sync.Mutex
-	latencies []float64 // server-reported, milliseconds, completed jobs only
+	latencies []float64        // server-reported, milliseconds, completed jobs only
+	walls     []float64        // wall-clock request round trips, milliseconds
+	reasons   map[string]int64 // server-stated reason per non-2xx answer
 }
 
-func (t *tally) record(code int, st jobStatus) {
+func (t *tally) record(code int, st jobStatus, wall time.Duration) {
 	atomic.AddInt64(&t.submitted, 1)
+	t.mu.Lock()
+	t.walls = append(t.walls, float64(wall.Microseconds())/1000)
+	t.mu.Unlock()
 	switch {
 	case code == http.StatusOK || code == http.StatusAccepted:
 		atomic.AddInt64(&t.admitted, 1)
@@ -69,6 +75,7 @@ func (t *tally) record(code int, st jobStatus) {
 			t.latencies = append(t.latencies, float64(st.LatencyUs)/1000)
 			t.mu.Unlock()
 		}
+		return
 	case code == http.StatusTooManyRequests && st.State == "rejected":
 		atomic.AddInt64(&t.rejected, 1)
 	case code == http.StatusTooManyRequests:
@@ -78,6 +85,16 @@ func (t *tally) record(code int, st jobStatus) {
 	default:
 		atomic.AddInt64(&t.errors, 1)
 	}
+	reason := st.Reason
+	if reason == "" {
+		reason = "unknown"
+	}
+	t.mu.Lock()
+	if t.reasons == nil {
+		t.reasons = make(map[string]int64)
+	}
+	t.reasons[reason]++
+	t.mu.Unlock()
 }
 
 func main() {
@@ -90,6 +107,7 @@ func main() {
 		mult      = flag.Float64("x", 0, "rate as a multiple of the server's capacity estimate (overrides -rate)")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to offer load")
 		seed      = flag.Int64("seed", 1, "seed for the Poisson arrival gaps (open mode)")
+		crit      = flag.String("criticality", "", "job criticality: best-effort, standard, or critical (gateway shedding order)")
 	)
 	flag.Parse()
 
@@ -112,6 +130,9 @@ func main() {
 	}
 
 	body := fmt.Sprintf(`{"benchmark":%q}`, *benchmark)
+	if *crit != "" {
+		body = fmt.Sprintf(`{"benchmark":%q,"criticality":%q}`, *benchmark, *crit)
+	}
 	t := &tally{}
 	stopAt := time.Now().Add(*duration)
 
@@ -153,8 +174,9 @@ func main() {
 							return
 						}
 					}
+					start := time.Now()
 					code, st := post(base+"/v1/jobs?wait=1", body)
-					t.record(code, st)
+					t.record(code, st, time.Since(start))
 				}
 			}()
 		}
@@ -169,8 +191,9 @@ func main() {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
+				start := time.Now()
 				code, st := post(base+"/v1/jobs", body)
-				t.record(code, st)
+				t.record(code, st, time.Since(start))
 			}()
 		}
 	}
@@ -236,6 +259,23 @@ func report(t *tally, mode, benchmark string, d time.Duration) {
 		sort.Float64s(t.latencies)
 		fmt.Printf("latency ms (simulated): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
 			pct(t.latencies, 50), pct(t.latencies, 95), pct(t.latencies, 99), t.latencies[n-1])
+	}
+	if n := len(t.walls); n > 0 {
+		sort.Float64s(t.walls)
+		fmt.Printf("e2e ms (wall): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
+			pct(t.walls, 50), pct(t.walls, 95), pct(t.walls, 99), t.walls[n-1])
+	}
+	if len(t.reasons) > 0 {
+		keys := make([]string, 0, len(t.reasons))
+		for k := range t.reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %d", k, t.reasons[k]))
+		}
+		fmt.Printf("reject reasons: %s\n", strings.Join(parts, ", "))
 	}
 }
 

@@ -36,6 +36,13 @@ const (
 	RouteLeastLoaded
 	// RouteJobHash pins jobs to GPUs by job ID (session affinity).
 	RouteJobHash
+	// RouteHeadroom routes on live laxity headroom the nodes themselves
+	// report (Router.SetHeadroom): each pick scores a node by its last
+	// reported queue-drain estimate plus the work routed there since that
+	// report, weighted by health — the gateway tier's policy, where nodes
+	// answer probes with their own Algorithm 1 drain estimates instead of
+	// the front end guessing from static job sizes.
+	RouteHeadroom
 )
 
 func (p RoutingPolicy) String() string {
@@ -46,6 +53,8 @@ func (p RoutingPolicy) String() string {
 		return "least-loaded"
 	case RouteJobHash:
 		return "job-hash"
+	case RouteHeadroom:
+		return "headroom"
 	default:
 		return fmt.Sprintf("RoutingPolicy(%d)", int(p))
 	}

@@ -16,8 +16,10 @@ func ParseRoutingPolicy(s string) (RoutingPolicy, error) {
 		return RouteLeastLoaded, nil
 	case "job-hash", "hash":
 		return RouteJobHash, nil
+	case "headroom", "hr":
+		return RouteHeadroom, nil
 	}
-	return 0, fmt.Errorf("cluster: unknown routing policy %q (want round-robin|least-loaded|job-hash)", s)
+	return 0, fmt.Errorf("cluster: unknown routing policy %q (want round-robin|least-loaded|job-hash|headroom)", s)
 }
 
 // Router makes front-end placement decisions one arrival at a time with
@@ -39,6 +41,12 @@ type Router struct {
 	capacity    []float64
 	lastArrival sim.Time
 	rr          int
+
+	// reported is each device's last self-reported queue-drain estimate
+	// (RouteHeadroom only); sinceReport is the estimated device-time routed
+	// there after that report, so headroom stays honest between probes.
+	reported    []sim.Time
+	sinceReport []sim.Time
 }
 
 // NewRouter returns a router over gpus devices, all initially healthy.
@@ -50,6 +58,8 @@ func NewRouter(policy RoutingPolicy, gpus int) *Router {
 		policy:      policy,
 		outstanding: make([]sim.Time, gpus),
 		capacity:    make([]float64, gpus),
+		reported:    make([]sim.Time, gpus),
+		sinceReport: make([]sim.Time, gpus),
 	}
 	for g := range r.capacity {
 		r.capacity[g] = 1
@@ -61,10 +71,11 @@ func NewRouter(policy RoutingPolicy, gpus int) *Router {
 func (r *Router) GPUs() int { return len(r.outstanding) }
 
 // SetHealth records device g's surviving capacity fraction in [0,1] (1 =
-// fully healthy, 0 = dead). Least-loaded routing drains and weighs the
-// device by it; round-robin and job-hash ignore health by design — they are
-// stateless spreading/affinity policies a front end uses precisely when it
-// has no load signal.
+// fully healthy, 0 = dead). Least-loaded and headroom routing drain and
+// weigh the device by it — a fraction of 0 excludes the device from picks
+// entirely until health recovers; round-robin and job-hash ignore health by
+// design — they are stateless spreading/affinity policies a front end uses
+// precisely when it has no load signal.
 func (r *Router) SetHealth(g int, frac float64) {
 	if frac < 0 {
 		frac = 0
@@ -75,11 +86,45 @@ func (r *Router) SetHealth(g int, frac float64) {
 	r.capacity[g] = frac
 }
 
+// SetHeadroom records device g's live self-reported queue-drain estimate —
+// how long the node says it needs to finish everything it has admitted. The
+// headroom policy scores on it; the bookkeeping of work routed since the
+// report resets here, because the next report already includes that work.
+func (r *Router) SetHeadroom(g int, drain sim.Time) {
+	if drain < 0 {
+		drain = 0
+	}
+	r.reported[g] = drain
+	r.sinceReport[g] = 0
+}
+
 // Pick chooses the device for a job arriving at arrival with estimated
 // serial device-time est. jobID feeds the job-hash policy. Arrivals must be
 // presented in non-decreasing time order.
 func (r *Router) Pick(arrival, est sim.Time, jobID int) int {
 	switch r.policy {
+	case RouteHeadroom:
+		best := -1
+		var bestLoad float64
+		for g := range r.reported {
+			if r.capacity[g] <= 0 {
+				continue
+			}
+			// Drain time after placement, from the node's own estimate plus
+			// what we routed there since it reported. Ties break toward the
+			// lowest index, deterministically.
+			load := float64(r.reported[g]+r.sinceReport[g]+est) / r.capacity[g]
+			if best < 0 || load < bestLoad {
+				best, bestLoad = g, load
+			}
+		}
+		if best < 0 {
+			// Every device is dead; round-robin rather than blackhole one.
+			best = r.rr % len(r.reported)
+			r.rr++
+		}
+		r.sinceReport[best] += est
+		return best
 	case RouteLeastLoaded:
 		elapsed := arrival - r.lastArrival
 		if elapsed < 0 {

@@ -12,6 +12,7 @@ func TestParseRoutingPolicy(t *testing.T) {
 		"round-robin": RouteRoundRobin, "rr": RouteRoundRobin,
 		"least-loaded": RouteLeastLoaded, "ll": RouteLeastLoaded,
 		"job-hash": RouteJobHash, "hash": RouteJobHash,
+		"headroom": RouteHeadroom, "hr": RouteHeadroom,
 	}
 	for in, want := range cases {
 		got, err := ParseRoutingPolicy(in)
@@ -198,5 +199,119 @@ func TestClusterFaultValidation(t *testing.T) {
 	cfg.Faults = []string{"bogus=1"}
 	if _, err := Run(cfg, set); err == nil {
 		t.Fatal("invalid fault spec accepted")
+	}
+}
+
+// TestRouterHealthRecovery pins the SetHealth round trip: a device marked
+// fully dead receives nothing, and restoring health 1.0 makes it a candidate
+// again on equal terms.
+func TestRouterHealthRecovery(t *testing.T) {
+	for _, policy := range []RoutingPolicy{RouteLeastLoaded, RouteHeadroom} {
+		r := NewRouter(policy, 2)
+		r.SetHealth(0, 0)
+		for id := 0; id < 8; id++ {
+			if g := r.Pick(0, sim.Microsecond, id); g != 1 {
+				t.Fatalf("%v: job %d routed to the dead device", policy, id)
+			}
+		}
+		// Recovery: back to full health, with no backlog bookkeeping — the
+		// recovered device must win the next pick (device 1 is loaded).
+		r.SetHealth(0, 1)
+		if g := r.Pick(0, sim.Microsecond, 100); g != 0 {
+			t.Fatalf("%v: recovered device not picked (got %d)", policy, g)
+		}
+	}
+}
+
+// TestRouterTieBreakEquallyDegraded pins deterministic tie-breaking: two
+// equally degraded, equally loaded devices must yield the lowest index, and
+// repeated picks must alternate as the bookkeeping accrues — never flap on
+// map order or randomness.
+func TestRouterTieBreakEquallyDegraded(t *testing.T) {
+	for _, policy := range []RoutingPolicy{RouteLeastLoaded, RouteHeadroom} {
+		r := NewRouter(policy, 3)
+		r.SetHealth(0, 0.5)
+		r.SetHealth(1, 0.5)
+		r.SetHealth(2, 0) // dead: must never appear
+		var got []int
+		for id := 0; id < 6; id++ {
+			got = append(got, r.Pick(0, sim.Microsecond, id))
+		}
+		want := []int{0, 1, 0, 1, 0, 1}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pick sequence %v, want %v", policy, got, want)
+			}
+		}
+	}
+}
+
+// TestRouterHeadroomRoutesOnReports pins the gateway policy: picks follow
+// the nodes' self-reported drain estimates, the work routed since a report
+// counts against a node until its next report resets it.
+func TestRouterHeadroomRoutesOnReports(t *testing.T) {
+	r := NewRouter(RouteHeadroom, 2)
+	r.SetHeadroom(0, 10*sim.Millisecond)
+	r.SetHeadroom(1, sim.Millisecond)
+	if g := r.Pick(0, sim.Microsecond, 0); g != 1 {
+		t.Fatalf("pick = %d, want the node reporting less drain", g)
+	}
+	// Pile work onto node 1 between reports: the bookkeeping must
+	// eventually push picks back to node 0.
+	saw0 := false
+	for id := 1; id < 20 && !saw0; id++ {
+		saw0 = r.Pick(0, sim.Millisecond, id) == 0
+	}
+	if !saw0 {
+		t.Fatal("sinceReport bookkeeping never redirected load to node 0")
+	}
+	// A fresh report wipes the bookkeeping: node 1 reporting empty wins.
+	r.SetHeadroom(1, 0)
+	if g := r.Pick(0, sim.Microsecond, 99); g != 1 {
+		t.Fatalf("after fresh empty report, pick = %d, want 1", g)
+	}
+	// All dead: round-robin fallback rather than a blackhole.
+	r.SetHealth(0, 0)
+	r.SetHealth(1, 0)
+	seen := map[int]bool{}
+	for id := 0; id < 4; id++ {
+		seen[r.Pick(0, sim.Microsecond, id)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("all-dead fallback used only devices %v", seen)
+	}
+}
+
+// TestHealthScheduleApplyEdges pins Apply's consumption semantics: events
+// fire once (idempotent re-Apply), events at time zero apply immediately,
+// stacked retirements accumulate, and retiring every CU clamps the fraction
+// to exactly 0.
+func TestHealthScheduleApplyEdges(t *testing.T) {
+	spec, err := faults.ParseSpec("retire=4@0s,retire=4@2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHealthSchedule(8, []faults.Spec{spec, {Recover: true}})
+	r := NewRouter(RouteLeastLoaded, 2)
+
+	h.Apply(r, 0) // the t=0 event fires immediately: health 0.5
+	got := map[int]bool{}
+	for id := 0; id < 4; id++ {
+		got[r.Pick(0, sim.Microsecond, id)] = true
+	}
+	if !got[1] {
+		t.Fatalf("healthy device unused after partial retirement: %v", got)
+	}
+
+	// Re-applying at the same instant must not double-consume or rewind.
+	h.Apply(r, 0)
+	h.Apply(r, sim.Millisecond)
+
+	// The second retirement kills the device outright (8 of 8 CUs gone).
+	h.Apply(r, 2*sim.Millisecond)
+	for id := 0; id < 8; id++ {
+		if g := r.Pick(2*sim.Millisecond, sim.Microsecond, id); g == 0 {
+			t.Fatal("fully retired device still picked")
+		}
 	}
 }

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+func TestParseNodeSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want NodeSpec
+	}{
+		{"", NodeSpec{}},
+		{"crash@5ms", NodeSpec{Crash: true, CrashAt: 5 * sim.Millisecond}},
+		{"freeze@1s+500ms", NodeSpec{Freeze: true, FreezeAt: sim.Second, FreezeDur: 500 * sim.Millisecond}},
+		{"netdelay=2ms", NodeSpec{NetDelay: 2 * sim.Millisecond}},
+		{"netdrop=0.25", NodeSpec{NetDrop: 0.25}},
+		{
+			"crash@10ms,netdrop=0.1,netdelay=1ms",
+			NodeSpec{Crash: true, CrashAt: 10 * sim.Millisecond, NetDrop: 0.1, NetDelay: sim.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		got, err := ParseNodeSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseNodeSpec(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseNodeSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// Round-trip through String.
+		back, err := ParseNodeSpec(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (err %v)", tc.in, got.String(), back, err)
+		}
+	}
+}
+
+func TestParseNodeSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"crash@-1s", "crash@nope", "freeze@1s", "freeze@1s+0s", "freeze@x+1s",
+		"netdelay=-1ms", "netdrop=1.5", "netdrop=x", "explode=1", "crash",
+	} {
+		if _, err := ParseNodeSpec(in); err == nil {
+			t.Errorf("ParseNodeSpec(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestNodePlanCrashAndFreeze(t *testing.T) {
+	spec, err := ParseNodeSpec("crash@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewNodePlan(spec, 1)
+	if err := p.Gate(9 * sim.Millisecond); err != nil {
+		t.Fatalf("pre-crash call failed: %v", err)
+	}
+	if err := p.Gate(10 * sim.Millisecond); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("at crash: got %v, want ErrNodeDown", err)
+	}
+	if err := p.Gate(sim.Second); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("crash is not permanent: %v", err)
+	}
+
+	fspec, err := ParseNodeSpec("freeze@1ms+2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewNodePlan(fspec, 1)
+	if err := f.Gate(0); err != nil {
+		t.Fatalf("pre-freeze call failed: %v", err)
+	}
+	if err := f.Gate(2 * sim.Millisecond); !errors.Is(err, ErrNodeFrozen) {
+		t.Fatalf("inside window: got %v, want ErrNodeFrozen", err)
+	}
+	if err := f.Gate(3 * sim.Millisecond); err != nil {
+		t.Fatalf("node did not thaw: %v", err)
+	}
+}
+
+func TestNodePlanDropDeterminism(t *testing.T) {
+	spec := NodeSpec{NetDrop: 0.3}
+	run := func(seed int64) []bool {
+		p := NewNodePlan(spec, seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = errors.Is(p.Gate(0), ErrNetDrop)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: drop decisions diverge across identical seeds", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("netdrop=0.3 dropped %d/%d calls; want a nontrivial fraction", drops, len(a))
+	}
+	c := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical drop sequences")
+	}
+}

@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"laxgpu/internal/serve"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// benchFleet builds an N-node in-process fleet on a manual clock, without
+// the testing.T plumbing of the test helper.
+func benchFleet(b *testing.B, nodes int) (*Gateway, *serve.ManualClock) {
+	b.Helper()
+	clock := serve.NewManualClock()
+	var backends []Backend
+	for g := 0; g < nodes; g++ {
+		ib, err := NewInprocBackend(InprocConfig{
+			Name:  fmt.Sprintf("node%d", g),
+			Node:  serve.NodeConfig{Scheduler: "LAX"},
+			Clock: clock,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { ib.Shutdown(time.Second) })
+		backends = append(backends, ib)
+	}
+	gw, err := New(Options{Backends: backends, Clock: clock, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw.TickProbes(clock.Now())
+	return gw, clock
+}
+
+// BenchmarkGatewaySubmitRoute measures the gateway's per-arrival hot path:
+// kernel sampling, headroom routing, journaling, and the in-process node's
+// admission decision. Completions are drained between iterations so the
+// journal, not the backlog, is what's measured.
+func BenchmarkGatewaySubmitRoute(b *testing.B) {
+	gw, clock := benchFleet(b, 3)
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := sim.Time(0)
+	// Within a batch, deadlines double so the cold profiling table (hold
+	// estimate = deadline) admits every job regardless of routing; between
+	// batches the clock jumps and a probe round drains the backlog.
+	deadline := sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, reason := gw.Submit(bench, deadline, Standard); reason != "" {
+			b.Fatalf("submission %d refused: %s", i, reason)
+		}
+		deadline *= 2
+		if (i+1)%16 == 0 {
+			now += 50 * sim.Millisecond
+			clock.Set(now)
+			gw.TickProbes(now)
+			deadline = sim.Second
+		}
+	}
+	b.StopTimer()
+	now += sim.Second
+	clock.Set(now)
+	gw.TickProbes(now)
+	if got := gw.Inflight(); got != 0 {
+		b.Fatalf("inflight = %d after drain", got)
+	}
+	jobs := gw.FleetJobs()
+	b.ReportMetric(float64(len(jobs))/float64(b.N), "jobs/op")
+}
+
+// BenchmarkGatewayProbeRound measures one full health-probe round across
+// the fleet: breaker bookkeeping, a driver round trip per node, and the
+// router health/headroom updates.
+func BenchmarkGatewayProbeRound(b *testing.B) {
+	gw, clock := benchFleet(b, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gw.TickProbes(clock.Now())
+	}
+}

@@ -1,0 +1,118 @@
+package gateway
+
+import "laxgpu/internal/sim"
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the node is healthy; calls flow.
+	BreakerClosed BreakerState = iota
+
+	// BreakerHalfOpen: the backoff elapsed and one trial probe is in
+	// flight; its outcome decides between Closed and Open.
+	BreakerHalfOpen
+
+	// BreakerOpen: the node is considered down; no work is routed to it
+	// and probes are paced by capped exponential backoff.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is the per-node health state machine: consecutive probe failures
+// trip it open, capped exponential backoff paces recovery probes, and a
+// single successful trial closes it again. Not safe for concurrent use —
+// the gateway drives every breaker under its own lock.
+type Breaker struct {
+	failThreshold int
+	baseBackoff   sim.Time
+	maxBackoff    sim.Time
+
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	backoff   sim.Time
+	nextProbe sim.Time // earliest instant an open breaker allows a trial
+}
+
+// NewBreaker builds a closed breaker. failThreshold consecutive failures
+// open it (minimum 1); backoff doubles from base to max between failed
+// trials.
+func NewBreaker(failThreshold int, base, max sim.Time) *Breaker {
+	if failThreshold < 1 {
+		failThreshold = 1
+	}
+	if base <= 0 {
+		base = 10 * sim.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{failThreshold: failThreshold, baseBackoff: base, maxBackoff: max}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a probe should be sent at now. Closed breakers
+// always probe; open ones only after the backoff; a half-open breaker has a
+// trial outstanding and sends no second probe until it resolves.
+func (b *Breaker) Allow(now sim.Time) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now >= b.nextProbe {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: trial in flight
+		return false
+	}
+}
+
+// Success records a successful probe, closing the breaker.
+func (b *Breaker) Success(now sim.Time) {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.backoff = 0
+}
+
+// Failure records a failed probe. It reports true when this failure tripped
+// the breaker open (the caller's cue to fail over the node's jobs).
+func (b *Breaker) Failure(now sim.Time) bool {
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails < b.failThreshold {
+			return false
+		}
+		b.backoff = b.baseBackoff
+		b.state = BreakerOpen
+		b.nextProbe = now + b.backoff
+		return true
+	default: // half-open trial failed (or a straggling failure while open)
+		b.backoff *= 2
+		if b.backoff > b.maxBackoff {
+			b.backoff = b.maxBackoff
+		}
+		if b.backoff == 0 {
+			b.backoff = b.baseBackoff
+		}
+		b.state = BreakerOpen
+		b.nextProbe = now + b.backoff
+		return false
+	}
+}

@@ -1,0 +1,908 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laxgpu/internal/cluster"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
+	"laxgpu/internal/serve"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/verify"
+	"laxgpu/internal/workload"
+)
+
+// Class is a job's criticality: the order the gateway sheds under overload.
+// Lower classes shed first.
+type Class int
+
+const (
+	// BestEffort jobs shed as soon as the fleet's predicted wait exceeds
+	// their own deadline.
+	BestEffort Class = iota
+
+	// Standard jobs (the default) tolerate a backlog of a few deadlines.
+	Standard
+
+	// Critical jobs shed last — only when the backlog is hopeless even
+	// for them.
+	Critical
+)
+
+// sheddingTolerance is the backlog multiple each class tolerates: a job is
+// shed when every healthy node's predicted drain exceeds
+// tolerance × deadline.
+func (c Class) sheddingTolerance() sim.Time {
+	switch c {
+	case BestEffort:
+		return 1
+	case Critical:
+		return 16
+	default:
+		return 4
+	}
+}
+
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "best-effort"
+	case Critical:
+		return "critical"
+	default:
+		return "standard"
+	}
+}
+
+// ParseClass parses a criticality name; the empty string is Standard.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "standard":
+		return Standard, nil
+	case "best-effort", "besteffort":
+		return BestEffort, nil
+	case "critical":
+		return Critical, nil
+	default:
+		return Standard, fmt.Errorf("gateway: unknown criticality %q (want best-effort, standard or critical)", s)
+	}
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// Backends are the fleet's nodes, in routing-index order (required).
+	Backends []Backend
+
+	// Clock stamps submissions and probes (required; share it with
+	// in-process backends).
+	Clock serve.Clock
+
+	// Registry collects the gateway's metrics (a fresh one if nil).
+	Registry *obs.Registry
+
+	// FailThreshold is the consecutive probe failures that open a node's
+	// breaker (default 3).
+	FailThreshold int
+
+	// ProbeBackoff is the initial breaker backoff between recovery probes;
+	// it doubles per failed trial up to MaxBackoff (defaults 10ms / 1s,
+	// simulated).
+	ProbeBackoff sim.Time
+	MaxBackoff   sim.Time
+
+	// MaxRecords bounds the journal; the oldest terminal entries are
+	// evicted first (default 65536).
+	MaxRecords int
+
+	// Seed feeds the benchmark sampler.
+	Seed int64
+
+	// System configures the GPU model used for routing estimates; the zero
+	// value means cp.DefaultSystemConfig.
+	System cp.SystemConfig
+}
+
+// entry is one journal row: everything the gateway must remember to keep
+// its no-lost-jobs promise for one submission.
+type entry struct {
+	job        *Job
+	accepted   bool
+	terminal   string
+	met        bool
+	fellBack   bool
+	latencyUs  int64
+	reason     string
+	retryUs    int64
+	dispatches []string
+	backend    int // routing index of the live dispatch; -1 when none
+	duplicates int
+	done       chan struct{}
+}
+
+// Gateway is the fleet front tier: it routes arrivals on live laxity
+// headroom, health-checks nodes with per-node circuit breakers, journals
+// every accepted job and re-dispatches the unfinished work of dead nodes —
+// or falls it back to the CPU — so acceptance is a promise that survives
+// node death.
+type Gateway struct {
+	opt   Options
+	clock serve.Clock
+	reg   *obs.Registry
+	lib   *workload.Library
+	gpu   gpu.Config
+
+	// mu guards the journal, router, breakers and last-probed headroom.
+	// Invariant: no blocking backend call (Probe, Submit) happens while mu
+	// is held — done callbacks fire on backend goroutines and take mu.
+	mu       sync.Mutex
+	journal  map[int64]*entry
+	order    []int64
+	nextID   int64
+	router   *cluster.Router
+	breakers []*Breaker
+	headroom []Headroom
+	rng      *sim.RNG
+	inflight int
+
+	draining atomic.Bool
+
+	cSubmitted, cAccepted, cRejected *obs.Counter
+	cUnhealthy, cDuplicates          *obs.Counter
+	cFailoverJobs, cFailoverFallback *obs.Counter
+	gInflight                        *obs.Gauge
+	cShed                            map[Class]*obs.Counter
+	cBreakerOpens                    []*obs.Counter
+	cProbeFailures                   []*obs.Counter
+	gBreakerState                    []*obs.Gauge
+	hRedispatchUs                    *obs.Histogram
+}
+
+// New builds a gateway over the given backends. Call TickProbes (or
+// StartProber) to begin health checking.
+func New(opt Options) (*Gateway, error) {
+	if len(opt.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends")
+	}
+	if opt.Clock == nil {
+		return nil, fmt.Errorf("gateway: no clock")
+	}
+	if opt.FailThreshold < 1 {
+		opt.FailThreshold = 3
+	}
+	if opt.ProbeBackoff <= 0 {
+		opt.ProbeBackoff = 10 * sim.Millisecond
+	}
+	if opt.MaxBackoff < opt.ProbeBackoff {
+		opt.MaxBackoff = sim.Second
+	}
+	if opt.MaxRecords < 1 {
+		opt.MaxRecords = 65536
+	}
+	sysCfg := opt.System
+	if sysCfg.NumQueues == 0 {
+		sysCfg = cp.DefaultSystemConfig()
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	gw := &Gateway{
+		opt:      opt,
+		clock:    opt.Clock,
+		reg:      reg,
+		lib:      workload.NewLibrary(sysCfg.GPU),
+		gpu:      sysCfg.GPU,
+		journal:  make(map[int64]*entry),
+		router:   cluster.NewRouter(cluster.RouteHeadroom, len(opt.Backends)),
+		headroom: make([]Headroom, len(opt.Backends)),
+		rng:      sim.NewRNG(opt.Seed),
+
+		cSubmitted: reg.Counter("laxgw_jobs_submitted_total", "Jobs received by the gateway (before routing)."),
+		cAccepted:  reg.Counter("laxgw_jobs_accepted_total", "Jobs a node admitted (HTTP 202)."),
+		cRejected:  reg.Counter("laxgw_jobs_rejected_total", "Jobs the routed node's admission control refused (HTTP 429)."),
+		cUnhealthy: reg.Counter("laxgw_no_backend_total", "Submissions refused with every node unreachable (HTTP 503)."),
+		cDuplicates: reg.Counter("laxgw_duplicate_terminals_total",
+			"Late terminal reports from nodes already failed over (deduplicated by the journal)."),
+		cFailoverJobs: reg.Counter("laxgw_failover_jobs_total",
+			"Journaled jobs re-dispatched to a surviving node after their node died."),
+		cFailoverFallback: reg.Counter("laxgw_failover_fallback_total",
+			"Journaled jobs finished on the gateway's CPU fallback because no survivor could take them."),
+		gInflight: reg.Gauge("laxgw_inflight_jobs", "Accepted jobs not yet in a terminal state."),
+		hRedispatchUs: reg.Histogram("laxgw_redispatch_latency_us",
+			"Wall-clock latency from breaker trip to re-dispatch completion, per failed-over job (µs).",
+			[]float64{10, 100, 1000, 10_000, 100_000, 1_000_000}),
+	}
+	gw.cShed = map[Class]*obs.Counter{}
+	for _, cl := range []Class{BestEffort, Standard, Critical} {
+		gw.cShed[cl] = reg.CounterWith("laxgw_shed_total",
+			"Submissions shed by criticality class under fleet overload (HTTP 429).",
+			map[string]string{"class": cl.String()})
+	}
+	for _, be := range opt.Backends {
+		labels := map[string]string{"node": be.Name()}
+		gw.breakers = append(gw.breakers, NewBreaker(opt.FailThreshold, opt.ProbeBackoff, opt.MaxBackoff))
+		gw.cBreakerOpens = append(gw.cBreakerOpens, reg.CounterWith("laxgw_breaker_opens_total",
+			"Times a node's circuit breaker tripped open.", labels))
+		gw.cProbeFailures = append(gw.cProbeFailures, reg.CounterWith("laxgw_probe_failures_total",
+			"Failed health probes per node.", labels))
+		g := reg.GaugeWith("laxgw_breaker_state",
+			"Circuit breaker position per node: 0 closed, 1 half-open, 2 open.", labels)
+		g.Set(0)
+		gw.gBreakerState = append(gw.gBreakerState, g)
+	}
+	return gw, nil
+}
+
+// Registry returns the gateway's metrics registry.
+func (gw *Gateway) Registry() *obs.Registry { return gw.reg }
+
+// Clock returns the gateway's clock.
+func (gw *Gateway) Clock() serve.Clock { return gw.clock }
+
+// Draining reports whether Shutdown has begun.
+func (gw *Gateway) Draining() bool { return gw.draining.Load() }
+
+// TickProbes runs one synchronous health-check round at now: every node
+// whose breaker allows a probe is probed, breakers and the router's health
+// view are updated from the outcomes, and a breaker tripping open fails
+// over the dead node's journaled jobs before the call returns. Tests drive
+// it directly with a ManualClock; StartProber drives it on a wall ticker.
+func (gw *Gateway) TickProbes(now sim.Time) {
+	for g, be := range gw.Backends() {
+		gw.mu.Lock()
+		allowed := gw.breakers[g].Allow(now)
+		gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+		gw.mu.Unlock()
+		if !allowed {
+			continue
+		}
+		h, err := be.Probe(now) // never under mu: in-proc probes run completions
+		gw.mu.Lock()
+		if err != nil {
+			gw.cProbeFailures[g].Inc()
+			tripped := gw.breakers[g].Failure(now)
+			gw.router.SetHealth(g, 0)
+			gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+			if !tripped {
+				gw.mu.Unlock()
+				continue
+			}
+			gw.cBreakerOpens[g].Inc()
+			orphans := gw.orphansLocked(g)
+			gw.mu.Unlock()
+			gw.failover(now, orphans)
+			continue
+		}
+		gw.breakers[g].Success(now)
+		gw.headroom[g] = h
+		health := 1.0
+		if h.Draining {
+			health = 0
+		}
+		gw.router.SetHealth(g, health)
+		gw.router.SetHeadroom(g, h.Drain)
+		gw.gBreakerState[g].Set(float64(BreakerClosed))
+		gw.mu.Unlock()
+	}
+}
+
+// StartProber drives TickProbes on a wall-clock ticker until the returned
+// stop function is called.
+func (gw *Gateway) StartProber(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				gw.TickProbes(gw.clock.Now())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Backends returns the fleet in routing-index order.
+func (gw *Gateway) Backends() []Backend { return gw.opt.Backends }
+
+// healthyLocked counts nodes whose breaker is not open.
+func (gw *Gateway) healthyLocked() int {
+	n := 0
+	for _, b := range gw.breakers {
+		if b.State() != BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// minDrainLocked is the lowest predicted drain among non-open nodes — the
+// shedding signal: the soonest any node could start a new job.
+func (gw *Gateway) minDrainLocked() sim.Time {
+	best := sim.Time(-1)
+	for g, b := range gw.breakers {
+		if b.State() == BreakerOpen {
+			continue
+		}
+		d := gw.headroom[g].Drain
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// orphansLocked collects node g's journaled non-terminal jobs in ID order
+// and detaches them from the node.
+func (gw *Gateway) orphansLocked(g int) []*entry {
+	var out []*entry
+	for _, id := range gw.order {
+		e := gw.journal[id]
+		if e != nil && e.accepted && e.terminal == "" && e.backend == g {
+			e.backend = -1
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// failover re-dispatches the orphans of a dead node in ID order: each goes
+// to the healthiest survivor willing to take it, or to the gateway's CPU
+// fallback when no survivor exists or every survivor's admission refuses it
+// — either way the job reaches a terminal state. Deterministic given the
+// same journal and probe history: placement uses the same headroom router
+// as arrivals.
+func (gw *Gateway) failover(now sim.Time, orphans []*entry) {
+	start := time.Now()
+	for _, e := range orphans {
+		redispatched := false
+		for attempt := 0; attempt < len(gw.opt.Backends); attempt++ {
+			gw.mu.Lock()
+			if gw.healthyLocked() == 0 {
+				gw.mu.Unlock()
+				break
+			}
+			target := gw.router.Pick(now, e.job.Est, int(e.job.ID))
+			be := gw.opt.Backends[target]
+			gw.mu.Unlock()
+
+			v, err := gw.submitTo(now, target, be, e)
+			if err != nil {
+				// The node never saw the job; strike it and try the next.
+				gw.strike(now, target)
+				continue
+			}
+			gw.mu.Lock()
+			e.dispatches = append(e.dispatches, be.Name())
+			if v.Accepted {
+				e.backend = target
+				redispatched = true
+			}
+			gw.mu.Unlock()
+			if v.Accepted {
+				gw.cFailoverJobs.Inc()
+				gw.hRedispatchUs.Observe(float64(time.Since(start).Microseconds()))
+			}
+			break
+		}
+		if !redispatched {
+			gw.fallback(e)
+		}
+	}
+}
+
+// submitTo offers an orphan to one backend, wiring its completion back into
+// the journal.
+func (gw *Gateway) submitTo(now sim.Time, target int, be Backend, e *entry) (Verdict, error) {
+	id := e.job.ID
+	return be.Submit(now, e.job, func(o Outcome) { gw.complete(id, o) })
+}
+
+// strike records a failed non-probe call against a node's breaker, failing
+// over its jobs if this strike tripped it.
+func (gw *Gateway) strike(now sim.Time, g int) {
+	gw.mu.Lock()
+	tripped := gw.breakers[g].Failure(now)
+	gw.router.SetHealth(g, 0)
+	gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+	if !tripped {
+		gw.mu.Unlock()
+		return
+	}
+	gw.cBreakerOpens[g].Inc()
+	orphans := gw.orphansLocked(g)
+	gw.mu.Unlock()
+	gw.failover(now, orphans)
+}
+
+// fallback finishes an orphan on the gateway's CPU path: a terminal state
+// ("fallback", deadline missed) rather than a silent loss.
+func (gw *Gateway) fallback(e *entry) {
+	gw.cFailoverFallback.Inc()
+	gw.mu.Lock()
+	e.dispatches = append(e.dispatches, "cpu")
+	gw.mu.Unlock()
+	gw.complete(e.job.ID, Outcome{Terminal: verify.FleetFallback, FellBack: true})
+}
+
+// complete records one terminal report for a journaled job. The first
+// report wins; later ones (a node declared dead delivering its completion
+// anyway) only count as duplicates.
+func (gw *Gateway) complete(id int64, o Outcome) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	e := gw.journal[id]
+	if e == nil {
+		return
+	}
+	if e.terminal != "" {
+		e.duplicates++
+		gw.cDuplicates.Inc()
+		return
+	}
+	e.terminal = o.Terminal
+	e.met = o.Met
+	e.fellBack = o.FellBack
+	e.latencyUs = usOf(o.Latency)
+	if e.accepted {
+		gw.inflight--
+		gw.gInflight.Set(float64(gw.inflight))
+	}
+	close(e.done)
+}
+
+// addLocked journals a new entry, evicting the oldest terminal entries past
+// the cap. Non-terminal entries are never evicted — the journal is the
+// no-lost-jobs ledger.
+func (gw *Gateway) addLocked(e *entry) {
+	gw.journal[e.job.ID] = e
+	gw.order = append(gw.order, e.job.ID)
+	for len(gw.order) > gw.opt.MaxRecords {
+		evicted := false
+		for i, id := range gw.order {
+			old := gw.journal[id]
+			if old == nil || old.terminal != "" {
+				gw.order = append(gw.order[:i], gw.order[i+1:]...)
+				delete(gw.journal, id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+}
+
+// Submit runs the gateway's full arrival path for one job: shed check,
+// headroom routing, node admission, journaling. It returns the journaled
+// ID, the verdict and the machine-readable reject reason ("" when
+// accepted). Used by the HTTP handler and directly by tests.
+func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Class) (int64, Verdict, string) {
+	now := gw.clock.Now()
+	gw.cSubmitted.Inc()
+
+	gw.mu.Lock()
+	sampled := bench.Sample(gw.lib, gw.rng, 0, 0)
+	job := &Job{
+		ID:        gw.nextID,
+		Benchmark: bench.Name,
+		Deadline:  deadline,
+		Class:     class,
+		Kernels:   sampled.Kernels,
+	}
+	job.Est = (&workload.Job{Kernels: job.Kernels}).SerialTime(gw.gpu)
+	gw.nextID++
+	e := &entry{job: job, backend: -1, done: make(chan struct{})}
+	gw.addLocked(e)
+
+	if gw.healthyLocked() == 0 {
+		e.terminal = verify.FleetRejected
+		e.reason = serve.ReasonUnhealthy
+		e.retryUs = usOf(gw.opt.ProbeBackoff)
+		close(e.done)
+		gw.mu.Unlock()
+		gw.cUnhealthy.Inc()
+		return job.ID, Verdict{Retry: gw.opt.ProbeBackoff}, serve.ReasonUnhealthy
+	}
+	if wait := gw.minDrainLocked(); wait > class.sheddingTolerance()*deadline {
+		e.terminal = verify.FleetRejected
+		e.reason = serve.ReasonShed
+		e.retryUs = usOf(wait)
+		close(e.done)
+		gw.mu.Unlock()
+		gw.cShed[class].Inc()
+		return job.ID, Verdict{Retry: wait}, serve.ReasonShed
+	}
+	gw.mu.Unlock()
+
+	for attempt := 0; attempt < len(gw.opt.Backends); attempt++ {
+		gw.mu.Lock()
+		if gw.healthyLocked() == 0 {
+			gw.mu.Unlock()
+			break
+		}
+		target := gw.router.Pick(now, job.Est, int(job.ID))
+		be := gw.opt.Backends[target]
+		gw.mu.Unlock()
+
+		v, err := gw.submitTo(now, target, be, e)
+		if err != nil {
+			gw.strike(now, target)
+			continue
+		}
+		gw.mu.Lock()
+		e.dispatches = append(e.dispatches, be.Name())
+		if v.Accepted {
+			e.accepted = true
+			e.backend = target
+			// The completion may already have raced in (real clocks,
+			// fast jobs): complete() saw accepted==false then and skipped
+			// the decrement, so only count still-open entries.
+			if e.terminal == "" {
+				gw.inflight++
+				gw.gInflight.Set(float64(gw.inflight))
+			}
+		} else {
+			e.terminal = verify.FleetRejected
+			e.reason = serve.ReasonAdmission
+			e.retryUs = usOf(v.Retry)
+			close(e.done)
+		}
+		gw.mu.Unlock()
+		if v.Accepted {
+			gw.cAccepted.Inc()
+			return job.ID, v, ""
+		}
+		gw.cRejected.Inc()
+		return job.ID, v, serve.ReasonAdmission
+	}
+
+	// Every route attempt hit a dead node.
+	gw.mu.Lock()
+	e.terminal = verify.FleetRejected
+	e.reason = serve.ReasonUnhealthy
+	e.retryUs = usOf(gw.opt.ProbeBackoff)
+	close(e.done)
+	gw.mu.Unlock()
+	gw.cUnhealthy.Inc()
+	return job.ID, Verdict{Retry: gw.opt.ProbeBackoff}, serve.ReasonUnhealthy
+}
+
+// FleetJobs snapshots the journal as verify.FleetJob rows.
+func (gw *Gateway) FleetJobs() []verify.FleetJob {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	out := make([]verify.FleetJob, 0, len(gw.order))
+	for _, id := range gw.order {
+		e := gw.journal[id]
+		if e == nil {
+			continue
+		}
+		out = append(out, verify.FleetJob{
+			ID:         id,
+			Accepted:   e.accepted,
+			Terminal:   e.terminal,
+			Dispatches: append([]string(nil), e.dispatches...),
+			Duplicates: e.duplicates,
+		})
+	}
+	return out
+}
+
+// Check runs verify.CheckFleet over the live journal — the no-lost-jobs
+// invariant, extended across failover.
+func (gw *Gateway) Check(at sim.Time) []verify.Violation {
+	return verify.CheckFleet(at, gw.FleetJobs())
+}
+
+// Inflight returns the number of accepted, non-terminal jobs.
+func (gw *Gateway) Inflight() int {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.inflight
+}
+
+// Status reads one journaled job.
+func (gw *Gateway) Status(id int64) (JobStatus, bool) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	e := gw.journal[id]
+	if e == nil {
+		return JobStatus{}, false
+	}
+	return gw.statusLocked(e), true
+}
+
+func (gw *Gateway) statusLocked(e *entry) JobStatus {
+	state := e.terminal
+	if state == "" {
+		state = "admitted"
+	}
+	node := ""
+	if n := len(e.dispatches); n > 0 {
+		node = e.dispatches[n-1]
+	}
+	return JobStatus{
+		ID:           e.job.ID,
+		Benchmark:    e.job.Benchmark,
+		Node:         node,
+		State:        state,
+		Class:        e.job.Class.String(),
+		Accepted:     e.accepted,
+		MetDeadline:  e.met,
+		FellBack:     e.fellBack,
+		DeadlineUs:   usOf(e.job.Deadline),
+		LatencyUs:    e.latencyUs,
+		Reason:       e.reason,
+		RetryAfterUs: e.retryUs,
+		Dispatches:   append([]string(nil), e.dispatches...),
+	}
+}
+
+// Done returns the journaled job's completion channel (closed at its first
+// terminal transition), or nil for unknown IDs.
+func (gw *Gateway) Done(id int64) <-chan struct{} {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if e := gw.journal[id]; e != nil {
+		return e.done
+	}
+	return nil
+}
+
+// Shutdown drains the fleet: new submissions are refused, and every
+// in-process backend drains its node (remote nodes drain themselves). It
+// returns ctx.Err if the context expires first.
+func (gw *Gateway) Shutdown(ctx context.Context, grace time.Duration) error {
+	gw.draining.Store(true)
+	type drainer interface{ Shutdown(time.Duration) int }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for _, be := range gw.opt.Backends {
+			if d, ok := unwrap(be).(drainer); ok {
+				wg.Add(1)
+				go func(d drainer) { defer wg.Done(); d.Shutdown(grace) }(d)
+			}
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// unwrap peels chaos decorators off a backend.
+func unwrap(be Backend) Backend {
+	for {
+		c, ok := be.(*ChaosBackend)
+		if !ok {
+			return be
+		}
+		be = c.inner
+	}
+}
+
+// Shutdown drains the in-process node (Backend side of Gateway.Shutdown).
+func (b *InprocBackend) Shutdown(grace time.Duration) int {
+	return b.driver.Shutdown(grace)
+}
+
+// NodeStatus is one row of the GET /v1/fleet report.
+type NodeStatus struct {
+	Name       string `json:"name"`
+	Breaker    string `json:"breaker"`
+	DrainUs    int64  `json:"drain_us"`
+	Unfinished int    `json:"unfinished"`
+}
+
+// FleetStatus is the GET /v1/fleet payload: per-node health plus the
+// journal's accounting and the live no-lost-jobs verdict.
+type FleetStatus struct {
+	Nodes      []NodeStatus `json:"nodes"`
+	Submitted  int64        `json:"submitted"`
+	Accepted   int64        `json:"accepted"`
+	Inflight   int          `json:"inflight"`
+	Terminal   int          `json:"terminal"`
+	Duplicates int64        `json:"duplicates"`
+	Violations int          `json:"violations"`
+}
+
+// Fleet snapshots the fleet's health and the journal's invariant status.
+func (gw *Gateway) Fleet() FleetStatus {
+	// The no-lost-jobs rule is a quiescence invariant: an accepted job that
+	// is simply still running is in flight, not lost. The live report
+	// checks only closed entries; Inflight counts the open ones, so at
+	// quiescence (inflight 0) this is the full checker verdict.
+	closed := make([]verify.FleetJob, 0)
+	for _, fj := range gw.FleetJobs() {
+		if fj.Accepted && fj.Terminal == "" {
+			continue
+		}
+		closed = append(closed, fj)
+	}
+	violations := len(verify.CheckFleet(gw.clock.Now(), closed))
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	fs := FleetStatus{
+		Submitted:  gw.cSubmitted.Value(),
+		Accepted:   gw.cAccepted.Value(),
+		Inflight:   gw.inflight,
+		Duplicates: gw.cDuplicates.Value(),
+		Violations: violations,
+	}
+	for g, be := range gw.opt.Backends {
+		fs.Nodes = append(fs.Nodes, NodeStatus{
+			Name:       be.Name(),
+			Breaker:    gw.breakers[g].State().String(),
+			DrainUs:    usOf(gw.headroom[g].Drain),
+			Unfinished: gw.headroom[g].Unfinished,
+		})
+	}
+	for _, id := range gw.order {
+		if e := gw.journal[id]; e != nil && e.terminal != "" {
+			fs.Terminal++
+		}
+	}
+	return fs
+}
+
+// JobStatus is the gateway's per-job API record.
+type JobStatus struct {
+	ID           int64    `json:"id"`
+	Benchmark    string   `json:"benchmark"`
+	Node         string   `json:"node,omitempty"`
+	State        string   `json:"state"`
+	Class        string   `json:"class"`
+	Accepted     bool     `json:"accepted"`
+	MetDeadline  bool     `json:"met_deadline"`
+	FellBack     bool     `json:"fell_back"`
+	DeadlineUs   int64    `json:"deadline_us"`
+	LatencyUs    int64    `json:"latency_us,omitempty"`
+	Reason       string   `json:"reason,omitempty"`
+	RetryAfterUs int64    `json:"retry_after_us,omitempty"`
+	Dispatches   []string `json:"dispatches,omitempty"`
+}
+
+// submitRequest is the POST /v1/jobs body the gateway accepts.
+type submitRequest struct {
+	Benchmark   string `json:"benchmark"`
+	DeadlineUs  int64  `json:"deadline_us,omitempty"`
+	Criticality string `json:"criticality,omitempty"`
+}
+
+// Handler returns the gateway's HTTP frontend.
+func (gw *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", gw.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", gw.handleJob)
+	mux.HandleFunc("GET /v1/fleet", gw.handleFleet)
+	mux.HandleFunc("GET /metrics", gw.handleMetrics)
+	mux.HandleFunc("GET /healthz", gw.handleHealthz)
+	return mux
+}
+
+func (gw *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if gw.draining.Load() {
+		serve.WriteReject(w, http.StatusServiceUnavailable, serve.ReasonDrain, "gateway is draining", 0)
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	bench, err := workload.FindBenchmark(req.Benchmark)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	class, err := ParseClass(req.Criticality)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deadline := bench.Deadline
+	if req.DeadlineUs > 0 {
+		deadline = sim.Time(req.DeadlineUs) * sim.Microsecond
+	}
+
+	id, v, reason := gw.Submit(bench, deadline, class)
+	switch reason {
+	case "":
+	case serve.ReasonUnhealthy:
+		serve.WriteReject(w, http.StatusServiceUnavailable, reason, "no healthy node", v.Retry)
+		return
+	default: // shed or node admission
+		serve.WriteReject(w, http.StatusTooManyRequests, reason, "fleet cannot meet the deadline", v.Retry)
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		if ch := gw.Done(id); ch != nil {
+			select {
+			case <-ch:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		st, _ := gw.Status(id)
+		httpJSON(w, http.StatusOK, st)
+		return
+	}
+	st, _ := gw.Status(id)
+	httpJSON(w, http.StatusAccepted, st)
+}
+
+func (gw *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	st, ok := gw.Status(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	httpJSON(w, http.StatusOK, st)
+}
+
+func (gw *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	httpJSON(w, http.StatusOK, gw.Fleet())
+}
+
+func (gw *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	gw.reg.WritePrometheus(w)
+}
+
+func (gw *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if gw.draining.Load() {
+		status = "draining"
+	}
+	gw.mu.Lock()
+	healthy := gw.healthyLocked()
+	gw.mu.Unlock()
+	httpJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"nodes":   len(gw.opt.Backends),
+		"healthy": healthy,
+	})
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	httpJSON(w, code, map[string]string{"error": msg})
+}
+
+func usOf(t sim.Time) int64 { return int64(t / sim.Microsecond) }

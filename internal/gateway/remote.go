@@ -1,0 +1,177 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"laxgpu/internal/serve"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/verify"
+)
+
+// RemoteBackend fronts one laxd daemon over HTTP: probes hit GET
+// /v1/headroom, submissions POST /v1/jobs without waiting, and a background
+// poller follows each accepted job's GET /v1/jobs/{id} record to its
+// terminal state. The gateway cannot tell it apart from an in-process node
+// — which is the point: the chaos suite exercises failover in-process, and
+// the same journal and breakers protect a real fleet.
+type RemoteBackend struct {
+	name   string
+	base   string
+	client *http.Client
+
+	// Poll is the wall interval between job-status polls (default 25ms).
+	Poll time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+}
+
+// NewRemoteBackend fronts the laxd daemon at base (e.g.
+// "http://127.0.0.1:8080"). name identifies it in journals and metrics.
+func NewRemoteBackend(name, base string, client *http.Client) *RemoteBackend {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &RemoteBackend{
+		name:   name,
+		base:   strings.TrimRight(base, "/"),
+		client: client,
+		Poll:   25 * time.Millisecond,
+		stop:   make(chan struct{}),
+	}
+}
+
+// Name implements Backend.
+func (b *RemoteBackend) Name() string { return b.name }
+
+// Close stops every outstanding completion poller.
+func (b *RemoteBackend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.stop)
+	}
+}
+
+// Probe implements Backend via GET /v1/headroom.
+func (b *RemoteBackend) Probe(now sim.Time) (Headroom, error) {
+	resp, err := b.client.Get(b.base + "/v1/headroom")
+	if err != nil {
+		return Headroom{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Headroom{}, fmt.Errorf("gateway: %s: headroom status %d", b.name, resp.StatusCode)
+	}
+	var hs serve.HeadroomStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		return Headroom{}, err
+	}
+	return Headroom{
+		Drain:      sim.Time(hs.DrainUs) * sim.Microsecond,
+		Unfinished: hs.Unfinished,
+		Capacity:   hs.Devices,
+		Draining:   hs.Draining,
+	}, nil
+}
+
+// remoteSubmit is the POST /v1/jobs body sent to the node. The gateway has
+// already sampled the kernel chain for its routing estimate, but laxd
+// samples its own — the node's admission decision is what matters, and the
+// benchmark name pins the workload distribution.
+type remoteSubmit struct {
+	Benchmark  string `json:"benchmark"`
+	DeadlineUs int64  `json:"deadline_us,omitempty"`
+}
+
+// Submit implements Backend: POST the job, interpret the verdict, and poll
+// the job record to its terminal state in the background.
+func (b *RemoteBackend) Submit(now sim.Time, job *Job, done func(Outcome)) (Verdict, error) {
+	body, err := json.Marshal(remoteSubmit{
+		Benchmark:  job.Benchmark,
+		DeadlineUs: usOf(job.Deadline),
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	resp, err := b.client.Post(b.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Verdict{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Verdict{}, err
+	}
+	var st serve.JobStatus
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return Verdict{}, err
+		}
+		go b.follow(st.ID, done)
+		return Verdict{Accepted: true}, nil
+	case http.StatusTooManyRequests:
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return Verdict{}, err
+		}
+		return Verdict{Accepted: false, Retry: sim.Time(st.RetryAfterUs) * sim.Microsecond}, nil
+	default:
+		// 503 (drain, backpressure) and everything else: the node did not
+		// take the job; the gateway may re-dispatch it.
+		return Verdict{}, fmt.Errorf("gateway: %s: submit status %d: %s", b.name, resp.StatusCode, raw)
+	}
+}
+
+// follow polls one accepted job's record until it turns terminal, then
+// fires done. If the node dies, the poll errors forever and done never
+// fires — exactly the lost completion the gateway's failover recovers.
+func (b *RemoteBackend) follow(remoteID int64, done func(Outcome)) {
+	url := fmt.Sprintf("%s/v1/jobs/%d", b.base, remoteID)
+	t := time.NewTicker(b.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+		}
+		resp, err := b.client.Get(url)
+		if err != nil {
+			continue
+		}
+		var st serve.JobStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		switch st.State {
+		case "done":
+			done(Outcome{
+				Terminal: verify.FleetDone,
+				Met:      st.MetDeadline,
+				FellBack: st.FellBack,
+				Latency:  sim.Time(st.LatencyUs) * sim.Microsecond,
+			})
+			return
+		case "cancelled":
+			done(Outcome{Terminal: verify.FleetCancelled})
+			return
+		case "rejected", "dropped":
+			// Should not happen for an accepted job; treat as cancelled so
+			// the journal still closes the entry.
+			done(Outcome{Terminal: verify.FleetCancelled})
+			return
+		}
+	}
+}

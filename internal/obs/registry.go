@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -134,13 +135,17 @@ const (
 )
 
 type metric struct {
-	name string
-	help string
-	kind metricKind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	name   string
+	labels string // rendered `{k="v",...}` suffix, "" for unlabeled metrics
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
 }
+
+// key is the registry map key: one series per (name, label set).
+func (m *metric) key() string { return m.name + m.labels }
 
 // Registry holds named metrics and renders deterministic snapshots in the
 // Prometheus text exposition format. Registration is idempotent: asking for
@@ -157,11 +162,29 @@ func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]*metric)}
 }
 
-// lookup returns the existing metric for name, verifying its kind, or nil.
-func (r *Registry) lookup(name string, kind metricKind) *metric {
-	if m, ok := r.metrics[name]; ok {
+// renderLabels turns a label map into the canonical `{k="v",...}` suffix,
+// sorted by key so the same set always yields the same series.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// lookup returns the existing metric for key, verifying its kind, or nil.
+func (r *Registry) lookup(key string, kind metricKind) *metric {
+	if m, ok := r.metrics[key]; ok {
 		if m.kind != kind {
-			panic(fmt.Sprintf("obs: metric %q registered twice with different kinds", name))
+			panic(fmt.Sprintf("obs: metric %q registered twice with different kinds", key))
 		}
 		return m
 	}
@@ -170,25 +193,38 @@ func (r *Registry) lookup(name string, kind metricKind) *metric {
 
 // Counter returns the named counter, registering it on first use.
 func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help, nil)
+}
+
+// CounterWith returns the counter series (name, labels), registering it on
+// first use. All series of one name form a family sharing a single HELP/TYPE
+// line in the exposition; the help text of the first-registered series wins.
+func (r *Registry) CounterWith(name, help string, labels map[string]string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m := r.lookup(name, kindCounter); m != nil {
-		return m.c
+	m := &metric{name: name, labels: renderLabels(labels), help: help, kind: kindCounter, c: &Counter{}}
+	if ex := r.lookup(m.key(), kindCounter); ex != nil {
+		return ex.c
 	}
-	m := &metric{name: name, help: help, kind: kindCounter, c: &Counter{}}
-	r.metrics[name] = m
+	r.metrics[m.key()] = m
 	return m.c
 }
 
 // Gauge returns the named gauge, registering it on first use.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeWith(name, help, nil)
+}
+
+// GaugeWith returns the gauge series (name, labels), registering it on first
+// use. See CounterWith for family semantics.
+func (r *Registry) GaugeWith(name, help string, labels map[string]string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m := r.lookup(name, kindGauge); m != nil {
-		return m.g
+	m := &metric{name: name, labels: renderLabels(labels), help: help, kind: kindGauge, g: &Gauge{}}
+	if ex := r.lookup(m.key(), kindGauge); ex != nil {
+		return ex.g
 	}
-	m := &metric{name: name, help: help, kind: kindGauge, g: &Gauge{}}
-	r.metrics[name] = m
+	r.metrics[m.key()] = m
 	return m.g
 }
 
@@ -202,7 +238,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		return m.h
 	}
 	m := &metric{name: name, help: help, kind: kindHistogram, h: NewHistogram(bounds)}
-	r.metrics[name] = m
+	r.metrics[m.key()] = m
 	return m.h
 }
 
@@ -227,27 +263,45 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		ordered = append(ordered, m)
 	}
 	r.mu.Unlock()
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].labels < ordered[j].labels
+	})
 
+	prevFamily := ""
 	for _, m := range ordered {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		// HELP/TYPE are per family: labeled series of one name share them.
+		if m.name != prevFamily {
+			prevFamily = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			kind := "counter"
+			switch m.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
 				return err
 			}
 		}
+		series := m.name + m.labels
 		switch m.kind {
 		case kindCounter:
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, m.c.Value()); err != nil {
 				return err
 			}
 		case kindGauge:
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatFloat(m.g.Value())); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", series, formatFloat(m.g.Value())); err != nil {
 				return err
 			}
 		case kindHistogram:
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.name); err != nil {
-				return err
-			}
 			bounds, cum := m.h.Buckets()
 			for i, b := range bounds {
 				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum[i]); err != nil {

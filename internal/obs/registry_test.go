@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -120,5 +121,51 @@ func TestHotPathAllocs(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(1000, func() { h.Observe(42) }); n != 0 {
 		t.Errorf("Histogram.Observe allocates %v per op", n)
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.GaugeWith("breaker_state", "Breaker state per node.", map[string]string{"node": "n0"})
+	b := r.GaugeWith("breaker_state", "Breaker state per node.", map[string]string{"node": "n1"})
+	if a == b {
+		t.Fatal("distinct label sets returned the same gauge")
+	}
+	again := r.GaugeWith("breaker_state", "ignored", map[string]string{"node": "n0"})
+	if again != a {
+		t.Fatal("re-registering the same series returned a new gauge")
+	}
+	a.Set(2)
+	b.Set(1)
+	c := r.CounterWith("probe_failures_total", "Probe failures per node.", map[string]string{"node": "n1"})
+	c.Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE breaker_state gauge\n",
+		"breaker_state{node=\"n0\"} 2\n",
+		"breaker_state{node=\"n1\"} 1\n",
+		"probe_failures_total{node=\"n1\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE pair per family, not per series.
+	if n := strings.Count(out, "# TYPE breaker_state gauge"); n != 1 {
+		t.Errorf("got %d TYPE lines for breaker_state, want 1:\n%s", n, out)
+	}
+}
+
+func TestLabeledSeriesLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterWith("m_total", "", map[string]string{"b": "2", "a": "1"})
+	b := r.CounterWith("m_total", "", map[string]string{"a": "1", "b": "2"})
+	if a != b {
+		t.Fatal("label map order created distinct series")
 	}
 }

@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"sync"
 	"time"
 
 	"laxgpu/internal/sim"
@@ -69,4 +70,51 @@ func (c *WallClock) Until(t sim.Time) time.Duration {
 		return 0
 	}
 	return d
+}
+
+// ManualClock is a Clock that only moves when told to — the deterministic
+// replacement for WallClock in tests: drivers paced by it advance their
+// nodes exactly to the instants the test sets, and Until reports an hour
+// for any future instant so a pacing loop parks instead of busy-waiting
+// (commands still wake it immediately).
+type ManualClock struct {
+	mu  sync.Mutex
+	now sim.Time
+}
+
+// NewManualClock returns a manual clock at simulated time zero.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t. Time never goes backwards: earlier instants are
+// ignored, matching the Clock contract.
+func (c *ManualClock) Set(t sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+}
+
+// Until implements Clock: one hour for any future instant (a parked pacing
+// loop re-checks whenever a command arrives or the hour elapses), zero for
+// instants already reached.
+func (c *ManualClock) Until(t sim.Time) time.Duration {
+	if t <= c.Now() {
+		return 0
+	}
+	return time.Hour
 }

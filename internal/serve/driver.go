@@ -145,6 +145,10 @@ func (d *Driver) loop() {
 		if te, ok := d.node.NextEvent(); ok {
 			dur := d.clock.Until(te)
 			if dur <= 0 {
+				// Due exactly now: AdvanceTo's strictly-before semantics
+				// would leave it pending forever on a clock that is not
+				// moving, so run events at this instant inclusively.
+				d.node.CatchUp(d.clock.Now())
 				continue
 			}
 			if !timer.Stop() {
@@ -191,6 +195,8 @@ func (d *Driver) drain(deadline time.Time) int {
 		}
 		if dur > 0 {
 			time.Sleep(dur)
+		} else {
+			d.node.CatchUp(d.clock.Now())
 		}
 	}
 	d.node.AdvanceTo(d.clock.Now())

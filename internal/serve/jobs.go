@@ -44,6 +44,10 @@ type JobStatus struct {
 	// RetryAfterUs is the predicted queue-drain time handed to rejected
 	// jobs, in simulated microseconds.
 	RetryAfterUs int64 `json:"retry_after_us,omitempty"`
+
+	// Reason is the machine-readable reject reason (the Reason* constants)
+	// for jobs that never ran; empty for accepted jobs.
+	Reason string `json:"reason,omitempty"`
 }
 
 // record is the server-side state behind a JobStatus. Mutable fields are

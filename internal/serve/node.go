@@ -94,6 +94,16 @@ func (n *Node) NextEvent() (sim.Time, bool) {
 	return n.sys.Engine().PeekTime()
 }
 
+// CatchUp runs every event due at or before t, inclusively. AdvanceTo keeps
+// strictly-before semantics so a command at instant t still executes ahead
+// of events scheduled at t; the pacing loop calls CatchUp when the next
+// event is due exactly now and the clock may not move on its own.
+func (n *Node) CatchUp(t sim.Time) {
+	if t >= n.sys.Engine().Now() {
+		n.sys.Engine().RunUntil(t)
+	}
+}
+
 // Submit stamps the job with the node's next dense ID and the current
 // simulated time, then runs the full host-side offload decision inline.
 // The returned JobRun carries the admission verdict.

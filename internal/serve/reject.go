@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"laxgpu/internal/sim"
+)
+
+// Reject reasons, as carried in every non-2xx submission response's JSON
+// body. Load generators and the gateway tier key their reject-breakdown
+// accounting off these strings, so they are part of the API surface.
+const (
+	// ReasonAdmission is an Algorithm 1 rejection: the live queue state
+	// cannot meet the job's deadline (HTTP 429).
+	ReasonAdmission = "admission"
+
+	// ReasonClientLimit is the per-client in-flight cap (HTTP 429).
+	ReasonClientLimit = "client-limit"
+
+	// ReasonBackpressure is a full accept queue (HTTP 503).
+	ReasonBackpressure = "backpressure"
+
+	// ReasonDrain is a server refusing new work during graceful shutdown
+	// (HTTP 503).
+	ReasonDrain = "drain"
+
+	// ReasonShed is a gateway-tier criticality shed: the shrunken fleet's
+	// predicted wait exceeds what the job's class tolerates (HTTP 429).
+	ReasonShed = "shed"
+
+	// ReasonUnhealthy is a gateway with no healthy backend to dispatch to
+	// (HTTP 503).
+	ReasonUnhealthy = "unhealthy"
+)
+
+// rejectBody is the uniform JSON payload of every rejected submission:
+// machine-readable reason, human-readable error, and a retry hint that
+// matches the Retry-After header. Every reject is machine-retryable.
+type rejectBody struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"`
+	RetryAfterUs int64  `json:"retry_after_us"`
+}
+
+// WriteReject renders the uniform rejection response: the Retry-After header
+// in (ceiled) seconds plus a JSON body carrying the same hint in simulated
+// microseconds and the machine-readable reason. retry hints below one
+// microsecond are floored to 1s — "try again soon" — so every reject is
+// honestly retryable.
+func WriteReject(w http.ResponseWriter, code int, reason, msg string, retry sim.Time) {
+	if retry < sim.Microsecond {
+		retry = sim.Second
+	}
+	secs := int64(retry / sim.Second)
+	if retry%sim.Second != 0 {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, rejectBody{Error: msg, Reason: reason, RetryAfterUs: usOf(retry)})
+}

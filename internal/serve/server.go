@@ -254,6 +254,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/headroom", s.handleHeadroom)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.recoverPanics(mux)
@@ -303,7 +304,8 @@ type submitOutcome struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.cDrainRejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteReject(w, http.StatusServiceUnavailable, ReasonDrain, "server is draining",
+			sim.FromDuration(s.opts.DrainGrace))
 		return
 	}
 	var req submitRequest
@@ -354,7 +356,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.perClient[client] >= s.opts.MaxPerClient {
 		s.routeMu.Unlock()
 		s.cLimited.Inc()
-		writeError(w, http.StatusTooManyRequests, "too many in-flight jobs for this client")
+		// The honest hint is "when will one of this client's jobs finish";
+		// the server cannot know that cheaply, so it hints one second — the
+		// floor WriteReject applies to unknown retry times.
+		WriteReject(w, http.StatusTooManyRequests, ReasonClientLimit,
+			"too many in-flight jobs for this client", 0)
 		return
 	}
 	if len(job.Kernels) == 0 {
@@ -396,6 +402,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			retry := recorder.node.EstimateDrain()
 			st, _ := s.records.update(rec, func(js *JobStatus) {
 				js.State = "rejected"
+				js.Reason = ReasonAdmission
 				js.RetryAfterUs = usOf(retry)
 			}, true)
 			s.cRejected.Inc()
@@ -417,8 +424,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.cOverflow.Inc()
 		s.records.update(rec, func(js *JobStatus) { js.State = "dropped" }, true)
 		s.releaseClient(client)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "accept queue full")
+		WriteReject(w, http.StatusServiceUnavailable, ReasonBackpressure, "accept queue full", 0)
 		return
 	}
 
@@ -542,6 +548,56 @@ func (s *Server) benchmarkCapacity(b *workload.Benchmark) float64 {
 		return 0
 	}
 	return s.opts.Speed * float64(len(s.nodes)) * float64(sim.Second) / mean
+}
+
+// HeadroomStatus is the GET /v1/headroom payload: the node's live laxity
+// headroom, as computed by its own admission machinery. A gateway tier
+// routes on this instead of guessing load from what it sent where —
+// drain_us is the node's Algorithm 1 estimate of how long it needs to
+// finish everything already admitted, so low drain means high headroom.
+type HeadroomStatus struct {
+	// DrainUs is the worst per-device predicted drain time (simulated µs):
+	// devices drain in parallel, so the node is empty after the slowest.
+	DrainUs int64 `json:"drain_us"`
+
+	// Unfinished is the node-wide count of admitted, non-terminal jobs.
+	Unfinished int `json:"unfinished"`
+
+	// Devices is the node's GPU count.
+	Devices int `json:"devices"`
+
+	// Draining reports a node refusing new work (graceful shutdown).
+	Draining bool `json:"draining"`
+
+	// Scheduler names the node's queue policy.
+	Scheduler string `json:"scheduler"`
+}
+
+func (s *Server) handleHeadroom(w http.ResponseWriter, r *http.Request) {
+	hs := HeadroomStatus{
+		Devices:   len(s.nodes),
+		Draining:  s.draining.Load(),
+		Scheduler: s.opts.Scheduler,
+	}
+	for g, d := range s.drivers {
+		node := s.nodes[g]
+		var drain sim.Time
+		var unfinished int
+		if !d.Call(func() {
+			drain = node.EstimateDrain()
+			unfinished = len(node.Unfinished())
+		}) {
+			// The driver is gone (drained) or its queue is saturated; either
+			// way the node has no headroom to offer right now.
+			writeError(w, http.StatusServiceUnavailable, "node is not accepting probes")
+			return
+		}
+		if us := usOf(drain); us > hs.DrainUs {
+			hs.DrainUs = us
+		}
+		hs.Unfinished += unfinished
+	}
+	writeJSON(w, http.StatusOK, hs)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"laxgpu/internal/sim"
 )
 
 // startServer builds, starts and registers cleanup for a Server plus an HTTP
@@ -184,12 +186,27 @@ func TestPerClientLimit(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	var e map[string]string
+	var e struct {
+		Error        string `json:"error"`
+		Reason       string `json:"reason"`
+		RetryAfterUs int64  `json:"retry_after_us"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(e["error"], "in-flight") {
-		t.Errorf("error = %q, want the per-client message", e["error"])
+	if !strings.Contains(e.Error, "in-flight") {
+		t.Errorf("error = %q, want the per-client message", e.Error)
+	}
+	// Satellite invariant: every reject is machine-retryable — reason,
+	// retry_after_us and the Retry-After header all present.
+	if e.Reason != ReasonClientLimit {
+		t.Errorf("reason = %q, want %q", e.Reason, ReasonClientLimit)
+	}
+	if e.RetryAfterUs <= 0 {
+		t.Errorf("retry_after_us = %d, want > 0", e.RetryAfterUs)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("per-client 429 lacks Retry-After header")
 	}
 	if got := srv.cLimited.Value(); got != 1 {
 		t.Errorf("limited counter = %d, want 1", got)
@@ -439,4 +456,80 @@ func TestMultiDeviceSpreadsLoad(t *testing.T) {
 		}
 	}
 	_ = srv
+}
+
+func TestHeadroomEndpoint(t *testing.T) {
+	// A glacial clock keeps submitted work unfinished, so headroom must
+	// report the backlog a prober would see.
+	_, hs := startServer(t, Options{Speed: 0.0001, MaxPerClient: 64, DrainGrace: 50 * time.Millisecond})
+	resp, err := http.Get(hs.URL + "/v1/headroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before HeadroomStatus
+	if err := json.NewDecoder(resp.Body).Decode(&before); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if before.Unfinished != 0 || before.Draining || before.Devices != 1 {
+		t.Fatalf("idle headroom = %+v", before)
+	}
+
+	// Escalating deadlines keep Algorithm 1 admitting on a cold profiling
+	// table, where each queued job's hold-time estimate is its own deadline.
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"benchmark":"LSTM","deadline_us":%d}`, (i+1)*60000000)
+		if resp, _ := postJob(t, hs.URL+"/v1/jobs", body); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(hs.URL + "/v1/headroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var after HeadroomStatus
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Unfinished != 3 {
+		t.Errorf("unfinished = %d, want 3", after.Unfinished)
+	}
+	if after.DrainUs <= 0 {
+		t.Errorf("drain_us = %d, want > 0 with a backlog", after.DrainUs)
+	}
+	if after.Scheduler != "LAX" {
+		t.Errorf("scheduler = %q, want LAX", after.Scheduler)
+	}
+}
+
+func TestManualClockDrivesDriverDeterministically(t *testing.T) {
+	clock := NewManualClock()
+	node, err := NewNode(NodeConfig{Scheduler: "LAX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(node, clock, 16)
+	d.Start()
+	defer d.Shutdown(time.Second)
+
+	nowAt := func() (at sim.Time) {
+		if !d.Call(func() { at = node.Now() }) {
+			t.Fatal("driver call failed")
+		}
+		return at
+	}
+	if got := nowAt(); got != 0 {
+		t.Fatalf("node time = %v before the clock moved", got)
+	}
+	clock.Set(5 * sim.Millisecond)
+	if got := nowAt(); got == 0 {
+		t.Fatal("node did not advance after ManualClock.Set")
+	}
+	clock.Set(1000) // earlier instant: must be ignored
+	after := nowAt()
+	clock.Advance(0)
+	if got := nowAt(); got != after {
+		t.Fatalf("time moved backwards: %v -> %v", after, got)
+	}
 }

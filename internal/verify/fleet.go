@@ -1,0 +1,120 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"laxgpu/internal/sim"
+)
+
+// FleetJob is the gateway-tier ledger row for one job: what the front tier
+// promised the client (acceptance) and what actually became of the job across
+// however many nodes it was dispatched to. The gateway journal produces one
+// row per submission; CheckFleet turns the rows into the fleet-level
+// no-lost-jobs invariant — the single-node checker's guarantee extended
+// across crashes, freezes and re-dispatch.
+type FleetJob struct {
+	// ID is the gateway-wide job identifier.
+	ID int64
+
+	// Accepted reports whether the gateway took responsibility for the job
+	// (it returned 2xx to the client).
+	Accepted bool
+
+	// Terminal is the job's final state: "done", "fallback" or "cancelled"
+	// for accepted jobs, "rejected" for refused ones, "" for a job that
+	// never reached a terminal state — the exact loss the invariant forbids.
+	Terminal string
+
+	// Dispatches lists the nodes the job was sent to, in order. Length > 1
+	// means failover re-dispatched it after a node died.
+	Dispatches []string
+
+	// Duplicates counts terminal reports past the first — a node that was
+	// declared dead but later delivered its completion anyway. Duplicates
+	// are legal (the journal dedups them) but each must come from a real
+	// dispatch.
+	Duplicates int
+}
+
+// Fleet terminal states for accepted jobs.
+const (
+	FleetDone      = "done"
+	FleetFallback  = "fallback"
+	FleetCancelled = "cancelled"
+	FleetRejected  = "rejected"
+)
+
+// CheckFleet enforces the fleet-level no-lost-jobs invariant over a gateway
+// journal snapshot taken after the run quiesced:
+//
+//   - every accepted job reached exactly one terminal state ("done",
+//     "fallback" or "cancelled") — acceptance is a promise that survives
+//     node death;
+//   - every accepted job was dispatched at least once (acceptance without
+//     dispatch is a silently dropped job);
+//   - a refused job carries "rejected" (or nothing) and was never
+//     re-dispatched — failover must not resurrect work the client was told
+//     to retry;
+//   - duplicate terminal reports never exceed the extra dispatches that
+//     could have produced them;
+//   - IDs are unique — a journal that double-books an ID can hide a loss.
+//
+// at stamps the violations (use the run's final instant). Violations come
+// back sorted by job ID, rule order within a job.
+func CheckFleet(at sim.Time, jobs []FleetJob) []Violation {
+	var vs []Violation
+	bad := func(j FleetJob, rule, format string, args ...any) {
+		vs = append(vs, Violation{At: at, Rule: rule, Job: int(j.ID),
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	seen := make(map[int64]int, len(jobs))
+	sorted := append([]FleetJob(nil), jobs...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].ID < sorted[k].ID })
+	for _, j := range sorted {
+		seen[j.ID]++
+		if seen[j.ID] == 2 {
+			bad(j, "fleet-unique-id", "job ID appears %d times in the journal", seen[j.ID])
+		}
+		if j.Accepted {
+			switch j.Terminal {
+			case FleetDone, FleetFallback, FleetCancelled:
+			case "":
+				bad(j, "fleet-no-lost-jobs",
+					"accepted job never reached a terminal state (dispatched to %v)", j.Dispatches)
+			default:
+				bad(j, "fleet-no-lost-jobs",
+					"accepted job ended in %q, not a terminal state", j.Terminal)
+			}
+			if len(j.Dispatches) == 0 {
+				bad(j, "fleet-no-lost-jobs", "accepted job was never dispatched")
+			}
+		} else {
+			if j.Terminal != "" && j.Terminal != FleetRejected {
+				bad(j, "fleet-reject-final",
+					"refused job ended in %q — failover resurrected rejected work", j.Terminal)
+			}
+			if len(j.Dispatches) > 1 {
+				bad(j, "fleet-reject-final",
+					"refused job was re-dispatched %d times", len(j.Dispatches))
+			}
+		}
+		if extra := len(j.Dispatches) - 1; j.Duplicates > extra && extra >= 0 {
+			bad(j, "fleet-terminal-once",
+				"%d duplicate terminals from %d dispatches", j.Duplicates, len(j.Dispatches))
+		} else if j.Duplicates > 0 && len(j.Dispatches) == 0 {
+			bad(j, "fleet-terminal-once",
+				"%d duplicate terminals without any dispatch", j.Duplicates)
+		}
+	}
+	return vs
+}
+
+// FleetErr reduces CheckFleet's output to the test-friendly form: nil for a
+// clean journal, the first violation as an error otherwise.
+func FleetErr(at sim.Time, jobs []FleetJob) error {
+	if vs := CheckFleet(at, jobs); len(vs) > 0 {
+		return fmt.Errorf("%s", vs[0])
+	}
+	return nil
+}
