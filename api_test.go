@@ -1,0 +1,229 @@
+package laxgpu
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// These tests pin the API-unification contract: every deprecated entry
+// point is a thin wrapper over Run(ctx, Options), so for any options the
+// old name and the new spelling must return bit-identical Results. Result
+// is a comparable struct, so == is the strongest possible check.
+
+// apiTraceCSV is a small fixed trace reused by the wrapper-equivalence
+// tests below.
+const apiTraceCSV = "arrival_us,deadline_us,kernels\n" +
+	"0,1000,IPV6Kernel\n" +
+	"10,1000,STEMKernel\n" +
+	"20,5000,GMMKernel\n" +
+	"30,10000,rocBLASGEMMKernel1*4;ActivationKernel5*4\n"
+
+// equivalencePolicies spans the policy families: round-robin baseline,
+// deadline-driven, laxity (the paper's LAX), slack-rate, and the
+// preemptive-multitasking extension.
+var equivalencePolicies = []string{"RR", "EDF", "LAX", "SRF", "PREMA"}
+
+// TestDeprecatedRunWrappersMatchRun: per policy, RunContext / RunVerified /
+// RunVerifiedContext / RunProbed return exactly what the unified Run
+// returns with the corresponding Options fields set.
+func TestDeprecatedRunWrappersMatchRun(t *testing.T) {
+	ctx := context.Background()
+	for _, pol := range equivalencePolicies {
+		o := Options{Scheduler: pol, Benchmark: "IPV6", Rate: "medium", Jobs: 16}
+
+		want, err := Run(ctx, o)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", pol, err)
+		}
+		if got, err := RunContext(ctx, o); err != nil || got != want {
+			t.Fatalf("%s: RunContext diverged: %+v vs %+v (err %v)", pol, got, want, err)
+		}
+
+		vo := o
+		vo.Verify = true
+		wantV, err := Run(ctx, vo)
+		if err != nil {
+			t.Fatalf("%s: Run{Verify}: %v", pol, err)
+		}
+		if wantV != want {
+			t.Fatalf("%s: verified run diverged from plain run", pol)
+		}
+		if got, err := RunVerified(o); err != nil || got != wantV {
+			t.Fatalf("%s: RunVerified diverged: %+v vs %+v (err %v)", pol, got, wantV, err)
+		}
+		if got, err := RunVerifiedContext(ctx, o); err != nil || got != wantV {
+			t.Fatalf("%s: RunVerifiedContext diverged: %+v vs %+v (err %v)", pol, got, wantV, err)
+		}
+
+		po := o
+		po.Probe = true
+		wantP, err := Run(ctx, po)
+		if err != nil {
+			t.Fatalf("%s: Run{Probe}: %v", pol, err)
+		}
+		if wantP != want {
+			t.Fatalf("%s: probed run diverged from plain run", pol)
+		}
+		if got, err := RunProbed(o); err != nil || got != wantP {
+			t.Fatalf("%s: RunProbed diverged: %+v vs %+v (err %v)", pol, got, wantP, err)
+		}
+	}
+}
+
+// TestDeprecatedSessionWrappersMatchRun: the Session-level deprecated
+// methods agree with Session.Run on a private session, including under
+// fault injection.
+func TestDeprecatedSessionWrappersMatchRun(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(SessionOptions{})
+	defer s.Close()
+	for _, o := range []Options{
+		{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "high", Jobs: 16},
+		{Scheduler: "RR", Benchmark: "LSTM", Rate: "medium", Jobs: 16,
+			Faults: "hang=0.1,recover=on"},
+	} {
+		want, err := s.Run(ctx, o)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", o, err)
+		}
+		if got, err := s.RunContext(ctx, o); err != nil || got != want {
+			t.Fatalf("Session.RunContext diverged: %+v vs %+v (err %v)", got, want, err)
+		}
+		if got, err := s.RunVerified(o); err != nil || got != want {
+			t.Fatalf("Session.RunVerified diverged: %+v vs %+v (err %v)", got, want, err)
+		}
+		if got, err := s.RunVerifiedContext(ctx, o); err != nil || got != want {
+			t.Fatalf("Session.RunVerifiedContext diverged: %+v vs %+v (err %v)", got, want, err)
+		}
+		if got, err := s.RunProbed(o); err != nil || got != want {
+			t.Fatalf("Session.RunProbed diverged: %+v vs %+v (err %v)", got, want, err)
+		}
+		if got, err := s.RunProbedContext(ctx, o); err != nil || got != want {
+			t.Fatalf("Session.RunProbedContext diverged: %+v vs %+v (err %v)", got, want, err)
+		}
+	}
+}
+
+// TestDeprecatedTraceWrappersMatchRun: RunTrace / RunTraceOptions /
+// RunTraceContext agree with Run{Trace: ...} for plain, faulted, and
+// custom-device replays.
+func TestDeprecatedTraceWrappersMatchRun(t *testing.T) {
+	ctx := context.Background()
+
+	want, err := Run(ctx, Options{Scheduler: "LAX", Trace: strings.NewReader(apiTraceCSV)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := RunTrace(strings.NewReader(apiTraceCSV), "LAX"); err != nil || got != want {
+		t.Fatalf("RunTrace diverged: %+v vs %+v (err %v)", got, want, err)
+	}
+	if got, err := RunTraceOptions(strings.NewReader(apiTraceCSV),
+		TraceOptions{Scheduler: "LAX"}); err != nil || got != want {
+		t.Fatalf("RunTraceOptions diverged: %+v vs %+v (err %v)", got, want, err)
+	}
+
+	// Fault injection maps field for field.
+	fo := Options{Scheduler: "EDF", Trace: strings.NewReader(apiTraceCSV),
+		Faults: "hang=0.5,recover=on", Seed: 7}
+	wantF, err := Run(ctx, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := RunTraceContext(ctx, strings.NewReader(apiTraceCSV),
+		TraceOptions{Scheduler: "EDF", Faults: "hang=0.5,recover=on", Seed: 7}); err != nil || got != wantF {
+		t.Fatalf("faulted RunTraceContext diverged: %+v vs %+v (err %v)", got, wantF, err)
+	}
+
+	// Custom device maps field for field.
+	so := Options{Scheduler: "FCFS", Trace: strings.NewReader(apiTraceCSV),
+		System: &SystemConfig{NumCUs: 4, NumQueues: 8}}
+	wantS, err := Run(ctx, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := RunTraceOptions(strings.NewReader(apiTraceCSV),
+		TraceOptions{Scheduler: "FCFS", System: &SystemConfig{NumCUs: 4, NumQueues: 8}}); err != nil || got != wantS {
+		t.Fatalf("custom-device RunTraceOptions diverged: %+v vs %+v (err %v)", got, wantS, err)
+	}
+}
+
+// TestTraceTelemetryWritersMatch: the Metrics and Perfetto exports of a
+// trace replay are byte-identical between the deprecated TraceOptions
+// spelling and the unified Options spelling — the wrappers forward the
+// writers untouched and the simulation is deterministic.
+func TestTraceTelemetryWritersMatch(t *testing.T) {
+	var oldM, newM, oldP, newP bytes.Buffer
+
+	oldRes, err := RunTraceOptions(strings.NewReader(apiTraceCSV),
+		TraceOptions{Scheduler: "LAX", Metrics: &oldM, Perfetto: &oldP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := Run(context.Background(), Options{Scheduler: "LAX",
+		Trace: strings.NewReader(apiTraceCSV), Metrics: &newM, Perfetto: &newP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRes != newRes {
+		t.Fatalf("results diverged: %+v vs %+v", oldRes, newRes)
+	}
+	if oldM.Len() == 0 || oldP.Len() == 0 {
+		t.Fatal("telemetry writers received nothing")
+	}
+	if !bytes.Equal(oldM.Bytes(), newM.Bytes()) {
+		t.Fatalf("metrics exports differ:\nold %d bytes\nnew %d bytes", oldM.Len(), newM.Len())
+	}
+	if !bytes.Equal(oldP.Bytes(), newP.Bytes()) {
+		t.Fatalf("perfetto exports differ:\nold %d bytes\nnew %d bytes", oldP.Len(), newP.Len())
+	}
+}
+
+// TestUnifiedRunCustomSystemOnBenchmarks: a capability the old API never
+// had — Options.System now applies to benchmark cells, not just trace
+// replays, and distinct devices get distinct memoized runners.
+func TestUnifiedRunCustomSystemOnBenchmarks(t *testing.T) {
+	ctx := context.Background()
+	small, err := Run(ctx, Options{Scheduler: "FCFS", Benchmark: "GMM", Rate: "high", Jobs: 32,
+		System: &SystemConfig{NumCUs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(ctx, Options{Scheduler: "FCFS", Benchmark: "GMM", Rate: "high", Jobs: 32,
+		System: &SystemConfig{NumCUs: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Makespan <= big.Makespan {
+		t.Fatalf("1-CU makespan %v <= 32-CU makespan %v: System ignored on benchmark cell",
+			small.Makespan, big.Makespan)
+	}
+	// Repeat runs hit the per-device memo and stay bit-identical.
+	again, err := Run(ctx, Options{Scheduler: "FCFS", Benchmark: "GMM", Rate: "high", Jobs: 32,
+		System: &SystemConfig{NumCUs: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != big {
+		t.Fatalf("memoized custom-device run diverged: %+v vs %+v", again, big)
+	}
+}
+
+// TestUnifiedRunVerifiedTrace: another unified-only capability — the
+// invariant checker now attaches to trace replays.
+func TestUnifiedRunVerifiedTrace(t *testing.T) {
+	plain, err := Run(context.Background(),
+		Options{Scheduler: "LAX", Trace: strings.NewReader(apiTraceCSV)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := Run(context.Background(),
+		Options{Scheduler: "LAX", Trace: strings.NewReader(apiTraceCSV), Verify: true})
+	if err != nil {
+		t.Fatal(err) // an invariant violation would surface here
+	}
+	if checked != plain {
+		t.Fatalf("verified trace replay diverged: %+v vs %+v", checked, plain)
+	}
+}

@@ -165,7 +165,15 @@ func BenchmarkScaling(b *testing.B) { runExperiment(b, "scaling") }
 // width. Comparing the Serial and Parallel variants measures the speedup
 // the worker pool buys on the machine at hand; the rendered results are
 // byte-identical at every width (see TestParallelSerialGoldenEquivalence).
+//
+// The effective pool width is reported as a metric because it is the number
+// that makes the comparison interpretable: NewPool(0) resolves to GOMAXPROCS,
+// and inside a 1-CPU cgroup that is width 1 — Pool.Do then takes the serial
+// in-caller path by design, so Parallel ≈ Serial is the pool *not running*,
+// not the pool failing to scale. TestParallelSweepScales asserts real
+// speedup on machines with enough cores to show one.
 func benchSweepTable5(b *testing.B, workers int) {
+	width := harness.NewPool(workers).Workers()
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
 		r.Workers = workers
@@ -173,6 +181,7 @@ func benchSweepTable5(b *testing.B, workers int) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(width), "pool-width")
 }
 
 // BenchmarkSweepTable5Serial is the single-worker reference path.
@@ -292,5 +301,29 @@ func TestNoProbeHotPathAllocationFree(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("unprobed guard allocates %v per check, want 0", n)
+	}
+}
+
+// TestLAXReprioritizeAllocationFree pins the incremental-laxity epoch: with
+// a warm job table, an Algorithm 2 pass — the first pass drains the dirty
+// set, every subsequent pass at the same instant is the all-clean epoch —
+// heap-allocates nothing. This is the steady-state guarantee behind the
+// LAXReprioritize numbers in BENCH_*.json.
+func TestLAXReprioritizeAllocationFree(t *testing.T) {
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 64, 1)
+	pol := sched.NewLAX()
+	sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+	allocs := -1.0
+	sys.Engine().Schedule(2*sim.Millisecond, func() {
+		allocs = testing.AllocsPerRun(1000, func() { pol.Reprioritize() })
+	})
+	sys.Run()
+	if allocs != 0 {
+		t.Errorf("mid-flight Reprioritize allocates %v per pass, want 0", allocs)
 	}
 }

@@ -162,7 +162,10 @@ func main() {
 			}
 			return
 		}
-		if *traceOut != "" || *timeline || *metricsOut != "" || *perfettoOut != "" || *probe {
+		if *traceOut != "" || *timeline || *probe {
+			// The structured tracer, ASCII timeline and -probe stdout digest
+			// need internal observer access; everything else flows through
+			// the public unified API below.
 			err := runTraced(ctx, r, parts[0], parts[1], rate, obsOptions{
 				tracePath:    *traceOut,
 				timeline:     *timeline,
@@ -176,29 +179,58 @@ func main() {
 			}
 			return
 		}
-		// The plain single-cell path goes through the public Session API —
-		// the same surface library callers use — and releases its memo via
-		// Close on the way out.
-		ses := laxgpu.NewSession(laxgpu.SessionOptions{Parallel: *parallel})
-		defer ses.Close()
+		// Every flag folds into one Options value for the unified public
+		// Run — the same surface library callers use; the session's memo is
+		// released via Close on the way out.
 		o := laxgpu.Options{
 			Scheduler: parts[0], Benchmark: parts[1], Rate: parts[2],
 			Jobs: *jobs, Seed: *seed, Faults: *faults,
+			Verify: *verifyRuns,
 		}
-		run := ses.RunContext
-		if *verifyRuns {
-			run = ses.RunVerifiedContext
+		var outFiles []*os.File
+		closeOuts := func() {
+			for _, f := range outFiles {
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
 		}
-		s, err := run(ctx, o)
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			outFiles = append(outFiles, f)
+			o.Metrics = f
+		}
+		if *perfettoOut != "" {
+			f, err := os.Create(*perfettoOut)
+			if err != nil {
+				fatal(err)
+			}
+			outFiles = append(outFiles, f)
+			o.Perfetto = f
+		}
+		ses := laxgpu.NewSession(laxgpu.SessionOptions{Parallel: *parallel})
+		defer ses.Close()
+		s, err := ses.Run(ctx, o)
 		if err != nil {
+			closeOuts()
 			fatal(err)
 		}
+		closeOuts()
 		fmt.Printf("%s on %s (%s rate): %d/%d met deadline, %d rejected\n",
 			s.Scheduler, s.Benchmark, s.Rate, s.MetDeadline, s.TotalJobs, s.Rejected)
 		fmt.Printf("  throughput %.0f successful jobs/s, p99 latency %.3f ms, useful work %.1f%%\n",
 			s.Throughput, float64(s.P99Latency)/float64(time.Millisecond), 100*s.UsefulWorkFrac)
 		if s.MetDeadline > 0 {
 			fmt.Printf("  energy %.2f mJ per successful job\n", s.EnergyPerSuccessMJ)
+		}
+		if *metricsOut != "" {
+			fmt.Printf("wrote metrics to %s\n", *metricsOut)
+		}
+		if *perfettoOut != "" {
+			fmt.Printf("wrote Perfetto trace to %s\n", *perfettoOut)
 		}
 		if *faults != "" {
 			fmt.Printf("  recovery: %d watchdog kills, %d aborts, %d retries, %d CPU fallbacks, %d CUs retired\n",
@@ -468,8 +500,10 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 		if rawRun == "" && sweepRate == "" {
 			return fmt.Errorf("-faults requires -run or -sweep")
 		}
-		if traceOut != "" || timeline || gpus != 1 || metricsOut != "" || perfettoOut != "" || probe {
-			return fmt.Errorf("-faults does not combine with -trace, -timeline, -gpus or the telemetry flags")
+		// -metrics and -perfetto ride the unified Run path, which installs
+		// faults; the internal tracer/timeline/probe-digest path does not.
+		if traceOut != "" || timeline || gpus != 1 || probe {
+			return fmt.Errorf("-faults does not combine with -trace, -timeline, -gpus or -probe")
 		}
 	}
 	return nil

@@ -213,7 +213,6 @@ func TestCLI(t *testing.T) {
 			{"-probe"},
 			{"-metrics", "m.prom", "-run", "LAX,IPV6,high", "-gpus", "2"},
 			{"-perfetto", "t.json", "-run", "LAX,IPV6,high", "-gpus", "2"},
-			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-metrics", "m.prom"},
 			{"-faults", "hang=0.1", "-run", "LAX,IPV6,high", "-probe"},
 			{"-verify", "-run", "LAX,IPV6,high", "-gpus", "2"},
 		}

@@ -1,0 +1,95 @@
+package laxgpu
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/obs"
+	"laxgpu/internal/sched"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// dispatchRecorder is a pure-observer Probe that records the run's dispatch
+// order — every kernel start and completion plus every job lifecycle
+// transition, in emission order. Two runs with equal recordings made the
+// same scheduling decisions at the same instants.
+type dispatchRecorder struct {
+	starts []obs.KernelStart
+	dones  []obs.KernelDone
+	jobs   []obs.JobEvent
+}
+
+func (r *dispatchRecorder) Job(e obs.JobEvent)              { r.jobs = append(r.jobs, e) }
+func (r *dispatchRecorder) Admission(obs.AdmissionDecision) {}
+func (r *dispatchRecorder) Epoch(obs.EpochSnapshot)         {}
+func (r *dispatchRecorder) Sample(obs.JobSample)            {}
+func (r *dispatchRecorder) TableRefresh(obs.TableRefresh)   {}
+func (r *dispatchRecorder) KernelStart(e obs.KernelStart)   { r.starts = append(r.starts, e) }
+func (r *dispatchRecorder) KernelDone(e obs.KernelDone)     { r.dones = append(r.dones, e) }
+
+// TestIncrementalLAXDifferential is the dirty-set correctness oracle: on 500
+// random workloads (benchmark, arrival rate, trace length and seed all
+// drawn from a fixed-seed RNG), the incremental LAX hot path and the
+// full-recompute reference (LAXConfig.DisableIncremental) must make
+// bit-identical scheduling decisions — same kernel dispatch order, same
+// completion order, same job lifecycle stream, same event count and final
+// clock. Any divergence means a stale laxity escaped the dirty set.
+func TestIncrementalLAXDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 1000 small simulations")
+	}
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	rng := rand.New(rand.NewSource(20260808))
+	names := workload.BenchmarkNames()
+	rates := []workload.Rate{workload.LowRate, workload.MediumRate, workload.HighRate}
+
+	for i := 0; i < 500; i++ {
+		name := names[rng.Intn(len(names))]
+		bench, err := workload.FindBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := rates[rng.Intn(len(rates))]
+		jobs := 8 + rng.Intn(25)
+		seed := 1 + rng.Int63n(1<<30)
+		set := bench.Generate(lib, rate, jobs, seed)
+
+		run := func(disable bool) (*dispatchRecorder, uint64, sim.Time) {
+			rec := &dispatchRecorder{}
+			pol := sched.NewLAXWithConfig(sched.LAXConfig{
+				Variant:            sched.VariantCP,
+				DisableIncremental: disable,
+			})
+			sys := cp.NewSystem(cp.DefaultSystemConfig(), set, pol)
+			sys.SetProbe(rec)
+			sys.Run()
+			return rec, sys.Engine().Fired(), sys.Engine().Now()
+		}
+		inc, incFired, incNow := run(false)
+		full, fullFired, fullNow := run(true)
+
+		desc := func() string {
+			return name + " rate=" + rate.String()
+		}
+		if !slices.Equal(inc.starts, full.starts) {
+			t.Fatalf("case %d (%s jobs=%d seed=%d): kernel dispatch order diverged (%d vs %d starts)",
+				i, desc(), jobs, seed, len(inc.starts), len(full.starts))
+		}
+		if !slices.Equal(inc.dones, full.dones) {
+			t.Fatalf("case %d (%s jobs=%d seed=%d): kernel completion order diverged",
+				i, desc(), jobs, seed)
+		}
+		if !slices.Equal(inc.jobs, full.jobs) {
+			t.Fatalf("case %d (%s jobs=%d seed=%d): job lifecycle stream diverged",
+				i, desc(), jobs, seed)
+		}
+		if incFired != fullFired || incNow != fullNow {
+			t.Fatalf("case %d (%s jobs=%d seed=%d): event count/clock diverged: %d@%v vs %d@%v",
+				i, desc(), jobs, seed, incFired, incNow, fullFired, fullNow)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package laxgpu_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -12,11 +13,12 @@ import (
 // laxity-aware scheduler on LSTM inference serving at the paper's high
 // arrival rate.
 func ExampleRun() {
-	rr, err := laxgpu.Run(laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
+	ctx := context.Background()
+	rr, err := laxgpu.Run(ctx, laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	lax, err := laxgpu.Run(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
+	lax, err := laxgpu.Run(ctx, laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,15 +32,16 @@ func ExampleRun() {
 }
 
 // Replaying an external arrival trace (e.g. a production request log)
-// against any scheduler in the zoo.
-func ExampleRunTrace() {
+// against any scheduler in the zoo: set Options.Trace instead of naming a
+// benchmark.
+func ExampleRun_trace() {
 	trace := strings.NewReader(strings.Join([]string{
 		"arrival_us,deadline_us,kernels",
 		"0,40,IPV6Kernel",
 		"15,40,IPV6Kernel",
 		"200,600,cuckooKernel",
 	}, "\n"))
-	res, err := laxgpu.RunTrace(trace, "LAX")
+	res, err := laxgpu.Run(context.Background(), laxgpu.Options{Scheduler: "LAX", Trace: trace})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,16 +59,18 @@ func ExampleBenchmarks() {
 	// LSTM GRU VAN HYBRID IPV6 CUCKOO GMM STEM
 }
 
-// The telemetry probe is a pure observer: a probed run returns exactly the
-// same Result as a plain run while folding scheduler-decision metrics into
-// the session registry.
-func ExampleRunProbed() {
+// The telemetry probe is a pure observer: a probed run (Options.Probe)
+// returns exactly the same Result as a plain run while folding
+// scheduler-decision metrics into the session registry.
+func ExampleRun_probe() {
+	ctx := context.Background()
 	o := laxgpu.Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "high"}
-	plain, err := laxgpu.Run(o)
+	plain, err := laxgpu.Run(ctx, o)
 	if err != nil {
 		log.Fatal(err)
 	}
-	probed, err := laxgpu.RunProbed(o)
+	o.Probe = true
+	probed, err := laxgpu.Run(ctx, o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +83,8 @@ func ExampleRunProbed() {
 // Prometheus text exposition format.
 func ExampleSession_WriteMetrics() {
 	s := laxgpu.NewSession(laxgpu.SessionOptions{})
-	if _, err := s.RunProbed(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"}); err != nil {
+	o := laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high", Probe: true}
+	if _, err := s.Run(context.Background(), o); err != nil {
 		log.Fatal(err)
 	}
 	var buf strings.Builder
@@ -99,15 +105,17 @@ func ExampleSession_WriteMetrics() {
 }
 
 // The runtime invariant checker (DESIGN.md section 9) rides along as a pure
-// observer: a verified run yields the same Result as a plain run, or an
-// error naming the first violated guarantee.
-func ExampleRunVerified() {
+// observer: a verified run (Options.Verify) yields the same Result as a
+// plain run, or an error naming the first violated guarantee.
+func ExampleRun_verify() {
+	ctx := context.Background()
 	o := laxgpu.Options{Scheduler: "EDF", Benchmark: "IPV6", Rate: "medium"}
-	plain, err := laxgpu.Run(o)
+	plain, err := laxgpu.Run(ctx, o)
 	if err != nil {
 		log.Fatal(err)
 	}
-	checked, err := laxgpu.RunVerified(o)
+	o.Verify = true
+	checked, err := laxgpu.Run(ctx, o)
 	if err != nil {
 		log.Fatal(err) // an invariant violation would surface here
 	}

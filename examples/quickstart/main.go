@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	fmt.Println()
 
 	for _, scheduler := range []string{"RR", "LAX"} {
-		res, err := laxgpu.Run(laxgpu.Options{
+		res, err := laxgpu.Run(context.Background(), laxgpu.Options{
 			Scheduler: scheduler,
 			Benchmark: "LSTM",
 			Rate:      "high",

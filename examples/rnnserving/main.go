@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		for _, s := range schedulers {
 			fmt.Printf("%-8s", s)
 			for _, b := range rnns {
-				res, err := laxgpu.Run(laxgpu.Options{Scheduler: s, Benchmark: b, Rate: rate})
+				res, err := laxgpu.Run(context.Background(), laxgpu.Options{Scheduler: s, Benchmark: b, Rate: rate})
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -49,7 +50,7 @@ func main() {
 	fmt.Println("\nTail latency and admission behavior at the high rate (LSTM):")
 	fmt.Printf("%-8s %12s %12s %10s %10s\n", "sched", "p99", "mean", "rejected", "useful%")
 	for _, s := range schedulers {
-		res, err := laxgpu.Run(laxgpu.Options{Scheduler: s, Benchmark: "LSTM", Rate: "high"})
+		res, err := laxgpu.Run(context.Background(), laxgpu.Options{Scheduler: s, Benchmark: "LSTM", Rate: "high"})
 		if err != nil {
 			log.Fatal(err)
 		}

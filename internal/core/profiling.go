@@ -29,6 +29,17 @@ type WGEntry struct {
 // (§4.2, §4.4).
 const DefaultUpdateInterval = 100 * sim.Microsecond
 
+// ptKernel is one kernel type's row in the profiling table.
+type ptKernel struct {
+	name       string
+	rate       float64 // WGs per nanosecond of device delivery
+	hasRate    bool
+	lastCount  uint64
+	lastBusy   sim.Time
+	lastLatSum sim.Time
+	capacity   int // max concurrently resident WGs; 0 = unregistered
+}
+
 // ProfilingTable is the Kernel Profiling Table: per-kernel-type workgroup
 // completion rates, periodically refreshed from device counters so
 // estimates "adapt quickly and effectively to changing contention levels"
@@ -38,17 +49,27 @@ const DefaultUpdateInterval = 100 * sim.Microsecond
 // dividing a WG count by the rate directly yields wall-clock time under the
 // current contention and parallelism — the quantity Algorithms 1 and 2
 // consume.
+//
+// Kernel names are interned to dense IDs (IDFor) and the table keeps a
+// version counter that bumps whenever any rate or capacity changes, so
+// schedulers can cache derived estimates and revalidate them with one
+// integer compare per epoch instead of recomputing every job's chain.
 type ProfilingTable struct {
 	// alpha is the EWMA weight given to the newest window's rate. 1 means
 	// "use only the latest window".
 	alpha float64
 
-	rates      map[string]float64 // WGs per nanosecond of device delivery
-	lastCounts map[string]uint64
-	lastBusy   map[string]sim.Time
-	lastLatSum map[string]sim.Time
-	capacity   map[string]int // max concurrently resident WGs per kernel
+	ids        map[string]int // kernel name → dense ID into ks
+	ks         []ptKernel
 	lastSample sim.Time
+
+	// version counts rate/capacity changes; any cached KernelTime/DrainTime
+	// derivation stamped with an older version must be recomputed.
+	version uint64
+
+	// ctrIDs maps device counter IDs to table IDs so Update never touches
+	// the name map in steady state.
+	ctrIDs []int
 }
 
 // NewProfilingTable returns an empty table. alpha in (0,1] controls
@@ -59,14 +80,28 @@ func NewProfilingTable(alpha float64) *ProfilingTable {
 		panic("core: ProfilingTable alpha must be in (0,1]")
 	}
 	return &ProfilingTable{
-		alpha:      alpha,
-		rates:      make(map[string]float64),
-		lastCounts: make(map[string]uint64),
-		lastBusy:   make(map[string]sim.Time),
-		lastLatSum: make(map[string]sim.Time),
-		capacity:   make(map[string]int),
+		alpha: alpha,
+		ids:   make(map[string]int),
 	}
 }
+
+// IDFor interns a kernel name and returns its dense table ID. IDs are
+// stable for the life of the table (snapshots preserve them) and index the
+// ID-suffixed fast-path methods.
+func (t *ProfilingTable) IDFor(name string) int {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := len(t.ks)
+	t.ids[name] = id
+	t.ks = append(t.ks, ptKernel{name: name})
+	return id
+}
+
+// Version returns the table's change counter: it advances whenever any
+// kernel's rate or capacity changes, so an estimate cached at version v is
+// still exact while Version() == v.
+func (t *ProfilingTable) Version() uint64 { return t.version }
 
 // SetCapacity records how many WGs of the kernel type the device can host
 // concurrently (from the kernel packet's thread/register/LDS fields). With
@@ -77,7 +112,11 @@ func NewProfilingTable(alpha float64) *ProfilingTable {
 // flight is using a tenth of the machine.
 func (t *ProfilingTable) SetCapacity(name string, maxConcurrentWGs int) {
 	if maxConcurrentWGs > 0 {
-		t.capacity[name] = maxConcurrentWGs
+		k := &t.ks[t.IDFor(name)]
+		if k.capacity != maxConcurrentWGs {
+			k.capacity = maxConcurrentWGs
+			t.version++
+		}
 	}
 }
 
@@ -101,33 +140,48 @@ func (t *ProfilingTable) Update(c *gpu.Counters, now sim.Time) {
 	if window <= 0 {
 		return
 	}
-	for _, name := range c.KernelNames() {
-		cum := c.Completed(name)
-		busy := c.Busy(name, now)
-		latSum := c.LatencySum(name)
-		delta := cum - t.lastCounts[name]
-		busyDelta := busy - t.lastBusy[name]
-		latDelta := latSum - t.lastLatSum[name]
-		t.lastCounts[name] = cum
-		t.lastBusy[name] = busy
-		t.lastLatSum[name] = latSum
+	changed := false
+	for ci, kc := range c.All() {
+		for len(t.ctrIDs) <= ci {
+			t.ctrIDs = append(t.ctrIDs, -1)
+		}
+		id := t.ctrIDs[ci]
+		if id < 0 {
+			id = t.IDFor(kc.Name)
+			t.ctrIDs[ci] = id
+		}
+		k := &t.ks[id]
+		cum := kc.WGsCompleted
+		busy := kc.BusyTime(now)
+		latSum := kc.LatencySum()
+		delta := cum - k.lastCount
+		busyDelta := busy - k.lastBusy
+		latDelta := latSum - k.lastLatSum
+		k.lastCount = cum
+		k.lastBusy = busy
+		k.lastLatSum = latSum
 		if delta == 0 {
 			continue
 		}
 		var rate float64
-		if cap, ok := t.capacity[name]; ok && latDelta > 0 {
+		if k.capacity > 0 && latDelta > 0 {
 			meanLatency := float64(latDelta) / float64(delta)
-			rate = float64(cap) / meanLatency
+			rate = float64(k.capacity) / meanLatency
 		} else if busyDelta > 0 {
 			rate = float64(delta) / float64(busyDelta)
 		} else {
 			continue
 		}
-		if old, ok := t.rates[name]; ok {
-			t.rates[name] = t.alpha*rate + (1-t.alpha)*old
+		if k.hasRate {
+			k.rate = t.alpha*rate + (1-t.alpha)*k.rate
 		} else {
-			t.rates[name] = rate
+			k.rate = rate
+			k.hasRate = true
 		}
+		changed = true
+	}
+	if changed {
+		t.version++
 	}
 	t.lastSample = now
 }
@@ -136,41 +190,48 @@ func (t *ProfilingTable) Update(c *gpu.Counters, now sim.Time) {
 // policies seeding tables from offline profiles (Prophet-style).
 func (t *ProfilingTable) ObserveRate(name string, wgsPerNs float64) {
 	if wgsPerNs > 0 {
-		t.rates[name] = wgsPerNs
+		k := &t.ks[t.IDFor(name)]
+		if !k.hasRate || k.rate != wgsPerNs {
+			k.rate = wgsPerNs
+			k.hasRate = true
+			t.version++
+		}
 	}
 }
 
 // Len returns the number of kernel types with a profiled completion rate —
 // the table's population, reported by the telemetry layer at each refresh.
-func (t *ProfilingTable) Len() int { return len(t.rates) }
+func (t *ProfilingTable) Len() int {
+	n := 0
+	for i := range t.ks {
+		if t.ks[i].hasRate {
+			n++
+		}
+	}
+	return n
+}
 
 // Rate returns the profiled completion rate for the kernel type and whether
 // one exists yet.
 func (t *ProfilingTable) Rate(name string) (float64, bool) {
-	r, ok := t.rates[name]
-	return r, ok
+	if id, ok := t.ids[name]; ok && t.ks[id].hasRate {
+		return t.ks[id].rate, true
+	}
+	return 0, false
 }
 
 // Snapshot returns a deep copy of the table's current rates. CPU-side LAX
 // variants schedule from snapshots that lag the live table by a host-device
-// round trip (the paper's fidelity argument for extending the CP).
+// round trip (the paper's fidelity argument for extending the CP). IDs are
+// preserved, so estimates resolved against the live table index the
+// snapshot identically; the copy starts a fresh version history.
 func (t *ProfilingTable) Snapshot() *ProfilingTable {
 	c := NewProfilingTable(t.alpha)
-	for k, v := range t.rates {
-		c.rates[k] = v
+	c.ks = append(c.ks, t.ks...)
+	for k, v := range t.ids {
+		c.ids[k] = v
 	}
-	for k, v := range t.lastCounts {
-		c.lastCounts[k] = v
-	}
-	for k, v := range t.lastBusy {
-		c.lastBusy[k] = v
-	}
-	for k, v := range t.lastLatSum {
-		c.lastLatSum[k] = v
-	}
-	for k, v := range t.capacity {
-		c.capacity[k] = v
-	}
+	c.ctrIDs = append(c.ctrIDs, t.ctrIDs...)
 	c.lastSample = t.lastSample
 	return c
 }
@@ -184,19 +245,28 @@ func (t *ProfilingTable) Snapshot() *ProfilingTable {
 // no time, to avoid rejecting work it could potentially complete" (§4.3) —
 // it returns 0.
 func (t *ProfilingTable) KernelTime(name string, wgs int) sim.Time {
+	id, ok := t.ids[name]
+	if !ok {
+		return 0
+	}
+	return t.KernelTimeID(id, wgs)
+}
+
+// KernelTimeID is KernelTime addressed by dense table ID.
+func (t *ProfilingTable) KernelTimeID(id, wgs int) sim.Time {
 	if wgs <= 0 {
 		return 0
 	}
-	rate, ok := t.rates[name]
-	if !ok || rate <= 0 {
+	k := &t.ks[id]
+	if !k.hasRate || k.rate <= 0 {
 		return 0
 	}
-	if cap, ok := t.capacity[name]; ok && wgs < cap {
+	if k.capacity > 0 && wgs < k.capacity {
 		// rate is capacity/meanLatency; re-derive the launch-local rate
 		// wgs/meanLatency.
-		return sim.Time(float64(cap) / rate)
+		return sim.Time(float64(k.capacity) / k.rate)
 	}
-	return sim.Time(float64(wgs) / rate)
+	return sim.Time(float64(wgs) / k.rate)
 }
 
 // DrainTime estimates the kernel type's contribution to draining the whole
@@ -204,14 +274,23 @@ func (t *ProfilingTable) KernelTime(name string, wgs int) sim.Time {
 // is the Little's-Law view — many jobs' identical kernels drain in
 // parallel — and feeds Algorithm 1's queuing-delay sum.
 func (t *ProfilingTable) DrainTime(name string, wgs int) sim.Time {
+	id, ok := t.ids[name]
+	if !ok {
+		return 0
+	}
+	return t.DrainTimeID(id, wgs)
+}
+
+// DrainTimeID is DrainTime addressed by dense table ID.
+func (t *ProfilingTable) DrainTimeID(id, wgs int) sim.Time {
 	if wgs <= 0 {
 		return 0
 	}
-	rate, ok := t.rates[name]
-	if !ok || rate <= 0 {
+	k := &t.ks[id]
+	if !k.hasRate || k.rate <= 0 {
 		return 0
 	}
-	return sim.Time(float64(wgs) / rate)
+	return sim.Time(float64(wgs) / k.rate)
 }
 
 // RemainingTime estimates the time for one job to finish its WGList:

@@ -84,7 +84,7 @@ type RecoveryStats struct {
 // wdEntry is one armed watchdog: the timer, the attempt it guards, and the
 // progress watermark that distinguishes a hang from slow-but-alive.
 type wdEntry struct {
-	ev             *sim.Event
+	ev             sim.Handle
 	attempt        int
 	completedAtArm int
 }
@@ -288,6 +288,7 @@ func (s *System) fallbackToCPU(jr *JobRun) {
 	for i, a := range s.active {
 		if a == jr {
 			s.active = append(s.active[:i], s.active[i+1:]...)
+			s.invalidateOrder()
 			break
 		}
 	}

@@ -61,6 +61,22 @@ type System struct {
 	hostQ   []*JobRun // admitted, waiting for a free queue
 	blocked []*JobRun // waiting on the policy's AdvanceGate
 
+	// orderer is the policy's Orderer interface, type-asserted once at
+	// construction so the per-dispatch hot path does no interface probing.
+	orderer Orderer
+
+	// orderCache memoizes dispatchOrder for non-Orderer policies. The sort's
+	// comparator is a total order (Job.ID tie-break), so its output is a pure
+	// function of (active set, priorities, SubmitTimes); SubmitTime and ID
+	// are immutable once a job is active, so the cache revalidates by
+	// checking membership (orderValid, cleared on every active-set mutation)
+	// and comparing each job's Priority against the stamp taken at sort time
+	// — O(n) compares instead of an O(n log n) sort per WG completion,
+	// robust against priority writes from any policy hook.
+	orderCache []*JobRun
+	orderPrios []int64
+	orderValid bool
+
 	freeQueues []int
 
 	// parserFreeAt models ParseStreams parallel inspection slots.
@@ -145,6 +161,7 @@ func NewSystem(cfg SystemConfig, set *workload.JobSet, pol Policy) *System {
 		s.jobs[i] = newJobRun(job, -1)
 	}
 	pol.Attach(s)
+	s.orderer, _ = pol.(Orderer)
 	return s
 }
 
@@ -271,6 +288,7 @@ func (s *System) bindQueue(jr *JobRun) {
 	}
 	jr.state = JobInit
 	s.active = append(s.active, jr)
+	s.invalidateOrder()
 	s.armTimer()
 
 	// Stream inspection: claim the earliest parser slot.
@@ -362,6 +380,7 @@ func (s *System) Cancel(jr *JobRun) {
 	for i, a := range s.active {
 		if a == jr {
 			s.active = append(s.active[:i], s.active[i+1:]...)
+			s.invalidateOrder()
 			break
 		}
 	}
@@ -458,6 +477,7 @@ func (s *System) finish(jr *JobRun) {
 	for i, a := range s.active {
 		if a == jr {
 			s.active = append(s.active[:i], s.active[i+1:]...)
+			s.invalidateOrder()
 			break
 		}
 	}
@@ -528,15 +548,25 @@ func (s *System) Dispatch() {
 // within a level and FIFO decides — the limitation of contemporary
 // priority APIs (§2.2).
 func (s *System) dispatchOrder() []*JobRun {
-	if o, ok := s.pol.(Orderer); ok {
-		return o.Order(s.active)
+	if s.orderer != nil {
+		return s.orderer.Order(s.active)
+	}
+	if s.orderValid {
+		for i, jr := range s.orderCache {
+			if jr.Priority != s.orderPrios[i] {
+				s.orderValid = false
+				break
+			}
+		}
+		if s.orderValid {
+			return s.orderCache
+		}
 	}
 	prio := func(j *JobRun) int64 { return j.Priority }
 	if s.cfg.PriorityLevels > 0 {
 		prio = s.quantizedPriority()
 	}
-	order := make([]*JobRun, len(s.active))
-	copy(order, s.active)
+	order := append(s.orderCache[:0], s.active...)
 	sort.SliceStable(order, func(a, b int) bool {
 		ja, jb := order[a], order[b]
 		pa, pb := prio(ja), prio(jb)
@@ -548,8 +578,19 @@ func (s *System) dispatchOrder() []*JobRun {
 		}
 		return ja.Job.ID < jb.Job.ID
 	})
+	s.orderCache = order
+	s.orderPrios = s.orderPrios[:0]
+	for _, jr := range order {
+		s.orderPrios = append(s.orderPrios, jr.Priority)
+	}
+	s.orderValid = true
 	return order
 }
+
+// invalidateOrder drops the memoized dispatch order. Called on every
+// active-set mutation; priority-only changes are caught by the stamp check
+// in dispatchOrder instead.
+func (s *System) invalidateOrder() { s.orderValid = false }
 
 // quantizedPriority maps the active jobs' raw priorities onto the
 // configured number of hardware levels by rank: the most urgent 1/N of the

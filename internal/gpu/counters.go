@@ -29,6 +29,10 @@ type KernelCounter struct {
 	// WG latency estimate Δcompletions/ΔwgNs.
 	wgNs      sim.Time
 	lastEvent sim.Time
+
+	// id is the counter's dense index in Counters.byID, cached on kernel
+	// instances so the per-WG hot path is a slice access.
+	id int
 }
 
 // BusyTime returns the cumulative time the kernel type had WGs in flight,
@@ -40,6 +44,10 @@ func (k *KernelCounter) BusyTime(now sim.Time) sim.Time {
 	}
 	return b
 }
+
+// LatencySum returns the summed dispatch-to-completion latencies of this
+// kernel type's finished WGs.
+func (k *KernelCounter) LatencySum() sim.Time { return k.latencySumNs }
 
 // WGTime returns the cumulative WG-time integral (Σ in-flight WGs over
 // time) up to now. Completions divided by this integral give the inverse
@@ -53,16 +61,19 @@ func (k *KernelCounter) accumulate(now sim.Time) {
 	k.lastEvent = now
 }
 
-// Counters is the device's performance-counter block.
+// Counters is the device's performance-counter block. Counter blocks are
+// addressed two ways: by kernel name (the public query API) and by a dense
+// kernel ID handed out on first dispatch (the device's hot path — a slice
+// index instead of a map lookup per WG event).
 type Counters struct {
 	perKernel       map[string]*KernelCounter
+	byID            []*KernelCounter
 	totalWGs        uint64
 	totalDispatched uint64
 	totalKilled     uint64
 }
 
-func (c *Counters) noteDispatch(name string, now sim.Time) {
-	k := c.kernel(name)
+func (c *Counters) noteDispatch(k *KernelCounter, now sim.Time) {
 	k.accumulate(now)
 	k.WGsDispatched++
 	if k.inFlight == 0 {
@@ -72,8 +83,7 @@ func (c *Counters) noteDispatch(name string, now sim.Time) {
 	c.totalDispatched++
 }
 
-func (c *Counters) noteComplete(name string, now, latency sim.Time) {
-	k := c.kernel(name)
+func (c *Counters) noteComplete(k *KernelCounter, now, latency sim.Time) {
 	k.accumulate(now)
 	k.WGsCompleted++
 	k.LastCompletion = now
@@ -88,8 +98,7 @@ func (c *Counters) noteComplete(name string, now, latency sim.Time) {
 // noteKilled retires an in-flight WG without completing it: the dispatch
 // happened, no completion ever will. Busy/WG-time integrals close as if the
 // WG vanished now.
-func (c *Counters) noteKilled(name string, now sim.Time) {
-	k := c.kernel(name)
+func (c *Counters) noteKilled(k *KernelCounter, now sim.Time) {
 	k.accumulate(now)
 	k.WGsKilled++
 	k.inFlight--
@@ -99,13 +108,22 @@ func (c *Counters) noteKilled(name string, now sim.Time) {
 	c.totalKilled++
 }
 
-func (c *Counters) kernel(name string) *KernelCounter {
-	k := c.perKernel[name]
-	if k == nil {
-		k = &KernelCounter{Name: name}
-		c.perKernel[name] = k
+// idFor interns a kernel name, creating its counter block on first use, and
+// returns its dense ID. IDs are stable for the life of the Counters and
+// index the internal byID slice; kernel instances cache them so per-WG
+// bookkeeping never touches the name map.
+func (c *Counters) idFor(name string) int {
+	if k := c.perKernel[name]; k != nil {
+		return k.id
 	}
-	return k
+	k := &KernelCounter{Name: name, id: len(c.byID)}
+	c.perKernel[name] = k
+	c.byID = append(c.byID, k)
+	return k.id
+}
+
+func (c *Counters) kernel(name string) *KernelCounter {
+	return c.byID[c.idFor(name)]
 }
 
 // Completed returns the cumulative WG completion count for the kernel type,
@@ -153,6 +171,12 @@ func (c *Counters) TotalKilled() uint64 { return c.totalKilled }
 
 // TotalDispatched returns the cumulative WG dispatches across all kernels.
 func (c *Counters) TotalDispatched() uint64 { return c.totalDispatched }
+
+// All returns the counter blocks in dense-ID (first-dispatch) order. The
+// slice is live — callers must not mutate it — and grows as new kernel
+// types dispatch. Profiling-table refreshes iterate it instead of
+// allocating a name list per epoch.
+func (c *Counters) All() []*KernelCounter { return c.byID }
 
 // KernelNames returns the set of kernel types the counters have observed.
 func (c *Counters) KernelNames() []string {

@@ -51,19 +51,60 @@ type Device struct {
 	track    bool
 	inflight map[*KernelInstance][]*wgInFlight
 
+	// curBatch is the open WG-completion batch: consecutive WGs of one
+	// instance that share a completion instant and between which no other
+	// event was scheduled collapse into a single engine event. Only used on
+	// the untracked fast path.
+	curBatch *wgBatch
+	// freeBatches is the batch free list (singly linked through next).
+	freeBatches *wgBatch
+
 	// retiredCUs counts CUs permanently removed by RetireCUs.
 	retiredCUs int
 }
 
 // wgInFlight records one dispatched, uncompleted WG so a kill can cancel
-// its completion and release what it holds.
+// its completion and release what it holds. Only the tracked (fault /
+// watchdog) path allocates these; the healthy path batches completions
+// through pooled wgBatch structs instead.
 type wgInFlight struct {
-	ev       *sim.Event // nil for hung WGs (they never scheduled one)
+	ev       sim.Handle // zero for hung WGs (they never scheduled one)
 	cu       *computeUnit
 	f        wgFootprint
 	demand   float64
 	l2demand float64
 }
+
+// wgEntry is one WG's share of a completion batch.
+type wgEntry struct {
+	cu       *computeUnit
+	f        wgFootprint
+	demand   float64
+	l2demand float64
+}
+
+// wgBatch is one pooled engine event carrying the completions of a
+// contiguous run of same-instance WGs that were dispatched back to back for
+// the same completion instant. Firing the batch replays each WG's
+// completion in dispatch order, which is exactly the order the per-WG
+// events would have fired in: the entries' would-be sequence numbers were
+// consecutive (enforced via Engine.NextSeq at append time), so no foreign
+// event could have interleaved.
+type wgBatch struct {
+	d    *Device
+	inst *KernelInstance
+	ctr  *KernelCounter
+	at   sim.Time // completion instant
+	lat  sim.Time // dispatch-to-completion latency (same for all entries)
+	// seqAfter is the engine's next sequence number as of the last append;
+	// a WG may join only while it still matches (no event scheduled since).
+	seqAfter uint64
+	entries  []wgEntry
+	next     *wgBatch // free list link
+}
+
+// Act fires the batch (sim.Action).
+func (b *wgBatch) Act() { b.d.completeBatch(b) }
 
 // New constructs a device for the configuration. It panics on an invalid
 // configuration: device construction happens once at experiment setup and a
@@ -222,7 +263,15 @@ func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
 	if inst.fault.Outcome == FaultSlow && inst.fault.SlowFactor > 1 {
 		lat = sim.Time(float64(lat) * inst.fault.SlowFactor)
 	}
-	d.counters.noteDispatch(inst.Desc.Name, now)
+	ctr := d.counterFor(inst)
+	d.counters.noteDispatch(ctr, now)
+
+	if !d.track {
+		// Healthy fast path: no kill can ever target this WG, so no
+		// per-WG bookkeeping — fold the completion into a batch event.
+		d.batchWG(inst, ctr, now+lat, lat, wgEntry{cu: cu, f: f, demand: demand, l2demand: l2Demand})
+		return
+	}
 
 	wg := &wgInFlight{cu: cu, f: f, demand: demand, l2demand: l2Demand}
 	switch inst.fault.Outcome {
@@ -245,26 +294,98 @@ func (d *Device) startWG(inst *KernelInstance, cu *computeUnit, f wgFootprint) {
 	}
 	wg.ev = d.eng.Schedule(now+lat, func() {
 		d.untrackWG(inst, wg)
-		cu.release(f)
-		d.activeMemDemand -= demand
-		d.activeL2Demand -= l2Demand
-		if d.activeMemDemand < 1e-9 {
-			d.activeMemDemand = 0
-		}
-		if d.activeL2Demand < 1e-9 {
-			d.activeL2Demand = 0
-		}
-		inst.noteComplete(d.eng.Now())
-		d.counters.noteComplete(inst.Desc.Name, d.eng.Now(), lat)
-		d.energy.addWG(inst.Desc, d.cfg.EnergyPerInstPJ)
-		if d.onWGComplete != nil {
-			d.onWGComplete(inst)
-		}
-		if inst.Done() && d.onKernelDone != nil {
-			d.onKernelDone(inst)
-		}
+		d.completeWG(inst, ctr, lat, wgEntry{cu: cu, f: f, demand: demand, l2demand: l2Demand})
 	})
 	d.trackWG(inst, wg)
+}
+
+// counterFor resolves the instance's counter block, caching the dense
+// counter ID on the instance so steady-state dispatch skips the name map.
+func (d *Device) counterFor(inst *KernelInstance) *KernelCounter {
+	if inst.cidPlus1 == 0 {
+		inst.cidPlus1 = d.counters.idFor(inst.Desc.Name) + 1
+	}
+	return d.counters.byID[inst.cidPlus1-1]
+}
+
+// batchWG appends the WG to the open completion batch when it provably
+// preserves event order — same instance, same completion instant, and no
+// event scheduled since the batch's own (so the per-WG events' sequence
+// numbers would have been consecutive) — and otherwise opens a new batch.
+func (d *Device) batchWG(inst *KernelInstance, ctr *KernelCounter, at, lat sim.Time, en wgEntry) {
+	b := d.curBatch
+	if b == nil || b.inst != inst || b.at != at || d.eng.NextSeq() != b.seqAfter {
+		b = d.getBatch()
+		b.inst = inst
+		b.ctr = ctr
+		b.at = at
+		b.lat = lat
+		d.eng.ScheduleAct(at, b)
+		b.seqAfter = d.eng.NextSeq()
+		d.curBatch = b
+	}
+	b.entries = append(b.entries, en)
+}
+
+// completeBatch replays each batched WG completion in dispatch order and
+// recycles the batch. New WGs dispatched by the completion callbacks open
+// fresh batches (curBatch is cleared first), so the struct is never
+// appended to while firing.
+func (d *Device) completeBatch(b *wgBatch) {
+	if d.curBatch == b {
+		d.curBatch = nil
+	}
+	inst, ctr, lat := b.inst, b.ctr, b.lat
+	for i := range b.entries {
+		d.completeWG(inst, ctr, lat, b.entries[i])
+	}
+	d.putBatch(b)
+}
+
+// completeWG performs one WG completion: release resources, fold the
+// latency into the counters, and notify the CP.
+func (d *Device) completeWG(inst *KernelInstance, ctr *KernelCounter, lat sim.Time, en wgEntry) {
+	en.cu.release(en.f)
+	d.activeMemDemand -= en.demand
+	d.activeL2Demand -= en.l2demand
+	if d.activeMemDemand < 1e-9 {
+		d.activeMemDemand = 0
+	}
+	if d.activeL2Demand < 1e-9 {
+		d.activeL2Demand = 0
+	}
+	now := d.eng.Now()
+	inst.noteComplete(now)
+	d.counters.noteComplete(ctr, now, lat)
+	d.energy.addWG(inst.Desc, d.cfg.EnergyPerInstPJ)
+	if d.onWGComplete != nil {
+		d.onWGComplete(inst)
+	}
+	if inst.Done() && d.onKernelDone != nil {
+		d.onKernelDone(inst)
+	}
+}
+
+// getBatch takes a batch struct off the free list (or allocates the first
+// time).
+func (d *Device) getBatch() *wgBatch {
+	b := d.freeBatches
+	if b == nil {
+		return &wgBatch{d: d}
+	}
+	d.freeBatches = b.next
+	b.next = nil
+	return b
+}
+
+// putBatch recycles a fired batch: payload references are dropped so pooled
+// structs never pin instances, but the entries backing array is kept.
+func (d *Device) putBatch(b *wgBatch) {
+	b.inst = nil
+	b.ctr = nil
+	b.entries = b.entries[:0]
+	b.next = d.freeBatches
+	d.freeBatches = b
 }
 
 func (d *Device) trackWG(inst *KernelInstance, wg *wgInFlight) {
@@ -303,11 +424,11 @@ func (d *Device) Kill(inst *KernelInstance) int {
 	delete(d.inflight, inst)
 	now := d.eng.Now()
 	for _, wg := range entries {
-		wg.ev.Cancel() // nil-safe; hung WGs never scheduled one
+		wg.ev.Cancel() // no-op for hung WGs (zero Handle) and fired events
 		wg.cu.release(wg.f)
 		d.activeMemDemand -= wg.demand
 		d.activeL2Demand -= wg.l2demand
-		d.counters.noteKilled(inst.Desc.Name, now)
+		d.counters.noteKilled(d.counterFor(inst), now)
 	}
 	if d.activeMemDemand < 1e-9 {
 		d.activeMemDemand = 0

@@ -148,6 +148,11 @@ type KernelInstance struct {
 	dispatched int // WGs handed to CUs
 	completed  int // WGs finished
 
+	// cidPlus1 caches the device counter ID for Desc.Name, plus one so the
+	// zero value means "unresolved". Instances are per-run and per-device,
+	// so the cache can never leak across counter blocks.
+	cidPlus1 int
+
 	ReadyAt    sim.Time // when dependencies were satisfied
 	StartedAt  sim.Time // first WG dispatch
 	FinishedAt sim.Time // last WG completion

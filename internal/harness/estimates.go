@@ -38,17 +38,29 @@ func (r *Runner) RunProbedContext(ctx context.Context, schedName, benchName stri
 // RunProbedInto is RunProbedContext feeding a caller-supplied Metrics probe,
 // so several runs can aggregate into one registry (a shared scrape target).
 func (r *Runner) RunProbedInto(ctx context.Context, m *obs.Metrics, schedName, benchName string, rate workload.Rate) (ProbedRun, error) {
-	pol, err := sched.New(schedName)
+	sum, err := r.RunObserved(ctx, m, schedName, benchName, rate)
 	if err != nil {
 		return ProbedRun{}, err
+	}
+	return ProbedRun{Summary: sum, Metrics: m}, nil
+}
+
+// RunObserved executes a fresh, uncached simulation with an arbitrary probe
+// attached (obs.Multi combines several). Like every probed path it replays
+// the memoized job trace, the runner's Verify flag rides along, and the
+// probe is a pure observer, so the Summary is identical to a cached Run's.
+func (r *Runner) RunObserved(ctx context.Context, p obs.Probe, schedName, benchName string, rate workload.Rate) (metrics.Summary, error) {
+	pol, err := sched.New(schedName)
+	if err != nil {
+		return metrics.Summary{}, err
 	}
 	set, err := r.JobSet(benchName, rate)
 	if err != nil {
-		return ProbedRun{}, err
+		return metrics.Summary{}, err
 	}
 	spec, err := faults.ParseSpec(r.Faults)
 	if err != nil {
-		return ProbedRun{}, err
+		return metrics.Summary{}, err
 	}
 	cfg := r.Cfg
 	if !spec.Zero() && spec.Recover {
@@ -59,25 +71,22 @@ func (r *Runner) RunProbedInto(ctx context.Context, m *obs.Metrics, schedName, b
 		sys.InstallFaults(faults.NewPlan(spec, r.cellSeed(benchName, rate)), spec.Retirements)
 	}
 	var ck *verify.Checker
-	probe := obs.Probe(m)
+	probe := p
 	if r.Verify {
 		ck = verify.New(verify.OptionsFor(schedName, pol, cfg, !spec.Zero()))
 		ck.Attach(sys)
-		probe = obs.Multi(m, ck)
+		probe = obs.Multi(p, ck)
 	}
 	sys.SetProbe(probe)
 	if err := sys.RunContext(ctx); err != nil {
-		return ProbedRun{}, err
+		return metrics.Summary{}, err
 	}
 	if ck != nil {
 		if err := ck.Finalize(); err != nil {
-			return ProbedRun{}, fmt.Errorf("%s/%s/%s: invariant violation: %w", schedName, benchName, rate, err)
+			return metrics.Summary{}, fmt.Errorf("%s/%s/%s: invariant violation: %w", schedName, benchName, rate, err)
 		}
 	}
-	return ProbedRun{
-		Summary: metrics.Summarize(sys, schedName, benchName, rate.String()),
-		Metrics: m,
-	}, nil
+	return metrics.Summarize(sys, schedName, benchName, rate.String()), nil
 }
 
 // estimateSchedulers are the policies with a prediction mechanism to score:

@@ -56,6 +56,43 @@ func TestFigure6ParallelSerialEquivalence(t *testing.T) {
 	}
 }
 
+// TestParallelSweepScales pins the point of the worker pool: on a machine
+// with real parallelism, a multi-worker sweep must beat the serial reference
+// by wall clock, not just match it byte for byte. The threshold is loose
+// (0.6× serial ≈ 1.7× speedup at width ≥ 4) so scheduler jitter never flakes
+// it, but tight enough to catch the historical failure mode this test
+// encodes: a sweep that silently runs serially — e.g. a pool built at width
+// GOMAXPROCS inside a 1-CPU cgroup, where Pool.Do degenerates to in-caller
+// execution — shows 1.0× and fails immediately. On machines without enough
+// cores to demonstrate scaling the test skips, naming the width it resolved,
+// rather than asserting a speedup physics forbids.
+func TestParallelSweepScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sweep grid twice")
+	}
+	width := NewPool(0).Workers()
+	if width < 4 {
+		t.Skipf("GOMAXPROCS resolves the pool to width %d; speedup is only measurable at width >= 4", width)
+	}
+	cells := GridCells([]string{"RR", "LAX", "SJF", "EDF"}, workload.HighRate)
+	sweep := func(workers int) time.Duration {
+		r := NewRunner()
+		r.JobCount = 32
+		r.Workers = workers
+		start := time.Now()
+		if err := r.Sweep(context.Background(), cells); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := sweep(1)
+	parallel := sweep(0)
+	if parallel >= serial*6/10 {
+		t.Fatalf("parallel sweep (width %d) took %v vs serial %v; want < 0.6x serial",
+			width, parallel, serial)
+	}
+}
+
 // TestSweepCancellation: cancelling mid-sweep aborts in-flight simulations,
 // surfaces context.Canceled, leaks no goroutines, and leaves no poisoned
 // cache entries behind — a re-sweep with a live context succeeds.

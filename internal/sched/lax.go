@@ -92,6 +92,13 @@ type LAXConfig struct {
 	// Alpha is the profiling table's EWMA weight in (0,1]; 0 means the
 	// default (1 — use the newest window only).
 	Alpha float64
+
+	// DisableIncremental forces the CP variant onto the full-recompute
+	// reference path (walk every job's WGList each epoch) instead of the
+	// dirty-set job table. Results are bit-identical either way — the
+	// differential suite pins it — so this exists only to provide the
+	// reference side of that comparison.
+	DisableIncremental bool
 }
 
 // LAX is the paper's laxity-aware scheduler (§4): stream inspection builds
@@ -108,6 +115,12 @@ type LAX struct {
 	// host-side variant actually schedules from (one window old).
 	pt    *core.ProfilingTable
 	stale *core.ProfilingTable
+
+	// jt caches per-job remaining-time/drain estimates for the CP variant
+	// (the dirty-set incremental path; see jobtable.go). Host variants
+	// schedule from snapshots with kernel-granular WGLists and keep the
+	// legacy walk.
+	jt *jobTable
 
 	traceJob int // job ID to trace for Figure 10 (-1 = off)
 	tracePts []TracePoint
@@ -160,6 +173,13 @@ func (p *LAX) Attach(s *cp.System) {
 	p.sys = s
 	p.pt = core.NewProfilingTable(p.cfg.Alpha)
 	p.stale = p.pt.Snapshot()
+	p.jt = newJobTable(p.pt)
+}
+
+// incremental reports whether the dirty-set job table serves this variant's
+// estimates.
+func (p *LAX) incremental() bool {
+	return p.variant == VariantCP && !p.cfg.DisableIncremental
 }
 
 // table returns the profiling view the variant schedules from: the live
@@ -199,6 +219,9 @@ func (p *LAX) remaining(j *cp.JobRun) []core.WGEntry {
 // programmer-provided deadline", Algorithm 1 footnote).
 func (p *LAX) Admit(j *cp.JobRun) bool {
 	registerCapacities(p.pt, p.sys.Device(), j)
+	if p.incremental() {
+		p.jt.register(j)
+	}
 	queueDelay := p.EstimateDrain()
 	hold := p.table().RemainingTime(j.TotalWGList())
 	accepted := p.cfg.DisableAdmission || core.Admit(queueDelay, hold, 0, j.Job.Deadline)
@@ -225,9 +248,15 @@ func (p *LAX) Admit(j *cp.JobRun) bool {
 func (p *LAX) EstimateDrain() sim.Time {
 	t := p.table()
 	now := p.sys.Now()
+	inc := p.incremental()
 	var queueDelay sim.Time
 	for _, a := range p.sys.Active() {
-		rem := t.RemainingDrain(p.remaining(a))
+		var rem sim.Time
+		if inc {
+			_, rem = p.jt.estimates(a)
+		} else {
+			rem = t.RemainingDrain(p.remaining(a))
+		}
 		if rem == 0 && !a.Done() {
 			if budget := a.Job.AbsoluteDeadline() - now; budget > 0 {
 				rem = budget
@@ -263,8 +292,14 @@ func (p *LAX) Reprioritize() {
 	t := p.table()
 	now := p.sys.Now()
 	pr := p.sys.Probe()
+	inc := p.incremental()
 	for _, j := range p.sys.Active() {
-		rem := t.RemainingTime(p.remaining(j))
+		var rem sim.Time
+		if inc {
+			rem, _ = p.jt.estimates(j)
+		} else {
+			rem = t.RemainingTime(p.remaining(j))
+		}
 		dur := now - j.SubmitTime
 		if !p.cfg.DisableLaxity {
 			j.Priority = core.Priority(j.Job.Deadline, rem, dur)

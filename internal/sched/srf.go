@@ -15,6 +15,10 @@ type SRF struct {
 	sys *cp.System
 	pt  *core.ProfilingTable
 
+	// jt is the shared dirty-set estimate cache (see jobtable.go): SRF uses
+	// LAX's estimator, so it gets the same incremental path.
+	jt *jobTable
+
 	// seenRetiredCUs detects device degradation between ticks (see LAX).
 	seenRetiredCUs int
 }
@@ -29,6 +33,7 @@ func (p *SRF) Name() string { return "SRF" }
 func (p *SRF) Attach(s *cp.System) {
 	p.sys = s
 	p.pt = core.NewProfilingTable(1)
+	p.jt = newJobTable(p.pt)
 }
 
 // Admit implements cp.Policy: no admission control; the initial priority is
@@ -36,6 +41,7 @@ func (p *SRF) Attach(s *cp.System) {
 // which the first Reprioritize corrects).
 func (p *SRF) Admit(j *cp.JobRun) bool {
 	registerCapacities(p.pt, p.sys.Device(), j)
+	p.jt.register(j)
 	j.Priority = clampPriority(p.pt.RemainingTime(j.TotalWGList()))
 	probeAdmission(p.sys, p.Name(), j, true)
 	return true
@@ -57,7 +63,7 @@ func (p *SRF) Reprioritize() {
 	pr := p.sys.Probe()
 	now := p.sys.Now()
 	for _, j := range p.sys.Active() {
-		rem := p.pt.RemainingTime(j.RemainingWGList())
+		rem, _ := p.jt.estimates(j)
 		j.Priority = clampPriority(rem)
 		if pr != nil {
 			pr.Sample(obs.JobSample{

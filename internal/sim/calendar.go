@@ -30,16 +30,58 @@ type eventQueue interface {
 	len() int
 }
 
-// heapQueue adapts the existing container/heap implementation.
-type heapQueue struct{ h eventHeap }
+// heapQueue is a hand-specialized binary min-heap over (At, seq). It
+// replaces container/heap on the engine's hottest path: the sift loops are
+// direct slice operations with no interface dispatch or any-boxing.
+type heapQueue struct{ h []*Event }
 
-func (q *heapQueue) push(e *Event) { pushHeap(&q.h, e) }
+func (q *heapQueue) push(e *Event) {
+	h := append(q.h, e)
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	q.h = h
+}
+
 func (q *heapQueue) pop() *Event {
-	if len(q.h) == 0 {
+	h := q.h
+	n := len(h)
+	if n == 0 {
 		return nil
 	}
-	return popHeap(&q.h)
+	top := h[0]
+	n--
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	q.h = h
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
 }
+
 func (q *heapQueue) peek() *Event {
 	if len(q.h) == 0 {
 		return nil

@@ -1,62 +1,66 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Event is a scheduled callback. Events fire in (At, seq) order: events
 // scheduled for the same instant fire in the order they were scheduled,
 // which keeps multi-component simulations deterministic.
+//
+// Event structs are pooled: once an event fires (or a cancelled event is
+// discarded) the engine recycles the struct for a future Schedule call.
+// Model code therefore never holds a *Event — Schedule returns a Handle,
+// which detects recycling through a generation counter and degrades to a
+// no-op once stale.
 type Event struct {
 	At   Time
 	fn   func()
+	act  Action
 	seq  uint64
+	gen  uint32
 	dead bool // cancelled
-	idx  int  // heap index, -1 when not queued
+}
+
+// Action is the closure-free scheduling payload: components that schedule
+// one event per unit of work (e.g. a workgroup completion) implement Act on
+// a pooled struct and pass it to ScheduleAct, avoiding a closure allocation
+// per event.
+type Action interface {
+	Act()
+}
+
+// Handle names one scheduled event. The zero Handle is valid and inert.
+// Handles are values: copy them freely, compare against the zero value to
+// test "never scheduled".
+type Handle struct {
+	ev  *Event
+	gen uint32
 }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+// fired (or was already cancelled, or a zero Handle) is a no-op: the engine
+// recycles fired event structs, and a stale handle — one whose generation no
+// longer matches the struct's — deliberately does nothing.
+func (h Handle) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.dead = true
 	}
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e == nil || e.dead }
+// Cancelled reports whether the handle's event will never fire: it was
+// cancelled, or it already fired and the struct was recycled. A zero Handle
+// reports true.
+func (h Handle) Cancelled() bool {
+	return h.ev == nil || h.ev.gen != h.gen || h.ev.dead
+}
 
-type eventHeap []*Event
-
-func pushHeap(h *eventHeap, e *Event) { heap.Push(h, e) }
-func popHeap(h *eventHeap) *Event     { return heap.Pop(h).(*Event) }
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// eventLess orders events by (At, seq) ascending.
+func eventLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // interruptStride is the number of events executed between interrupt-check
@@ -74,7 +78,9 @@ const interruptStride = 64
 type Engine struct {
 	now     Time
 	nextSeq uint64
-	events  eventQueue
+	heap    heapQueue
+	cal     *calendarQueue // nil: the default binary heap is in use
+	free    []*Event       // recycled event structs
 	fired   uint64
 	running bool
 
@@ -85,14 +91,14 @@ type Engine struct {
 // NewEngine returns an engine with the clock at time zero and no pending
 // events, backed by the binary-heap event queue (O(log n), the default).
 func NewEngine() *Engine {
-	return &Engine{events: &heapQueue{}}
+	return &Engine{}
 }
 
 // NewEngineWithCalendar returns an engine backed by the calendar event
 // queue (amortized O(1) for dense, clustered event populations). Semantics
 // are identical to NewEngine; see BenchmarkEventQueues for the trade-off.
 func NewEngineWithCalendar() *Engine {
-	return &Engine{events: newCalendarQueue()}
+	return &Engine{cal: newCalendarQueue()}
 }
 
 // Now returns the current simulated time. Inside an event callback it is the
@@ -103,46 +109,136 @@ func (e *Engine) Now() Time { return e.now }
 // complexity metric for tests and benchmarks.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// NextSeq returns the sequence number the next scheduled event will get.
+// Components that batch same-instant work (e.g. workgroup completions) use
+// it to prove no foreign event was interleaved since the batch was opened,
+// which is exactly the condition under which batching preserves the
+// engine's (At, seq) fire order.
+func (e *Engine) NextSeq() uint64 { return e.nextSeq }
+
 // Pending returns the number of events currently queued (including
 // cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return e.events.len() }
+func (e *Engine) Pending() int {
+	if e.cal != nil {
+		return e.cal.len()
+	}
+	return e.heap.len()
+}
+
+// alloc takes an event struct from the free list (or allocates the first
+// time) and stamps it with the next sequence number.
+func (e *Engine) alloc(at Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.At = at
+	ev.seq = e.nextSeq
+	ev.dead = false
+	e.nextSeq++
+	return ev
+}
+
+// recycle returns a popped event struct to the free list. The generation
+// bump invalidates every outstanding Handle to it; the payload references
+// are dropped so pooled structs never pin closures or actions.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.act = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) push(ev *Event) {
+	if e.cal != nil {
+		e.cal.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+}
+
+func (e *Engine) pop() *Event {
+	if e.cal != nil {
+		return e.cal.pop()
+	}
+	return e.heap.pop()
+}
+
+func (e *Engine) peek() *Event {
+	if e.cal != nil {
+		return e.cal.peek()
+	}
+	return e.heap.peek()
+}
 
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // panics: it indicates a model bug that would silently corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, fn: fn, seq: e.nextSeq, idx: -1}
-	e.nextSeq++
-	e.events.push(ev)
-	return ev
+	ev := e.alloc(at)
+	ev.fn = fn
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleAct queues a to run at absolute time at. It is Schedule for
+// pooled model objects: passing a pointer through the Action interface does
+// not allocate, where an equivalent closure would.
+func (e *Engine) ScheduleAct(at Time, a Action) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := e.alloc(at)
+	ev.act = a
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After queues fn to run delay after the current time. A non-positive delay
 // runs the callback at the current instant, after already-queued events for
 // this instant.
-func (e *Engine) After(delay Time, fn func()) *Event {
+func (e *Engine) After(delay Time, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
 	return e.Schedule(e.now+delay, fn)
 }
 
+// fire advances the clock to ev, recycles the struct, and invokes the
+// payload. Recycling first is deliberate: the callback may schedule new
+// events, and letting them reuse the just-fired struct is what makes the
+// steady-state hot path allocation-free.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.At
+	e.fired++
+	fn, act := ev.fn, ev.act
+	e.recycle(ev)
+	if act != nil {
+		act.Act()
+	} else {
+		fn()
+	}
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports false when no events remain.
 func (e *Engine) Step() bool {
 	for {
-		ev := e.events.pop()
+		ev := e.pop()
 		if ev == nil {
 			return false
 		}
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
-		e.now = ev.At
-		e.fired++
-		ev.fn()
+		e.fire(ev)
 		return true
 	}
 }
@@ -201,12 +297,12 @@ func (e *Engine) Run() {
 // this to decide how long to sleep before the next batch of simulated work.
 func (e *Engine) PeekTime() (Time, bool) {
 	for {
-		head := e.events.peek()
+		head := e.peek()
 		if head == nil {
 			return 0, false
 		}
 		if head.dead {
-			e.events.pop()
+			e.recycle(e.pop())
 			continue
 		}
 		return head.At, true
@@ -231,17 +327,16 @@ func (e *Engine) RunBefore(limit Time) uint64 {
 	}
 	stride := 0
 	for {
-		head := e.events.peek()
+		head := e.peek()
 		if head == nil || head.At >= limit {
 			break
 		}
-		ev := e.events.pop()
+		ev := e.pop()
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
-		e.now = ev.At
-		e.fired++
-		ev.fn()
+		e.fire(ev)
 		if stride++; stride >= interruptStride {
 			stride = 0
 			if e.pollInterrupt() {
@@ -270,17 +365,16 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 	}
 	stride := 0
 	for {
-		head := e.events.peek()
+		head := e.peek()
 		if head == nil || head.At > limit {
 			break
 		}
-		ev := e.events.pop()
+		ev := e.pop()
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
-		e.now = ev.At
-		e.fired++
-		ev.fn()
+		e.fire(ev)
 		if stride++; stride >= interruptStride {
 			stride = 0
 			if e.pollInterrupt() {

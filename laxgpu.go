@@ -6,24 +6,32 @@
 //
 // The package is a facade over the simulation internals:
 //
-//   - Run simulates one (scheduler, benchmark, arrival-rate) cell and
-//     returns its metrics;
+//   - Run simulates one cell — a (scheduler, benchmark, arrival-rate)
+//     triple, or a custom trace replay — and returns its metrics;
 //   - Sweep simulates many cells across a worker pool, deterministically;
 //   - Experiment regenerates one of the paper's tables or figures;
 //   - Schedulers, Benchmarks and Experiments enumerate the valid names.
 //
 // A minimal comparison:
 //
-//	rr, _ := laxgpu.Run(laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
-//	lax, _ := laxgpu.Run(laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
+//	ctx := context.Background()
+//	rr, _ := laxgpu.Run(ctx, laxgpu.Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high"})
+//	lax, _ := laxgpu.Run(ctx, laxgpu.Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high"})
 //	fmt.Printf("RR met %d, LAX met %d of %d\n", rr.MetDeadline, lax.MetDeadline, rr.TotalJobs)
+//
+// Run is the single entry point: every run mode folds into Options. Verify
+// attaches the runtime invariant checker, Probe folds telemetry into the
+// session registry, Trace replays a custom CSV arrival log, System overrides
+// the simulated device, Faults injects deterministic device faults, and
+// Metrics/Perfetto export the run's telemetry. The pre-unification entry
+// points (RunContext, RunVerified, RunProbed, RunTrace, ...) survive as thin
+// deprecated wrappers; see the README migration table.
 //
 // These package-level functions delegate to a shared default Session. A
 // Session owns the memoized simulation state and the worker pool; create
 // your own with NewSession to isolate caches, bound the pool width, or run
-// several independent sweeps concurrently. Every function has a Context
-// variant (RunContext, SweepContext, ExperimentContext) with cooperative
-// cancellation: cancelling stops simulations mid-event-loop.
+// several independent sweeps concurrently. Cancelling the Context passed to
+// Run stops the simulation mid-event-loop.
 //
 // The heavier machinery (custom devices, custom job traces, new scheduling
 // policies) lives in the internal packages and is exercised by the examples
@@ -36,30 +44,35 @@ import (
 	"time"
 
 	"laxgpu/internal/cp"
-	"laxgpu/internal/faults"
 	"laxgpu/internal/harness"
 	"laxgpu/internal/metrics"
-	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
 )
 
-// Options selects one simulation cell.
+// Options selects one simulation run. Scheduler is always required; the
+// workload is either a benchmark cell (Benchmark + Rate) or a custom trace
+// replay (Trace). Everything else refines the run: observers, fault
+// injection, a custom device.
 type Options struct {
 	// Scheduler is one of Schedulers() — e.g. "LAX", "RR", "EDF", "PREMA".
 	Scheduler string
 
 	// Benchmark is one of Benchmarks() — e.g. "LSTM", "IPV6", "GMM".
+	// Ignored when Trace is set.
 	Benchmark string
 
 	// Rate is "low", "medium" or "high" (Table 4 arrival rates). Defaults
-	// to "high", the rate the paper's headline figures use.
+	// to "high", the rate the paper's headline figures use. Ignored when
+	// Trace is set.
 	Rate string
 
-	// Jobs is the trace length; 0 means the paper's 128 jobs.
+	// Jobs is the trace length; 0 means the paper's 128 jobs. Ignored when
+	// Trace is set (the trace's row count is its length).
 	Jobs int
 
-	// Seed makes the arrival trace reproducible; 0 means seed 1.
+	// Seed makes the arrival trace (and the fault plan) reproducible;
+	// 0 means seed 1.
 	Seed int64
 
 	// Faults optionally injects deterministic device faults, e.g.
@@ -68,6 +81,45 @@ type Options struct {
 	// machinery; recover=off shows the undefended baseline. Empty means a
 	// healthy device.
 	Faults string
+
+	// Verify attaches the runtime invariant checker: the simulation's live
+	// event stream is validated against the guarantees in DESIGN.md §9
+	// (workgroup conservation, monotone time, admission sums, laxity
+	// arithmetic, dispatch order, job accounting), and any violation is
+	// returned as an error instead of a Result. The checker is a pure
+	// observer, so a verified Result is identical to an unverified one.
+	Verify bool
+
+	// Probe attaches the telemetry probe: the run is simulated fresh
+	// (uncached) and its scheduler-decision metrics fold into the session's
+	// registry, snapshotted by WriteMetrics. The probe is a pure observer,
+	// so the Result is unchanged.
+	Probe bool
+
+	// Trace, when non-nil, replays a custom job trace instead of a
+	// generated benchmark. The trace is CSV with header
+	// "arrival_us,deadline_us,kernels", one job per row; kernels is a
+	// semicolon-separated list of Table 1 kernel names, each optionally
+	// suffixed "*count" for repeats (e.g.
+	// "rocBLASGEMMKernel1*16;ActivationKernel5"). This is the path for
+	// replaying production arrival logs against the scheduler zoo. Trace
+	// replays are never cached.
+	Trace io.Reader
+
+	// System overrides the simulated device; nil means the paper's Table 2
+	// system.
+	System *SystemConfig
+
+	// Metrics, when non-nil, receives this run's telemetry in Prometheus
+	// text exposition format after the run completes. The run is simulated
+	// fresh (uncached) so the export covers exactly one simulation.
+	Metrics io.Writer
+
+	// Perfetto, when non-nil, receives a Chrome trace-event JSON document
+	// (loadable in ui.perfetto.dev) with one track per GPU queue and a
+	// laxity counter track per job, written after the run completes. Like
+	// Metrics, forces a fresh simulation.
+	Perfetto io.Writer
 }
 
 // Result summarizes one simulation run.
@@ -118,41 +170,49 @@ func (r Result) DeadlineFrac() float64 {
 	return float64(r.MetDeadline) / float64(r.TotalJobs)
 }
 
-// Run simulates one cell on the paper's Table 2 system using the default
-// session.
-func Run(o Options) (Result, error) {
-	return defaultSession.Run(o)
+// Run simulates one cell on the default session. It is the unified entry
+// point: every run mode — plain, verified, probed, trace replay, custom
+// device, fault injection, telemetry export — is an Options field.
+// Cancelling ctx stops the simulation mid-event-loop and the aborted run is
+// not cached.
+func Run(ctx context.Context, o Options) (Result, error) {
+	return defaultSession.Run(ctx, o)
 }
 
-// RunContext is Run with cooperative cancellation.
+// RunContext simulates one cell with cooperative cancellation.
+//
+// Deprecated: Run takes a Context directly; call Run(ctx, o).
 func RunContext(ctx context.Context, o Options) (Result, error) {
-	return defaultSession.RunContext(ctx, o)
+	return Run(ctx, o)
 }
 
-// RunVerified is Run with the runtime invariant checker attached: the
-// simulation's live event stream is validated against the guarantees in
-// DESIGN.md §9 (workgroup conservation, monotone time, admission sums,
-// laxity arithmetic, dispatch order, job accounting), and any violation is
-// returned as an error instead of a Result.
+// RunVerified is Run with the runtime invariant checker attached.
+//
+// Deprecated: set Options.Verify and call Run(ctx, o).
 func RunVerified(o Options) (Result, error) {
-	return defaultSession.RunVerified(o)
+	o.Verify = true
+	return Run(context.Background(), o)
 }
 
 // RunVerifiedContext is RunVerified with cooperative cancellation.
+//
+// Deprecated: set Options.Verify and call Run(ctx, o).
 func RunVerifiedContext(ctx context.Context, o Options) (Result, error) {
-	return defaultSession.RunVerifiedContext(ctx, o)
+	o.Verify = true
+	return Run(ctx, o)
 }
 
-// RunProbed is Run with the telemetry probe attached: the run is simulated
-// fresh (uncached), its scheduler-decision metrics fold into the default
-// session's registry, and WriteMetrics snapshots them. The probe is a pure
-// observer, so the Result is identical to Run's.
+// RunProbed is Run with the telemetry probe attached; WriteMetrics
+// snapshots the accumulated registry.
+//
+// Deprecated: set Options.Probe and call Run(ctx, o).
 func RunProbed(o Options) (Result, error) {
-	return defaultSession.RunProbed(o)
+	o.Probe = true
+	return Run(context.Background(), o)
 }
 
 // WriteMetrics writes the default session's accumulated telemetry (from
-// RunProbed calls) in Prometheus text exposition format.
+// runs with Options.Probe set) in Prometheus text exposition format.
 func WriteMetrics(w io.Writer) error {
 	return defaultSession.WriteMetrics(w)
 }
@@ -204,8 +264,8 @@ func toResult(s metrics.Summary) Result {
 	}
 }
 
-// SystemConfig overrides the simulated device for RunTraceOptions. Zero
-// fields keep the paper's Table 2 values.
+// SystemConfig overrides the simulated device. Zero fields keep the paper's
+// Table 2 values.
 type SystemConfig struct {
 	// NumCUs is the compute-unit count (Table 2: 8). Memory bandwidth and
 	// the kernel library are recalibrated proportionally, as in the
@@ -221,7 +281,26 @@ type SystemConfig struct {
 	PriorityLevels int
 }
 
-// TraceOptions parameterize RunTraceOptions.
+// apply merges the overrides into cfg. Bandwidth scales with the memory
+// system, which grows with the chip: the per-CU ratio of the Table 2
+// machine is preserved.
+func (c SystemConfig) apply(cfg *cp.SystemConfig) {
+	if c.NumCUs > 0 {
+		cfg.GPU.MemBandwidthDemand = cfg.GPU.MemBandwidthDemand * float64(c.NumCUs) / float64(cfg.GPU.NumCUs)
+		cfg.GPU.NumCUs = c.NumCUs
+	}
+	if c.NumQueues > 0 {
+		cfg.NumQueues = c.NumQueues
+	}
+	if c.PriorityLevels > 0 {
+		cfg.PriorityLevels = c.PriorityLevels
+	}
+}
+
+// TraceOptions parameterize the deprecated RunTraceOptions entry point.
+//
+// Deprecated: every field has a direct Options counterpart; call
+// Run(ctx, Options{Trace: ..., ...}).
 type TraceOptions struct {
 	// Scheduler is one of Schedulers().
 	Scheduler string
@@ -243,102 +322,40 @@ type TraceOptions struct {
 	Metrics io.Writer
 
 	// Perfetto, when non-nil, receives a Chrome trace-event JSON document
-	// (loadable in ui.perfetto.dev) with one track per GPU queue and a
-	// laxity counter track per job, written after the replay completes.
+	// (loadable in ui.perfetto.dev), written after the replay completes.
 	Perfetto io.Writer
 }
 
 // RunTrace replays a custom job trace under the named scheduler on the
-// Table 2 system. The trace is CSV with header "arrival_us,deadline_us,
-// kernels", one job per row; kernels is a semicolon-separated list of
-// Table 1 kernel names, each optionally suffixed "*count" for repeats
-// (e.g. "rocBLASGEMMKernel1*16;ActivationKernel5"). This is the path for
-// replaying production arrival logs against the scheduler zoo.
+// Table 2 system (see Options.Trace for the CSV format).
+//
+// Deprecated: set Options.Trace and call Run(ctx, o).
 func RunTrace(trace io.Reader, scheduler string) (Result, error) {
-	return RunTraceOptions(trace, TraceOptions{Scheduler: scheduler})
+	return Run(context.Background(), Options{Scheduler: scheduler, Trace: trace})
 }
 
-// RunTraceOptions is RunTrace with fault injection and a custom device: the
-// trace replays on o.System (default Table 2) with o.Faults injected.
+// RunTraceOptions is RunTrace with fault injection and a custom device.
+//
+// Deprecated: every TraceOptions field has a direct Options counterpart;
+// call Run(ctx, o).
 func RunTraceOptions(trace io.Reader, o TraceOptions) (Result, error) {
 	return RunTraceContext(context.Background(), trace, o)
 }
 
 // RunTraceContext is RunTraceOptions with cooperative cancellation.
+//
+// Deprecated: every TraceOptions field has a direct Options counterpart;
+// call Run(ctx, o).
 func RunTraceContext(ctx context.Context, trace io.Reader, o TraceOptions) (Result, error) {
-	pol, err := sched.New(o.Scheduler)
-	if err != nil {
-		return Result{}, err
-	}
-	spec, err := faults.ParseSpec(o.Faults)
-	if err != nil {
-		return Result{}, err
-	}
-	cfg := cp.DefaultSystemConfig()
-	if o.System != nil {
-		if o.System.NumCUs > 0 {
-			// Bandwidth scales with the memory system, which grows with
-			// the chip: keep the per-CU ratio of the Table 2 machine.
-			cfg.GPU.MemBandwidthDemand = cfg.GPU.MemBandwidthDemand * float64(o.System.NumCUs) / float64(cfg.GPU.NumCUs)
-			cfg.GPU.NumCUs = o.System.NumCUs
-		}
-		if o.System.NumQueues > 0 {
-			cfg.NumQueues = o.System.NumQueues
-		}
-		if o.System.PriorityLevels > 0 {
-			cfg.PriorityLevels = o.System.PriorityLevels
-		}
-	}
-	if !spec.Zero() && spec.Recover {
-		cfg.Recovery = cp.DefaultRecoveryConfig()
-	}
-	lib := workload.NewLibrary(cfg.GPU)
-	set, err := workload.ReadTrace(trace, lib, "custom")
-	if err != nil {
-		return Result{}, err
-	}
-	sys := cp.NewSystem(cfg, set, pol)
-	if !spec.Zero() {
-		seed := o.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		sys.InstallFaults(faults.NewPlan(spec, seed), spec.Retirements)
-	}
-	var (
-		m  *obs.Metrics
-		pf *obs.Perfetto
-	)
-	if o.Metrics != nil {
-		m = obs.NewMetrics()
-	}
-	if o.Perfetto != nil {
-		pf = obs.NewPerfetto()
-	}
-	if m != nil || pf != nil {
-		var probes []obs.Probe
-		if m != nil {
-			probes = append(probes, m)
-		}
-		if pf != nil {
-			probes = append(probes, pf)
-		}
-		sys.SetProbe(obs.Multi(probes...))
-	}
-	if err := sys.RunContext(ctx); err != nil {
-		return Result{}, err
-	}
-	if m != nil {
-		if err := m.Registry().WritePrometheus(o.Metrics); err != nil {
-			return Result{}, err
-		}
-	}
-	if pf != nil {
-		if err := pf.Write(o.Perfetto); err != nil {
-			return Result{}, err
-		}
-	}
-	return toResult(metrics.Summarize(sys, o.Scheduler, "custom", "trace")), nil
+	return Run(ctx, Options{
+		Scheduler: o.Scheduler,
+		Trace:     trace,
+		Faults:    o.Faults,
+		Seed:      o.Seed,
+		System:    o.System,
+		Metrics:   o.Metrics,
+		Perfetto:  o.Perfetto,
+	})
 }
 
 // Schedulers returns the scheduler names of Table 3, sorted.

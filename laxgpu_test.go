@@ -9,25 +9,26 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Options{}); err == nil {
+	ctx := context.Background()
+	if _, err := Run(ctx, Options{}); err == nil {
 		t.Fatal("empty options accepted")
 	}
-	if _, err := Run(Options{Scheduler: "LAX"}); err == nil {
+	if _, err := Run(ctx, Options{Scheduler: "LAX"}); err == nil {
 		t.Fatal("missing benchmark accepted")
 	}
-	if _, err := Run(Options{Scheduler: "nope", Benchmark: "LSTM"}); err == nil {
+	if _, err := Run(ctx, Options{Scheduler: "nope", Benchmark: "LSTM"}); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
-	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "nope"}); err == nil {
+	if _, err := Run(ctx, Options{Scheduler: "LAX", Benchmark: "nope"}); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "ultra"}); err == nil {
+	if _, err := Run(ctx, Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "ultra"}); err == nil {
 		t.Fatal("unknown rate accepted")
 	}
 }
 
 func TestRunProducesConsistentResult(t *testing.T) {
-	res, err := Run(Options{Scheduler: "RR", Benchmark: "IPV6", Rate: "high", Jobs: 32})
+	res, err := Run(context.Background(), Options{Scheduler: "RR", Benchmark: "IPV6", Rate: "high", Jobs: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestRunProducesConsistentResult(t *testing.T) {
 }
 
 func TestRunDefaultsRateAndJobs(t *testing.T) {
-	res, err := Run(Options{Scheduler: "EDF", Benchmark: "STEM", Jobs: 16})
+	res, err := Run(context.Background(), Options{Scheduler: "EDF", Benchmark: "STEM", Jobs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestRunDefaultsRateAndJobs(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossCalls(t *testing.T) {
-	a, err := Run(Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
+	a, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
+	b, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "CUCKOO", Rate: "medium", Jobs: 48, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +80,11 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 // The headline claim, at library level: LAX meets at least as many deadlines
 // as the deadline-blind baseline on a contended trace.
 func TestLAXBeatsRRThroughFacade(t *testing.T) {
-	rr, err := Run(Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high", Jobs: 64})
+	rr, err := Run(context.Background(), Options{Scheduler: "RR", Benchmark: "LSTM", Rate: "high", Jobs: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lax, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high", Jobs: 64})
+	lax, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "high", Jobs: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,29 +111,29 @@ func TestEnumerations(t *testing.T) {
 	}
 	// Every advertised combination must at least construct.
 	for _, s := range Schedulers() {
-		if _, err := Run(Options{Scheduler: s, Benchmark: "IPV6", Rate: "low", Jobs: 4}); err != nil {
+		if _, err := Run(context.Background(), Options{Scheduler: s, Benchmark: "IPV6", Rate: "low", Jobs: 4}); err != nil {
 			t.Errorf("Run with %s failed: %v", s, err)
 		}
 	}
 }
 
 func TestRunWithFaults(t *testing.T) {
-	if _, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Jobs: 16, Faults: "hang=2"}); err == nil {
+	if _, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "LSTM", Jobs: 16, Faults: "hang=2"}); err == nil {
 		t.Fatal("invalid fault spec accepted")
 	}
-	healthy, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48})
+	healthy, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if healthy.WatchdogKills != 0 || healthy.Retries != 0 || healthy.Fallbacks != 0 || healthy.RetiredCUs != 0 {
 		t.Fatalf("healthy run has recovery counters: %+v", healthy)
 	}
-	off, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
+	off, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
 		Faults: "hang=0.15,recover=off"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := Run(Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
+	on, err := Run(context.Background(), Options{Scheduler: "LAX", Benchmark: "LSTM", Rate: "medium", Jobs: 48,
 		Faults: "hang=0.15,recover=on"})
 	if err != nil {
 		t.Fatal(err)

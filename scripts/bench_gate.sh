@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench_gate.sh OLD.json NEW.json — the benchmark regression gate.
+#
+# Compares two committed BENCH_*.json snapshots and fails (exit 1) when any
+# per-event metric (ns_per_*) regresses by more than 20%, so a PR cannot
+# silently undo the hot-path work its predecessors committed. Wall-clock
+# sweep timings get a looser 30% band: they run for seconds and absorb
+# machine noise that the per-event metrics average away.
+#
+# The parallel-beats-serial assertion (SweepTable5Parallel < 0.6x serial) is
+# enforced only when the snapshot was taken on a machine whose worker pool
+# actually fanned out (pool_width >= 4): on a 1-CPU runner NewPool(0)
+# resolves to width 1 and Pool.Do takes the serial in-caller path by design,
+# so the ratio is ~1.0 there no matter how healthy the pool is.
+# TestParallelSweepScales covers the same property at test time.
+set -euo pipefail
+
+OLD=${1:-BENCH_6.json}
+NEW=${2:-BENCH_7.json}
+
+python3 - "$OLD" "$NEW" <<'EOF'
+import json, sys
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old = json.load(open(old_path))["benchmarks"]
+new = json.load(open(new_path))["benchmarks"]
+
+NS_TOLERANCE = 1.20    # per-event metrics: fail beyond +20%
+WALL_TOLERANCE = 1.30  # whole-sweep wall clock: noisier, fail beyond +30%
+
+failures = []
+checked = 0
+
+for name, old_vals in old.items():
+    new_vals = new.get(name)
+    if new_vals is None:
+        failures.append(f"{name}: present in {old_path} but missing from {new_path}")
+        continue
+    for key, old_v in old_vals.items():
+        is_ns = key.startswith("ns_per_")
+        is_wall = key == "wall_seconds"
+        if not (is_ns or is_wall) or not old_v:
+            continue
+        new_v = new_vals.get(key)
+        if new_v is None:
+            failures.append(f"{name}.{key}: missing from {new_path}")
+            continue
+        limit = WALL_TOLERANCE if is_wall else NS_TOLERANCE
+        ratio = new_v / old_v
+        checked += 1
+        verdict = "ok"
+        if ratio > limit:
+            verdict = f"REGRESSION (limit {limit:.2f}x)"
+            failures.append(f"{name}.{key}: {old_v:g} -> {new_v:g} ({ratio:.2f}x)")
+        print(f"  {name}.{key}: {old_v:g} -> {new_v:g} ({ratio:.2f}x) {verdict}")
+
+# Parallel sweep must beat serial — but only where the pool can fan out.
+ser = new.get("SweepTable5Serial", {})
+par = new.get("SweepTable5Parallel", {})
+width = par.get("pool_width", ser.get("pool_width"))
+if ser.get("wall_seconds") and par.get("wall_seconds"):
+    ratio = par["wall_seconds"] / ser["wall_seconds"]
+    if width is not None and width < 4:
+        print(f"  sweep parallel/serial = {ratio:.2f}x (pool_width={width}: "
+              "serial in-caller path, speedup assertion skipped)")
+    elif ratio >= 0.6:
+        failures.append(
+            f"SweepTable5Parallel/Serial = {ratio:.2f}x with pool_width={width}; want < 0.60x")
+    else:
+        print(f"  sweep parallel/serial = {ratio:.2f}x (pool_width={width}) ok")
+
+if not checked:
+    failures.append("no comparable metrics found — wrong files?")
+
+if failures:
+    print(f"\nbench gate: {len(failures)} failure(s) comparing {new_path} against {old_path}:")
+    for f in failures:
+        print(f"  FAIL {f}")
+    sys.exit(1)
+print(f"\nbench gate: {checked} metrics within tolerance ({new_path} vs {old_path})")
+EOF

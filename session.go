@@ -7,9 +7,13 @@ import (
 	"io"
 	"sync"
 
+	"laxgpu/internal/cp"
+	"laxgpu/internal/faults"
 	"laxgpu/internal/harness"
+	"laxgpu/internal/metrics"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/sched"
+	"laxgpu/internal/verify"
 	"laxgpu/internal/workload"
 )
 
@@ -25,8 +29,8 @@ type SessionOptions struct {
 	Parallel int
 
 	// MaxConfigs bounds the memoized runner configurations (one per
-	// distinct (Jobs, Seed, Faults) triple); the oldest is evicted FIFO.
-	// 0 means 8.
+	// distinct (Jobs, Seed, Faults, Verify, System) tuple); the oldest is
+	// evicted FIFO. 0 means 8.
 	MaxConfigs int
 }
 
@@ -43,11 +47,13 @@ type runnerKey struct {
 	seed   int64
 	faults string
 	verify bool
+	sys    SystemConfig // zero value = the paper's Table 2 system
 }
 
 // Session owns the simulation state one caller shares across runs: the
 // memoized runners (simulation caches plus job traces, keyed by
-// (Jobs, Seed, Faults)) and the worker pool that fans sweep cells out.
+// (Jobs, Seed, Faults, Verify, System)) and the worker pool that fans sweep
+// cells out.
 //
 // A Session is safe for concurrent use. Unlike a global memo guarded by one
 // lock, concurrent Run and Sweep calls on the same Session proceed in
@@ -67,9 +73,10 @@ type Session struct {
 	runners map[runnerKey]*harness.Runner
 	order   []runnerKey // insertion order, oldest first
 
-	// metricsReg accumulates telemetry across the session's RunProbed
-	// calls; WriteMetrics snapshots it. Counters are atomic and probed runs
-	// never share pairing state, so concurrent probed runs may feed it.
+	// metricsReg accumulates telemetry across the session's probed runs
+	// (Options.Probe); WriteMetrics snapshots it. Counters are atomic and
+	// probed runs never share pairing state, so concurrent probed runs may
+	// feed it.
 	metricsReg *obs.Registry
 }
 
@@ -113,6 +120,12 @@ func (s *Session) runnerFor(key runnerKey) (*harness.Runner, error) {
 	r.Faults = key.faults
 	r.Workers = s.parallel
 	r.Verify = key.verify
+	if key.sys != (SystemConfig{}) {
+		cfg := cp.DefaultSystemConfig()
+		key.sys.apply(&cfg)
+		r.Cfg = cfg
+		r.Lib = workload.NewLibrary(cfg.GPU)
+	}
 	s.runners[key] = r
 	s.order = append(s.order, key)
 	return r, nil
@@ -142,6 +155,14 @@ func (s *Session) configCount() int {
 	return len(s.runners)
 }
 
+// isClosed reports whether Close has been called (the trace-replay path has
+// no runner lookup to surface ErrSessionClosed from).
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // normalizeOptions validates one cell and applies the documented defaults.
 func normalizeOptions(o Options) (runnerKey, workload.Rate, error) {
 	if o.Scheduler == "" || o.Benchmark == "" {
@@ -163,19 +184,26 @@ func normalizeOptions(o Options) (runnerKey, workload.Rate, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	return runnerKey{jobs: jobs, seed: seed, faults: o.Faults}, rate, nil
+	key := runnerKey{jobs: jobs, seed: seed, faults: o.Faults, verify: o.Verify}
+	if o.System != nil {
+		key.sys = *o.System
+	}
+	return key, rate, nil
 }
 
-// Run simulates one cell on the paper's Table 2 system, memoized within the
-// session.
-func (s *Session) Run(o Options) (Result, error) {
-	return s.RunContext(context.Background(), o)
-}
-
-// RunContext is Run with cooperative cancellation: a cancelled context
-// stops the simulation mid-cell (between event batches) and the aborted run
-// is not cached.
-func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
+// Run simulates one cell, memoized within the session. It is the unified
+// entry point: Options folds in every run mode. Benchmark cells are cached
+// per (Jobs, Seed, Faults, Verify, System) configuration; runs with an
+// observer that must see exactly one simulation (Probe, Metrics, Perfetto)
+// and trace replays (Trace) always simulate fresh. Cancelling ctx stops the
+// simulation mid-event-loop and the aborted run is not cached.
+func (s *Session) Run(ctx context.Context, o Options) (Result, error) {
+	if o.Trace != nil {
+		if s.isClosed() {
+			return Result{}, ErrSessionClosed
+		}
+		return s.runTrace(ctx, o)
+	}
 	key, rate, err := normalizeOptions(o)
 	if err != nil {
 		return Result{}, err
@@ -184,6 +212,9 @@ func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if o.Probe || o.Metrics != nil || o.Perfetto != nil {
+		return s.runObserved(ctx, r, o, rate)
+	}
 	sum, err := r.RunContext(ctx, o.Scheduler, o.Benchmark, rate)
 	if err != nil {
 		return Result{}, err
@@ -191,77 +222,175 @@ func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
 	return toResult(sum), nil
 }
 
-// RunVerified simulates one cell with the runtime invariant checker
-// (internal/verify) riding along as a probe. The checker validates the live
-// event stream — workgroup conservation, monotone simulated time, admission
-// sums, laxity arithmetic, dispatch order, end-of-run job accounting — and
-// any violation surfaces as an error instead of a Result. A verified run
-// costs a few percent over Run and its (identical) Result is memoized
-// separately, so mixing Run and RunVerified in one session never skips a
-// check. Fault-injected cells relax the rules that faults legitimately break
-// (stranded jobs, dispatch order) but keep conservation and accounting.
+// runObserved simulates one benchmark cell fresh with the requested
+// observers attached: the session-registry telemetry probe (Probe), a
+// single-run Prometheus export (Metrics), and/or a Perfetto trace export
+// (Perfetto). The runner's Verify flag rides along inside RunObserved.
+func (s *Session) runObserved(ctx context.Context, r *harness.Runner, o Options, rate workload.Rate) (Result, error) {
+	var probes []obs.Probe
+	if o.Probe {
+		probes = append(probes, obs.NewMetricsWithRegistry(s.metricsReg))
+	}
+	var m *obs.Metrics
+	if o.Metrics != nil {
+		m = obs.NewMetrics()
+		probes = append(probes, m)
+	}
+	var pf *obs.Perfetto
+	if o.Perfetto != nil {
+		pf = obs.NewPerfetto()
+		probes = append(probes, pf)
+	}
+	sum, err := r.RunObserved(ctx, obs.Multi(probes...), o.Scheduler, o.Benchmark, rate)
+	if err != nil {
+		return Result{}, err
+	}
+	if m != nil {
+		if err := m.Registry().WritePrometheus(o.Metrics); err != nil {
+			return Result{}, err
+		}
+	}
+	if pf != nil {
+		if err := pf.Write(o.Perfetto); err != nil {
+			return Result{}, err
+		}
+	}
+	return toResult(sum), nil
+}
+
+// runTrace replays a custom job trace (Options.Trace) under the requested
+// scheduler, device and fault plan. Replays are session-independent except
+// for the Probe registry; they are never cached.
+func (s *Session) runTrace(ctx context.Context, o Options) (Result, error) {
+	pol, err := sched.New(o.Scheduler)
+	if err != nil {
+		return Result{}, err
+	}
+	spec, err := faults.ParseSpec(o.Faults)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cp.DefaultSystemConfig()
+	if o.System != nil {
+		o.System.apply(&cfg)
+	}
+	if !spec.Zero() && spec.Recover {
+		cfg.Recovery = cp.DefaultRecoveryConfig()
+	}
+	lib := workload.NewLibrary(cfg.GPU)
+	set, err := workload.ReadTrace(o.Trace, lib, "custom")
+	if err != nil {
+		return Result{}, err
+	}
+	sys := cp.NewSystem(cfg, set, pol)
+	if !spec.Zero() {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sys.InstallFaults(faults.NewPlan(spec, seed), spec.Retirements)
+	}
+	var probes []obs.Probe
+	if o.Probe {
+		probes = append(probes, obs.NewMetricsWithRegistry(s.metricsReg))
+	}
+	var m *obs.Metrics
+	if o.Metrics != nil {
+		m = obs.NewMetrics()
+		probes = append(probes, m)
+	}
+	var pf *obs.Perfetto
+	if o.Perfetto != nil {
+		pf = obs.NewPerfetto()
+		probes = append(probes, pf)
+	}
+	var ck *verify.Checker
+	if o.Verify {
+		ck = verify.New(verify.OptionsFor(o.Scheduler, pol, cfg, !spec.Zero()))
+		ck.Attach(sys)
+		probes = append(probes, ck)
+	}
+	if len(probes) > 0 {
+		sys.SetProbe(obs.Multi(probes...))
+	}
+	if err := sys.RunContext(ctx); err != nil {
+		return Result{}, err
+	}
+	if ck != nil {
+		if err := ck.Finalize(); err != nil {
+			return Result{}, fmt.Errorf("%s/custom/trace: invariant violation: %w", o.Scheduler, err)
+		}
+	}
+	if m != nil {
+		if err := m.Registry().WritePrometheus(o.Metrics); err != nil {
+			return Result{}, err
+		}
+	}
+	if pf != nil {
+		if err := pf.Write(o.Perfetto); err != nil {
+			return Result{}, err
+		}
+	}
+	return toResult(metrics.Summarize(sys, o.Scheduler, "custom", "trace")), nil
+}
+
+// RunContext simulates one cell with cooperative cancellation.
+//
+// Deprecated: Run takes a Context directly; call Run(ctx, o).
+func (s *Session) RunContext(ctx context.Context, o Options) (Result, error) {
+	return s.Run(ctx, o)
+}
+
+// RunVerified is Run with the runtime invariant checker attached: the
+// simulation's live event stream is validated against the guarantees in
+// DESIGN.md §9 and any violation is returned as an error instead of a
+// Result.
+//
+// Deprecated: set Options.Verify and call Run(ctx, o).
 func (s *Session) RunVerified(o Options) (Result, error) {
-	return s.RunVerifiedContext(context.Background(), o)
+	o.Verify = true
+	return s.Run(context.Background(), o)
 }
 
 // RunVerifiedContext is RunVerified with cooperative cancellation.
+//
+// Deprecated: set Options.Verify and call Run(ctx, o).
 func (s *Session) RunVerifiedContext(ctx context.Context, o Options) (Result, error) {
-	key, rate, err := normalizeOptions(o)
-	if err != nil {
-		return Result{}, err
-	}
-	key.verify = true
-	r, err := s.runnerFor(key)
-	if err != nil {
-		return Result{}, err
-	}
-	sum, err := r.RunContext(ctx, o.Scheduler, o.Benchmark, rate)
-	if err != nil {
-		return Result{}, err
-	}
-	return toResult(sum), nil
+	o.Verify = true
+	return s.Run(ctx, o)
 }
 
-// RunProbed simulates one cell with the telemetry probe attached. Probed
-// runs bypass the session memo (telemetry is per-run state) but replay the
-// same memoized job trace, and the probe is a pure observer, so the Result
-// is identical to Run's. The run's metrics fold into the session registry;
-// snapshot them with WriteMetrics.
+// RunProbed simulates one cell with the telemetry probe attached; the run's
+// metrics fold into the session registry, snapshotted by WriteMetrics.
+//
+// Deprecated: set Options.Probe and call Run(ctx, o).
 func (s *Session) RunProbed(o Options) (Result, error) {
-	return s.RunProbedContext(context.Background(), o)
+	o.Probe = true
+	return s.Run(context.Background(), o)
 }
 
 // RunProbedContext is RunProbed with cooperative cancellation.
+//
+// Deprecated: set Options.Probe and call Run(ctx, o).
 func (s *Session) RunProbedContext(ctx context.Context, o Options) (Result, error) {
-	key, rate, err := normalizeOptions(o)
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := s.runnerFor(key)
-	if err != nil {
-		return Result{}, err
-	}
-	m := obs.NewMetricsWithRegistry(s.metricsReg)
-	pr, err := r.RunProbedInto(ctx, m, o.Scheduler, o.Benchmark, rate)
-	if err != nil {
-		return Result{}, err
-	}
-	return toResult(pr.Summary), nil
+	o.Probe = true
+	return s.Run(ctx, o)
 }
 
-// WriteMetrics writes the telemetry accumulated by the session's RunProbed
-// calls in Prometheus text exposition format (a before-probing session
-// writes an empty, valid exposition). Snapshots are deterministic: metric
-// families are name-sorted and repeated calls on a quiet session are
-// byte-identical.
+// WriteMetrics writes the telemetry accumulated by the session's probed
+// runs (Options.Probe) in Prometheus text exposition format (a
+// before-probing session writes an empty, valid exposition). Snapshots are
+// deterministic: metric families are name-sorted and repeated calls on a
+// quiet session are byte-identical.
 func (s *Session) WriteMetrics(w io.Writer) error {
 	return s.metricsReg.WritePrometheus(w)
 }
 
 // Sweep simulates every cell across the session's worker pool and returns
 // the results in input order. Cells may mix configurations (different Jobs,
-// Seed or Faults); duplicate cells cost one simulation. Results are
-// byte-for-byte identical to running the cells serially in order.
+// Seed, Faults, Verify or System); duplicate cells cost one simulation.
+// Results are byte-for-byte identical to running the cells serially in
+// order.
 func (s *Session) Sweep(opts []Options) ([]Result, error) {
 	return s.SweepContext(context.Background(), opts)
 }
@@ -277,6 +406,9 @@ func (s *Session) SweepContext(ctx context.Context, opts []Options) ([]Result, e
 	}
 	cells := make([]cell, len(opts))
 	for i, o := range opts {
+		if o.Trace != nil || o.Probe || o.Metrics != nil || o.Perfetto != nil {
+			return nil, fmt.Errorf("laxgpu: sweep cell %d: Trace/Probe/Metrics/Perfetto are single-run options; use Run", i)
+		}
 		key, rate, err := normalizeOptions(o)
 		if err == nil {
 			// Resolve the names up front too, so a bad cell is rejected

@@ -46,7 +46,7 @@ func TestSessionSweepMatchesRun(t *testing.T) {
 	want := make([]Result, len(opts))
 	for i, o := range opts {
 		var err error
-		if want[i], err = serial.Run(o); err != nil {
+		if want[i], err = serial.Run(context.Background(), o); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,7 +83,7 @@ func TestSessionConcurrentHammer(t *testing.T) {
 	want := make([]Result, len(opts))
 	for i, o := range opts {
 		var err error
-		if want[i], err = ref.Run(o); err != nil {
+		if want[i], err = ref.Run(context.Background(), o); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,7 +106,7 @@ func TestSessionConcurrentHammer(t *testing.T) {
 			}
 			// Odd goroutines hit individual overlapping cells.
 			for i := range opts {
-				got, err := s.Run(opts[(g+i)%len(opts)])
+				got, err := s.Run(context.Background(), opts[(g+i)%len(opts)])
 				if err != nil {
 					errs <- err
 					return
@@ -179,7 +179,7 @@ func TestSessionRunContextCancellation(t *testing.T) {
 	if _, err := s.RunContext(ctx, o); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if _, err := s.Run(o); err != nil {
+	if _, err := s.Run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -208,7 +208,7 @@ func TestRunVerifiedMatchesRun(t *testing.T) {
 		{Scheduler: "RR", Benchmark: "CUCKOO", Rate: "high", Jobs: 16,
 			Faults: "hang=0.05,abort=0.05,recover=on"},
 	} {
-		plain, err := s.Run(o)
+		plain, err := s.Run(context.Background(), o)
 		if err != nil {
 			t.Fatalf("Run(%+v): %v", o, err)
 		}
@@ -231,7 +231,7 @@ func TestRunVerifiedMatchesRun(t *testing.T) {
 func TestSessionClose(t *testing.T) {
 	s := NewSession(SessionOptions{})
 	o := Options{Scheduler: "LAX", Benchmark: "IPV6", Rate: "medium", Jobs: 8}
-	if _, err := s.Run(o); err != nil {
+	if _, err := s.Run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	var c io.Closer = s
@@ -244,7 +244,7 @@ func TestSessionClose(t *testing.T) {
 	if n := s.configCount(); n != 0 {
 		t.Fatalf("closed session still memoizes %d runners", n)
 	}
-	if _, err := s.Run(o); !errors.Is(err, ErrSessionClosed) {
+	if _, err := s.Run(context.Background(), o); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("Run after Close: err = %v, want ErrSessionClosed", err)
 	}
 	if _, err := s.RunVerified(o); !errors.Is(err, ErrSessionClosed) {
