@@ -304,6 +304,32 @@ func TestNoProbeHotPathAllocationFree(t *testing.T) {
 	}
 }
 
+// TestUntracedFullRunAllocationGuard pins the tracing plane's cost-when-off
+// guarantee end to end: a complete 128-job LSTM run with no probe (and hence
+// no TraceRecorder) attached must stay within noise of the FullRun
+// allocs_per_run recorded in BENCH_7.json before the tracing plane existed.
+// A regression here means span recording leaked into the untraced path.
+func TestUntracedFullRunAllocationGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := bench.Generate(lib, workload.HighRate, 128, 1)
+	allocs := testing.AllocsPerRun(3, func() {
+		sys := cp.NewSystem(cp.DefaultSystemConfig(), set, sched.NewLAX())
+		sys.Run()
+	})
+	const baseline = 23812 // BENCH_7.json FullRun allocs_per_run
+	if allocs > baseline*1.10 {
+		t.Errorf("untraced full run allocates %.0f, want <= %.0f (baseline %d +10%%)",
+			allocs, baseline*1.10, int(baseline))
+	}
+}
+
 // TestLAXReprioritizeAllocationFree pins the incremental-laxity epoch: with
 // a warm job table, an Algorithm 2 pass — the first pass drains the dirty
 // set, every subsequent pass at the same instant is the all-clean epoch —

@@ -14,8 +14,9 @@
 //	laxd -queue 256 -drain 10s             # accept-queue depth, shutdown grace
 //
 // Endpoints: POST /v1/jobs (?wait=1 blocks until terminal), GET /v1/jobs/{id},
-// GET /v1/events (SSE), GET /v1/benchmarks, GET /metrics (Prometheus),
-// GET /healthz.
+// GET /v1/jobs/{id}/trace (per-job timeline + slack attribution),
+// GET /v1/traces, GET /v1/events (SSE), GET /v1/benchmarks,
+// GET /metrics (Prometheus), GET /healthz.
 //
 // SIGINT/SIGTERM triggers a graceful drain: new submissions get 503, in-flight
 // jobs finish (or fall back to the CPU once the grace expires), then the
@@ -47,6 +48,8 @@ func main() {
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace before forcing CPU fallback")
 		faults    = flag.String("faults", "", "per-device fault specs, ';'-separated (e.g. \"retire=4@2s;abort=0.05\")")
 		seed      = flag.Int64("seed", 1, "seed for fault plans and the benchmark sampler")
+		name      = flag.String("name", "laxd", "node name stamped on trace spans (distinct per daemon behind laxgw)")
+		traceDeep = flag.Int("trace-depth", 0, "finished-trace ring depth per device (0 = 256, negative disables tracing)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,8 @@ func main() {
 		DrainGrace:   *drain,
 		Faults:       specs,
 		Seed:         *seed,
+		Name:         *name,
+		TraceDepth:   *traceDeep,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "laxd:", err)

@@ -12,10 +12,12 @@
 //	laxgw -nodes http://a:8080,http://b:8080  # front real laxd daemons
 //	laxgw -chaos "crash@5s;;netdrop=0.1"    # per-node chaos, ';'-separated
 //	laxgw -probe-interval 50ms -fail-threshold 3
+//	laxgw -perfetto fleet.json              # export fleet events + traces at shutdown
 //
 // Endpoints: POST /v1/jobs (?wait=1 blocks until terminal; body takes an
 // optional "criticality": best-effort | standard | critical), GET
-// /v1/jobs/{id}, GET /v1/fleet (per-node breaker states and the live
+// /v1/jobs/{id}, GET /v1/jobs/{id}/trace (stitched cross-process trace +
+// slack attribution), GET /v1/fleet (per-node breaker states and the live
 // no-lost-jobs verdict), GET /metrics, GET /healthz.
 //
 // SIGINT/SIGTERM drains: new submissions get 503, in-process nodes finish
@@ -56,6 +58,7 @@ func main() {
 		backoff   = flag.Duration("probe-backoff", 100*time.Millisecond, "initial breaker backoff between recovery probes (simulated)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace before forcing CPU fallback (in-process)")
 		seed      = flag.Int64("seed", 1, "seed for chaos plans and the benchmark sampler")
+		perfetto  = flag.String("perfetto", "", "write fleet events and recent job traces as Perfetto JSON to this file at shutdown")
 	)
 	flag.Parse()
 
@@ -160,7 +163,41 @@ func main() {
 	for _, c := range closers {
 		c()
 	}
+	if *perfetto != "" {
+		if err := writePerfetto(gw, *perfetto); err != nil {
+			fmt.Fprintln(os.Stderr, "laxgw: perfetto export:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "laxgw: wrote Perfetto trace to %s\n", *perfetto)
+	}
 	fmt.Fprintln(os.Stderr, "laxgw: drained, bye")
+}
+
+// writePerfetto exports the gateway's fleet events (breaker transitions,
+// failover re-dispatches, CPU fallbacks) and the stitched traces of the most
+// recent terminal jobs as Chrome trace-event JSON for ui.perfetto.dev.
+func writePerfetto(gw *gateway.Gateway, path string) error {
+	p := obs.NewPerfetto()
+	p.AddFleetEvents(gw.FleetEvents())
+	jobs := gw.FleetJobs()
+	const maxTraces = 64
+	if len(jobs) > maxTraces {
+		jobs = jobs[len(jobs)-maxTraces:]
+	}
+	for _, fj := range jobs {
+		if fj.Terminal == "" {
+			continue
+		}
+		if doc, ok := gw.StitchedTrace(fj.ID); ok {
+			p.AddWireTrace(doc.Trace)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Write(f)
 }
 
 func fatal(err error) {

@@ -44,6 +44,7 @@ type jobStatus struct {
 	LatencyUs    int64  `json:"latency_us"`
 	RetryAfterUs int64  `json:"retry_after_us"`
 	Reason       string `json:"reason"`
+	MissCause    string `json:"miss_cause"`
 	Error        string `json:"error"`
 }
 
@@ -53,16 +54,23 @@ type tally struct {
 	limited, overflow, errors     int64
 	met                           int64
 
-	mu        sync.Mutex
-	latencies []float64        // server-reported, milliseconds, completed jobs only
-	walls     []float64        // wall-clock request round trips, milliseconds
-	reasons   map[string]int64 // server-stated reason per non-2xx answer
+	mu         sync.Mutex
+	latencies  []float64        // server-reported, milliseconds, completed jobs only
+	walls      []float64        // wall-clock request round trips, milliseconds
+	reasons    map[string]int64 // server-stated reason per non-2xx answer
+	missCauses map[string]int64 // server-stated dominant miss cause per missed job
 }
 
 func (t *tally) record(code int, st jobStatus, wall time.Duration) {
 	atomic.AddInt64(&t.submitted, 1)
 	t.mu.Lock()
 	t.walls = append(t.walls, float64(wall.Microseconds())/1000)
+	if st.MissCause != "" {
+		if t.missCauses == nil {
+			t.missCauses = make(map[string]int64)
+		}
+		t.missCauses[st.MissCause]++
+	}
 	t.mu.Unlock()
 	switch {
 	case code == http.StatusOK || code == http.StatusAccepted:
@@ -108,6 +116,7 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "how long to offer load")
 		seed      = flag.Int64("seed", 1, "seed for the Poisson arrival gaps (open mode)")
 		crit      = flag.String("criticality", "", "job criticality: best-effort, standard, or critical (gateway shedding order)")
+		deadline  = flag.Int64("deadline-us", 0, "override the benchmark's relative deadline (µs; 0 keeps the default)")
 	)
 	flag.Parse()
 
@@ -129,10 +138,14 @@ func main() {
 		fatal(fmt.Errorf("open mode needs -rate or -x"))
 	}
 
-	body := fmt.Sprintf(`{"benchmark":%q}`, *benchmark)
+	fields := []string{fmt.Sprintf("\"benchmark\":%q", *benchmark)}
 	if *crit != "" {
-		body = fmt.Sprintf(`{"benchmark":%q,"criticality":%q}`, *benchmark, *crit)
+		fields = append(fields, fmt.Sprintf("\"criticality\":%q", *crit))
 	}
+	if *deadline > 0 {
+		fields = append(fields, fmt.Sprintf("\"deadline_us\":%d", *deadline))
+	}
+	body := "{" + strings.Join(fields, ",") + "}"
 	t := &tally{}
 	stopAt := time.Now().Add(*duration)
 
@@ -199,9 +212,99 @@ func main() {
 	}
 	wg.Wait()
 
-	report(t, *mode, *benchmark, *duration)
+	report(os.Stdout, t, *mode, *benchmark, *duration)
+	// The per-criticality SLO burn lives in the server's miss-cause counters
+	// (laxgw labels them by class; laxd reports one unlabeled class). Scrape
+	// failures are non-fatal: the run's own tally was already printed.
+	if byClass, err := fetchMissCauses(base); err == nil {
+		reportMissCauses(os.Stdout, byClass)
+	}
 	if t.errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// fetchMissCauses scrapes the target's /metrics for the miss-cause counters.
+func fetchMissCauses(base string) (map[string]map[string]int64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	return parseMissCauses(string(raw)), nil
+}
+
+// parseMissCauses extracts the non-zero laxgw_miss_cause_total{class,cause}
+// and laxd_miss_cause_total{cause} series from Prometheus exposition text.
+// laxd's unlabeled-class series land under class "all".
+func parseMissCauses(text string) map[string]map[string]int64 {
+	out := map[string]map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "laxgw_miss_cause_total{") &&
+			!strings.HasPrefix(line, "laxd_miss_cause_total{") {
+			continue
+		}
+		open := strings.IndexByte(line, '{')
+		closing := strings.IndexByte(line, '}')
+		if closing < open {
+			continue
+		}
+		labels := map[string]string{}
+		for _, kv := range strings.Split(line[open+1:closing], ",") {
+			if k, v, ok := strings.Cut(kv, "="); ok {
+				labels[strings.TrimSpace(k)] = strings.Trim(strings.TrimSpace(v), `"`)
+			}
+		}
+		var n int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(line[closing+1:]), "%d", &n); err != nil || n == 0 {
+			continue
+		}
+		cause := labels["cause"]
+		if cause == "" {
+			continue
+		}
+		class := labels["class"]
+		if class == "" {
+			class = "all"
+		}
+		if out[class] == nil {
+			out[class] = map[string]int64{}
+		}
+		out[class][cause] += n
+	}
+	return out
+}
+
+// reportMissCauses prints the per-criticality miss-cause breakdown table.
+func reportMissCauses(w io.Writer, byClass map[string]map[string]int64) {
+	if len(byClass) == 0 {
+		return
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintln(w, "server miss causes by criticality (cumulative):")
+	for _, class := range classes {
+		causes := byClass[class]
+		keys := make([]string, 0, len(causes))
+		var total int64
+		for k, v := range causes {
+			keys = append(keys, k)
+			total += v
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %d", k, causes[k]))
+		}
+		fmt.Fprintf(w, "  %-12s %5d: %s\n", class, total, strings.Join(parts, ", "))
 	}
 }
 
@@ -244,25 +347,25 @@ func fetchCapacity(base, benchmark string) (float64, error) {
 }
 
 // report prints the final split and the latency distribution.
-func report(t *tally, mode, benchmark string, d time.Duration) {
-	fmt.Printf("laxload: %s-loop, %s for %v\n", mode, benchmark, d)
-	fmt.Printf("submitted %d: admitted %d, rejected %d (admission), limited %d (client cap), unavailable %d, errors %d\n",
+func report(w io.Writer, t *tally, mode, benchmark string, d time.Duration) {
+	fmt.Fprintf(w, "laxload: %s-loop, %s for %v\n", mode, benchmark, d)
+	fmt.Fprintf(w, "submitted %d: admitted %d, rejected %d (admission), limited %d (client cap), unavailable %d, errors %d\n",
 		t.submitted, t.admitted, t.rejected, t.limited, t.overflow, t.errors)
 	if t.submitted > 0 {
-		fmt.Printf("admission rate %.1f%%, offered %.0f jobs/s\n",
+		fmt.Fprintf(w, "admission rate %.1f%%, offered %.0f jobs/s\n",
 			100*float64(t.admitted)/float64(t.submitted),
 			float64(t.submitted)/d.Seconds())
 	}
 	if n := len(t.latencies); n > 0 {
-		fmt.Printf("completed %d, met deadline %d (%.1f%%)\n",
+		fmt.Fprintf(w, "completed %d, met deadline %d (%.1f%%)\n",
 			n, t.met, 100*float64(t.met)/float64(n))
 		sort.Float64s(t.latencies)
-		fmt.Printf("latency ms (simulated): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
+		fmt.Fprintf(w, "latency ms (simulated): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
 			pct(t.latencies, 50), pct(t.latencies, 95), pct(t.latencies, 99), t.latencies[n-1])
 	}
 	if n := len(t.walls); n > 0 {
 		sort.Float64s(t.walls)
-		fmt.Printf("e2e ms (wall): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
+		fmt.Fprintf(w, "e2e ms (wall): p50 %.3f, p95 %.3f, p99 %.3f, max %.3f\n",
 			pct(t.walls, 50), pct(t.walls, 95), pct(t.walls, 99), t.walls[n-1])
 	}
 	if len(t.reasons) > 0 {
@@ -275,7 +378,19 @@ func report(t *tally, mode, benchmark string, d time.Duration) {
 		for _, k := range keys {
 			parts = append(parts, fmt.Sprintf("%s %d", k, t.reasons[k]))
 		}
-		fmt.Printf("reject reasons: %s\n", strings.Join(parts, ", "))
+		fmt.Fprintf(w, "reject reasons: %s\n", strings.Join(parts, ", "))
+	}
+	if len(t.missCauses) > 0 {
+		keys := make([]string, 0, len(t.missCauses))
+		for k := range t.missCauses {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %d", k, t.missCauses[k]))
+		}
+		fmt.Fprintf(w, "miss causes (this run): %s\n", strings.Join(parts, ", "))
 	}
 }
 

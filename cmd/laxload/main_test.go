@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"laxgpu"
+)
+
+func TestParseMissCauses(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP laxgw_miss_cause_total Dominant miss cause per criticality.",
+		"# TYPE laxgw_miss_cause_total counter",
+		`laxgw_miss_cause_total{class="critical",cause="queued"} 3`,
+		`laxgw_miss_cause_total{class="critical",cause="rejected"} 0`,
+		`laxgw_miss_cause_total{class="standard",cause="faulted"} 1`,
+		`laxd_miss_cause_total{cause="contended"} 7`,
+		`laxd_requests_total{code="200"} 99`,
+		"not a metric line",
+	}, "\n")
+	got := parseMissCauses(text)
+	if n := got["critical"]["queued"]; n != 3 {
+		t.Errorf("critical/queued = %d, want 3", n)
+	}
+	if _, ok := got["critical"]["rejected"]; ok {
+		t.Error("zero-valued series should be dropped")
+	}
+	if n := got["standard"]["faulted"]; n != 1 {
+		t.Errorf("standard/faulted = %d, want 1", n)
+	}
+	if n := got["all"]["contended"]; n != 7 {
+		t.Errorf("unlabeled-class laxd series should land under \"all\", got %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("classes = %v, want critical, standard, all", got)
+	}
+}
+
+func TestReportMissCauses(t *testing.T) {
+	var out bytes.Buffer
+	reportMissCauses(&out, map[string]map[string]int64{
+		"critical": {"queued": 3, "rejected": 2},
+		"all":      {"contended": 7},
+	})
+	got := out.String()
+	for _, want := range []string{
+		"server miss causes by criticality (cumulative):",
+		"critical", "queued 3", "rejected 2",
+		"all", "contended 7",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, got)
+		}
+	}
+	// Empty input prints nothing.
+	out.Reset()
+	reportMissCauses(&out, nil)
+	if out.Len() != 0 {
+		t.Errorf("empty breakdown printed %q", out.String())
+	}
+}
+
+func TestReportThisRunMissCauses(t *testing.T) {
+	var out bytes.Buffer
+	tl := &tally{submitted: 4, admitted: 2, rejected: 2,
+		missCauses: map[string]int64{"rejected": 2, "queued": 1}}
+	report(&out, tl, "closed", "LSTM", time.Second)
+	got := out.String()
+	if !strings.Contains(got, "miss causes (this run): queued 1, rejected 2") {
+		t.Errorf("per-run miss causes missing:\n%s", got)
+	}
+}
+
+// TestCLIMissCauseBreakdown drives the built binary against a live in-process
+// laxd: an unmeetable deadline forces admission rejections, and both the
+// client-side tally and the scraped server breakdown must name the cause.
+func TestCLIMissCauseBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "laxload")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+
+	srv, err := laxgpu.StartServer(laxgpu.ServerOptions{Addr: "127.0.0.1:0", Speed: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	out, err := exec.Command(bin, "-addr", srv.URL(), "-c", "2",
+		"-duration", "300ms", "-deadline-us", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("laxload failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"miss causes (this run):", "rejected",
+		"server miss causes by criticality (cumulative):",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

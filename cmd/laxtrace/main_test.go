@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"laxgpu"
+	"laxgpu/internal/obs"
+)
+
+// fixture builds a recorded trace file: one met job and two misses (one
+// queued, one faulted).
+func fixture(t *testing.T) string {
+	t.Helper()
+	phases := func(parse, queue, exec float64) []obs.WireSpan {
+		return []obs.WireSpan{
+			{Kind: obs.SpanPhase, Name: obs.PhaseParse, Node: "node-a", StartUs: 0, EndUs: parse},
+			{Kind: obs.SpanPhase, Name: obs.PhaseQueue, Node: "node-a", StartUs: parse, EndUs: parse + queue,
+				Detail: "behind 3 admitted jobs"},
+			{Kind: obs.SpanPhase, Name: obs.PhaseExec, Node: "node-a", StartUs: parse + queue, EndUs: parse + queue + exec},
+		}
+	}
+	mk := func(job string, met, fellBack bool, slack float64, spans []obs.WireSpan) obs.TraceDoc {
+		last := spans[len(spans)-1].EndUs
+		tr := obs.WireTrace{
+			TraceID: strings.Repeat("ab", 16), Job: job, Benchmark: "LSTM",
+			Node: "node-a", State: "done", Met: met, FellBack: fellBack,
+			SlackUs: slack, LatencyUs: last, Spans: spans,
+		}
+		return obs.TraceDoc{Trace: tr, Attribution: obs.Attribute(tr)}
+	}
+	docs := []obs.TraceDoc{
+		mk("1", true, false, 1000, phases(5, 20, 100)),
+		mk("2", false, false, 100, phases(5, 71, 40)), // queued: wait > exec
+		mk("3", false, true, 100, phases(5, 10, 200)), // faulted: CPU fallback
+	}
+	path := filepath.Join(t.TempDir(), "traces.json")
+	raw, err := json.Marshal(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeFromFile(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-file", fixture(t)}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 trace(s): 1 met, 2 missed",
+		"queued", "faulted",
+		"slack thieves",
+		obs.PhaseExec,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWaterfallSingleDoc(t *testing.T) {
+	// A one-doc file renders the waterfall directly.
+	path := fixture(t)
+	raw, _ := os.ReadFile(path)
+	var docs []obs.TraceDoc
+	if err := json.Unmarshal(raw, &docs); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := json.Marshal(docs[1])
+	single := filepath.Join(t.TempDir(), "one.json")
+	if err := os.WriteFile(single, one, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-file", single}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"MISS", "====", "slack attribution:",
+		"verdict: queued", "behind 3 admitted jobs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	pf := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	if code := run([]string{"-file", fixture(t), "-perfetto", pf}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	raw, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto export is empty")
+	}
+}
+
+// TestLiveDaemon drives a real laxd in-process: submit one job, then render
+// its waterfall over HTTP the way the CI smoke stage does.
+func TestLiveDaemon(t *testing.T) {
+	srv, err := laxgpu.StartServer(laxgpu.ServerOptions{
+		Addr: "127.0.0.1:0", Speed: 1000, Name: "live-node",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	resp, err := http.Post(srv.URL()+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"benchmark":"LSTM","deadline_us":1000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+
+	var out bytes.Buffer
+	if code := run([]string{"-addr", srv.URL(), "-job", fmt.Sprint(st.ID)}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"live-node", obs.PhaseExec, "slack attribution:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("live waterfall missing %q:\n%s", want, got)
+		}
+	}
+}

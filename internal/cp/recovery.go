@@ -299,6 +299,7 @@ func (s *System) fallbackToCPU(jr *JobRun) {
 		}
 	}
 	s.tracer.jobEvent("fallback", s.eng.Now(), jr)
+	s.probeJob(obs.JobFallback, jr)
 	s.releaseQueue(jr)
 
 	// CPU time is proportional to the work left, using the nominal device

@@ -17,6 +17,7 @@ import (
 
 	"laxgpu/internal/cp"
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/metrics"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/serve"
 	"laxgpu/internal/sim"
@@ -54,6 +55,10 @@ type Verdict struct {
 
 	// Retry is the node's drain estimate handed back with a rejection.
 	Retry sim.Time
+
+	// RemoteID is the node-local identifier of an accepted job — the handle
+	// the gateway needs to fetch the node's side of the job's trace.
+	RemoteID int64
 }
 
 // Outcome is the terminal report a backend delivers through the done
@@ -71,6 +76,11 @@ type Outcome struct {
 
 	// Latency is arrival-to-finish in simulated time.
 	Latency sim.Time
+
+	// Cause is the node's dominant-cause verdict for a missed deadline (the
+	// metrics.ClassifyMiss taxonomy); empty when the deadline was met or the
+	// node did not classify.
+	Cause string
 }
 
 // Job is the gateway's view of one submission: the sampled kernel chain
@@ -95,6 +105,20 @@ type Job struct {
 
 	// Est is the serial device-time estimate fed to the router.
 	Est sim.Time
+
+	// TraceID is the gateway-minted W3C trace ID, propagated to whichever
+	// node runs the job (traceparent header for remote nodes) so the job's
+	// spans stitch across processes. Re-dispatches reuse it.
+	TraceID string
+}
+
+// TraceSource is the optional Backend extension behind the gateway's
+// stitched trace endpoint: given the node-local job ID and the trace ID, it
+// returns the node's recorded timeline. Backends without tracing simply
+// don't implement it.
+type TraceSource interface {
+	// JobTrace fetches the node-side trace of one dispatched job.
+	JobTrace(remoteID int64, traceID string) (obs.WireTrace, bool)
 }
 
 // Backend is one serving node as the gateway sees it. Implementations:
@@ -126,6 +150,10 @@ type InprocBackend struct {
 	node   *serve.Node
 	driver *serve.Driver
 
+	// tracer records per-job timelines when tracing is enabled; nil when
+	// disabled (never wrapped as a typed-nil obs.Probe).
+	tracer *obs.TraceRecorder
+
 	// pending maps the node's dense local job IDs to done callbacks.
 	// Touched only on the driver goroutine.
 	pending map[int]pendingJob
@@ -153,6 +181,10 @@ type InprocConfig struct {
 
 	// Registry optionally collects the node's scheduler metrics.
 	Registry *obs.Registry
+
+	// TraceDepth sizes the node's finished-trace ring (0 = default 256,
+	// negative disables tracing entirely).
+	TraceDepth int
 }
 
 // NewInprocBackend builds and starts one in-process node.
@@ -162,6 +194,10 @@ func NewInprocBackend(cfg InprocConfig) (*InprocBackend, error) {
 	probe := obs.Probe((*inprocRecorder)(b))
 	if cfg.Registry != nil {
 		probe = obs.Multi(obs.NewMetricsWithRegistry(cfg.Registry), probe)
+	}
+	if cfg.TraceDepth >= 0 {
+		b.tracer = obs.NewTraceRecorder(cfg.TraceDepth)
+		probe = obs.Multi(probe, b.tracer)
 	}
 	nodeCfg.Probe = probe
 	node, err := serve.NewNode(nodeCfg)
@@ -176,6 +212,19 @@ func NewInprocBackend(cfg InprocConfig) (*InprocBackend, error) {
 
 // Name implements Backend.
 func (b *InprocBackend) Name() string { return b.name }
+
+// JobTrace implements TraceSource: the node's recorded timeline for one
+// dispatched job, keyed by the gateway-minted trace ID.
+func (b *InprocBackend) JobTrace(remoteID int64, traceID string) (obs.WireTrace, bool) {
+	if b.tracer == nil {
+		return obs.WireTrace{}, false
+	}
+	t, ok := b.tracer.GetByID(traceID)
+	if !ok {
+		return obs.WireTrace{}, false
+	}
+	return t.Wire(b.name), true
+}
 
 // Driver exposes the backend's pacing driver (shutdown, tests).
 func (b *InprocBackend) Driver() *serve.Driver { return b.driver }
@@ -212,7 +261,10 @@ func (b *InprocBackend) Submit(now sim.Time, job *Job, done func(Outcome)) (Verd
 			v = Verdict{Accepted: false, Retry: b.node.EstimateDrain()}
 			return
 		}
-		v = Verdict{Accepted: true}
+		v = Verdict{Accepted: true, RemoteID: int64(wj.ID)}
+		if b.tracer != nil && job.TraceID != "" {
+			b.tracer.Assign(wj.ID, job.TraceID)
+		}
 		b.pending[wj.ID] = pendingJob{jr: jr, done: done}
 	}) {
 		return Verdict{}, ErrBackendUnavailable
@@ -234,13 +286,16 @@ func (r *inprocRecorder) Job(e obs.JobEvent) {
 		return
 	}
 	delete(r.pending, e.Job)
-	out := Outcome{Terminal: verify.FleetCancelled}
+	out := Outcome{Terminal: verify.FleetCancelled, Cause: metrics.ClassifyMiss(p.jr).String()}
 	if e.Kind == obs.JobFinish {
 		out = Outcome{
 			Terminal: verify.FleetDone,
 			Met:      e.Met,
 			FellBack: p.jr.FellBack,
 			Latency:  p.jr.Latency(),
+		}
+		if !e.Met {
+			out.Cause = metrics.ClassifyMiss(p.jr).String()
 		}
 	}
 	p.done(out)

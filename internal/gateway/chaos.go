@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"laxgpu/internal/faults"
+	"laxgpu/internal/obs"
 	"laxgpu/internal/serve"
 	"laxgpu/internal/sim"
 )
@@ -44,6 +45,20 @@ func (c *ChaosBackend) Probe(now sim.Time) (Headroom, error) {
 	}
 	h.Drain += c.plan.Delay()
 	return h, nil
+}
+
+// JobTrace implements TraceSource when the wrapped backend does. A crashed
+// node cannot answer a trace fetch — the gateway falls back to its own
+// spans, exactly as it would against a dead daemon.
+func (c *ChaosBackend) JobTrace(remoteID int64, traceID string) (obs.WireTrace, bool) {
+	ts, ok := c.inner.(TraceSource)
+	if !ok {
+		return obs.WireTrace{}, false
+	}
+	if err := c.plan.Gate(c.clock.Now()); err != nil {
+		return obs.WireTrace{}, false
+	}
+	return ts.JobTrace(remoteID, traceID)
 }
 
 // Submit implements Backend. The done callback is filtered: a completion

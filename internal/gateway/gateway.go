@@ -13,6 +13,7 @@ import (
 	"laxgpu/internal/cluster"
 	"laxgpu/internal/cp"
 	"laxgpu/internal/gpu"
+	"laxgpu/internal/metrics"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/serve"
 	"laxgpu/internal/sim"
@@ -121,10 +122,24 @@ type entry struct {
 	latencyUs  int64
 	reason     string
 	retryUs    int64
+	cause      string // miss-cause verdict (metrics taxonomy); "" while open or met
 	dispatches []string
 	backend    int // routing index of the live dispatch; -1 when none
+	remoteID   int64
 	duplicates int
+	submitAt   sim.Time
+	spans      []obs.WireSpan // gateway-side events, times relative to submitAt
 	done       chan struct{}
+}
+
+// spanLocked appends one gateway-side instant event to the entry's timeline.
+// Caller holds gw.mu.
+func (e *entry) spanLocked(now sim.Time, name, detail string) {
+	at := float64(now-e.submitAt) / float64(sim.Microsecond)
+	e.spans = append(e.spans, obs.WireSpan{
+		Kind: obs.SpanEvent, Name: name, Node: "laxgw",
+		StartUs: at, EndUs: at, Detail: detail,
+	})
 }
 
 // Gateway is the fleet front tier: it routes arrivals on live laxity
@@ -163,6 +178,16 @@ type Gateway struct {
 	cProbeFailures                   []*obs.Counter
 	gBreakerState                    []*obs.Gauge
 	hRedispatchUs                    *obs.Histogram
+
+	// cMissCause is the per-class SLO burn breakdown: one counter per
+	// (criticality class, miss cause) pair, pre-created so /metrics always
+	// shows the full taxonomy.
+	cMissCause map[Class]map[string]*obs.Counter
+
+	// fleetEvents is the gateway-level instant-event log (breaker
+	// transitions, failover re-dispatches, CPU fallbacks) exported to
+	// Perfetto at shutdown. Guarded by mu; bounded by MaxRecords.
+	fleetEvents []obs.FleetEvent
 }
 
 // New builds a gateway over the given backends. Call TickProbes (or
@@ -221,10 +246,17 @@ func New(opt Options) (*Gateway, error) {
 			[]float64{10, 100, 1000, 10_000, 100_000, 1_000_000}),
 	}
 	gw.cShed = map[Class]*obs.Counter{}
+	gw.cMissCause = map[Class]map[string]*obs.Counter{}
 	for _, cl := range []Class{BestEffort, Standard, Critical} {
 		gw.cShed[cl] = reg.CounterWith("laxgw_shed_total",
 			"Submissions shed by criticality class under fleet overload (HTTP 429).",
 			map[string]string{"class": cl.String()})
+		gw.cMissCause[cl] = map[string]*obs.Counter{}
+		for _, kind := range metrics.MissKinds() {
+			gw.cMissCause[cl][kind.String()] = reg.CounterWith("laxgw_miss_cause_total",
+				"Deadline misses by criticality class and dominant cause (SLO burn).",
+				map[string]string{"class": cl.String(), "cause": kind.String()})
+		}
 	}
 	for _, be := range opt.Backends {
 		labels := map[string]string{"node": be.Name()}
@@ -243,6 +275,25 @@ func New(opt Options) (*Gateway, error) {
 
 // Registry returns the gateway's metrics registry.
 func (gw *Gateway) Registry() *obs.Registry { return gw.reg }
+
+// eventLocked appends one gateway-level instant event (caller holds mu).
+// The log is bounded by MaxRecords, dropping the oldest half when full.
+func (gw *Gateway) eventLocked(now sim.Time, name, node, detail string) {
+	if len(gw.fleetEvents) >= gw.opt.MaxRecords {
+		gw.fleetEvents = append(gw.fleetEvents[:0], gw.fleetEvents[len(gw.fleetEvents)/2:]...)
+	}
+	gw.fleetEvents = append(gw.fleetEvents, obs.FleetEvent{
+		AtUs: float64(now) / float64(sim.Microsecond), Name: name, Node: node, Detail: detail,
+	})
+}
+
+// FleetEvents snapshots the gateway's instant-event log (breaker
+// transitions, failover re-dispatches, CPU fallbacks) for export.
+func (gw *Gateway) FleetEvents() []obs.FleetEvent {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return append([]obs.FleetEvent(nil), gw.fleetEvents...)
+}
 
 // Clock returns the gateway's clock.
 func (gw *Gateway) Clock() serve.Clock { return gw.clock }
@@ -276,10 +327,14 @@ func (gw *Gateway) TickProbes(now sim.Time) {
 				continue
 			}
 			gw.cBreakerOpens[g].Inc()
+			gw.eventLocked(now, obs.EventBreaker, be.Name(), "open")
 			orphans := gw.orphansLocked(g)
 			gw.mu.Unlock()
 			gw.failover(now, orphans)
 			continue
+		}
+		if gw.breakers[g].State() != BreakerClosed {
+			gw.eventLocked(now, obs.EventBreaker, be.Name(), "closed")
 		}
 		gw.breakers[g].Success(now)
 		gw.headroom[g] = h
@@ -392,9 +447,14 @@ func (gw *Gateway) failover(now sim.Time, orphans []*entry) {
 			}
 			gw.mu.Lock()
 			e.dispatches = append(e.dispatches, be.Name())
+			e.spanLocked(now, obs.EventRedispatch,
+				fmt.Sprintf("journal re-dispatch to %s (accepted=%v)", be.Name(), v.Accepted))
 			if v.Accepted {
 				e.backend = target
+				e.remoteID = v.RemoteID
 				redispatched = true
+				gw.eventLocked(now, obs.EventRedispatch, be.Name(),
+					fmt.Sprintf("job %d re-dispatched", e.job.ID))
 			}
 			gw.mu.Unlock()
 			if v.Accepted {
@@ -428,6 +488,7 @@ func (gw *Gateway) strike(now sim.Time, g int) {
 		return
 	}
 	gw.cBreakerOpens[g].Inc()
+	gw.eventLocked(now, obs.EventBreaker, gw.opt.Backends[g].Name(), "open")
 	orphans := gw.orphansLocked(g)
 	gw.mu.Unlock()
 	gw.failover(now, orphans)
@@ -437,8 +498,11 @@ func (gw *Gateway) strike(now sim.Time, g int) {
 // ("fallback", deadline missed) rather than a silent loss.
 func (gw *Gateway) fallback(e *entry) {
 	gw.cFailoverFallback.Inc()
+	now := gw.clock.Now()
 	gw.mu.Lock()
 	e.dispatches = append(e.dispatches, "cpu")
+	e.spanLocked(now, obs.EventFallback, "no survivor took the job; finished on the gateway CPU path")
+	gw.eventLocked(now, obs.EventFallback, "laxgw", fmt.Sprintf("job %d fell back", e.job.ID))
 	gw.mu.Unlock()
 	gw.complete(e.job.ID, Outcome{Terminal: verify.FleetFallback, FellBack: true})
 }
@@ -462,11 +526,36 @@ func (gw *Gateway) complete(id int64, o Outcome) {
 	e.met = o.Met
 	e.fellBack = o.FellBack
 	e.latencyUs = usOf(o.Latency)
+	if !o.Met {
+		e.cause = gw.missCauseLocked(e, o)
+		if c := gw.cMissCause[e.job.Class][e.cause]; c != nil {
+			c.Inc()
+		}
+	}
 	if e.accepted {
 		gw.inflight--
 		gw.gInflight.Set(float64(gw.inflight))
 	}
 	close(e.done)
+}
+
+// missCauseLocked names the dominant cause of a missed deadline: the node's
+// own ClassifyMiss verdict when it reported one, otherwise derived from the
+// journal's terminal state (a gateway CPU fallback is a fault-path finish).
+func (gw *Gateway) missCauseLocked(e *entry, o Outcome) string {
+	if o.Cause != "" {
+		return o.Cause
+	}
+	switch {
+	case e.terminal == verify.FleetRejected:
+		return metrics.MissRejected.String()
+	case e.terminal == verify.FleetCancelled:
+		return metrics.MissCancelled.String()
+	case o.FellBack || e.terminal == verify.FleetFallback:
+		return metrics.MissFaulted.String()
+	default:
+		return metrics.MissContended.String()
+	}
 }
 
 // addLocked journals a new entry, evicting the oldest terminal entries past
@@ -510,14 +599,19 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 		Kernels:   sampled.Kernels,
 	}
 	job.Est = (&workload.Job{Kernels: job.Kernels}).SerialTime(gw.gpu)
+	// The gateway mints the fleet-wide trace ID: every node the job ever
+	// touches records spans under it, so the timeline stitches across
+	// processes and across failover re-dispatches.
+	job.TraceID = obs.TraceIDFrom(uint64(gw.opt.Seed)^0x6c61786777, uint64(gw.nextID))
 	gw.nextID++
-	e := &entry{job: job, backend: -1, done: make(chan struct{})}
+	e := &entry{job: job, backend: -1, submitAt: now, done: make(chan struct{})}
 	gw.addLocked(e)
 
 	if gw.healthyLocked() == 0 {
 		e.terminal = verify.FleetRejected
 		e.reason = serve.ReasonUnhealthy
 		e.retryUs = usOf(gw.opt.ProbeBackoff)
+		gw.rejectCauseLocked(e)
 		close(e.done)
 		gw.mu.Unlock()
 		gw.cUnhealthy.Inc()
@@ -527,6 +621,7 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 		e.terminal = verify.FleetRejected
 		e.reason = serve.ReasonShed
 		e.retryUs = usOf(wait)
+		gw.rejectCauseLocked(e)
 		close(e.done)
 		gw.mu.Unlock()
 		gw.cShed[class].Inc()
@@ -551,9 +646,13 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 		}
 		gw.mu.Lock()
 		e.dispatches = append(e.dispatches, be.Name())
+		e.spanLocked(now, obs.EventRoute,
+			fmt.Sprintf("routed to %s (drain=%dus, accepted=%v)",
+				be.Name(), usOf(gw.headroom[target].Drain), v.Accepted))
 		if v.Accepted {
 			e.accepted = true
 			e.backend = target
+			e.remoteID = v.RemoteID
 			// The completion may already have raced in (real clocks,
 			// fast jobs): complete() saw accepted==false then and skipped
 			// the decrement, so only count still-open entries.
@@ -565,6 +664,7 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 			e.terminal = verify.FleetRejected
 			e.reason = serve.ReasonAdmission
 			e.retryUs = usOf(v.Retry)
+			gw.rejectCauseLocked(e)
 			close(e.done)
 		}
 		gw.mu.Unlock()
@@ -581,10 +681,20 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 	e.terminal = verify.FleetRejected
 	e.reason = serve.ReasonUnhealthy
 	e.retryUs = usOf(gw.opt.ProbeBackoff)
+	gw.rejectCauseLocked(e)
 	close(e.done)
 	gw.mu.Unlock()
 	gw.cUnhealthy.Inc()
 	return job.ID, Verdict{Retry: gw.opt.ProbeBackoff}, serve.ReasonUnhealthy
+}
+
+// rejectCauseLocked stamps a rejected entry's miss cause and burns the
+// class's SLO counter (caller holds mu and has set e.terminal).
+func (gw *Gateway) rejectCauseLocked(e *entry) {
+	e.cause = metrics.MissRejected.String()
+	if c := gw.cMissCause[e.job.Class][e.cause]; c != nil {
+		c.Inc()
+	}
 }
 
 // FleetJobs snapshots the journal as verify.FleetJob rows.
@@ -603,6 +713,7 @@ func (gw *Gateway) FleetJobs() []verify.FleetJob {
 			Terminal:   e.terminal,
 			Dispatches: append([]string(nil), e.dispatches...),
 			Duplicates: e.duplicates,
+			Spans:      append([]obs.WireSpan(nil), e.spans...),
 		})
 	}
 	return out
@@ -655,6 +766,8 @@ func (gw *Gateway) statusLocked(e *entry) JobStatus {
 		Reason:       e.reason,
 		RetryAfterUs: e.retryUs,
 		Dispatches:   append([]string(nil), e.dispatches...),
+		TraceID:      e.job.TraceID,
+		MissCause:    e.cause,
 	}
 }
 
@@ -785,6 +898,8 @@ type JobStatus struct {
 	Reason       string   `json:"reason,omitempty"`
 	RetryAfterUs int64    `json:"retry_after_us,omitempty"`
 	Dispatches   []string `json:"dispatches,omitempty"`
+	TraceID      string   `json:"trace_id,omitempty"`
+	MissCause    string   `json:"miss_cause,omitempty"`
 }
 
 // submitRequest is the POST /v1/jobs body the gateway accepts.
@@ -799,6 +914,8 @@ func (gw *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", gw.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", gw.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", gw.handleJobTrace)
+	mux.HandleFunc("GET /v1/traces", gw.handleTraces)
 	mux.HandleFunc("GET /v1/fleet", gw.handleFleet)
 	mux.HandleFunc("GET /metrics", gw.handleMetrics)
 	mux.HandleFunc("GET /healthz", gw.handleHealthz)
@@ -869,6 +986,98 @@ func (gw *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpJSON(w, http.StatusOK, st)
+}
+
+// StitchedTrace assembles one job's cross-process trace: the gateway's own
+// routing/failover events plus the timeline recorded by whichever node
+// finally ran the job, fetched from the backend (never under mu). The two
+// halves share the gateway-minted trace ID; node spans carry the node's
+// name, gateway spans carry "laxgw".
+func (gw *Gateway) StitchedTrace(id int64) (obs.TraceDoc, bool) {
+	gw.mu.Lock()
+	e := gw.journal[id]
+	if e == nil {
+		gw.mu.Unlock()
+		return obs.TraceDoc{}, false
+	}
+	st := gw.statusLocked(e)
+	spans := append([]obs.WireSpan(nil), e.spans...)
+	backend := e.backend
+	remoteID := e.remoteID
+	deadlineUs := float64(e.job.Deadline) / float64(sim.Microsecond)
+	gw.mu.Unlock()
+
+	wire := obs.WireTrace{
+		TraceID:   st.TraceID,
+		Job:       strconv.FormatInt(id, 10),
+		Benchmark: st.Benchmark,
+		Node:      "laxgw",
+		State:     st.State,
+		Met:       st.MetDeadline,
+		FellBack:  st.FellBack,
+		SlackUs:   deadlineUs,
+		LatencyUs: float64(st.LatencyUs),
+		Spans:     spans,
+	}
+	if backend >= 0 && backend < len(gw.opt.Backends) {
+		if ts, ok := gw.opt.Backends[backend].(TraceSource); ok {
+			if nt, ok := ts.JobTrace(remoteID, st.TraceID); ok {
+				wire.Spans = append(wire.Spans, nt.Spans...)
+				// The node's latency is float-exact; the journal's is
+				// truncated to whole microseconds. Prefer the exact one so
+				// the phase partition sums to the latency precisely.
+				if nt.LatencyUs > 0 {
+					wire.LatencyUs = nt.LatencyUs
+				}
+			}
+		}
+	}
+	return obs.TraceDoc{Trace: wire, Attribution: obs.Attribute(wire)}, true
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the stitched cross-process
+// trace plus its slack-budget attribution.
+func (gw *Gateway) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	doc, ok := gw.StitchedTrace(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	httpJSON(w, http.StatusOK, doc)
+}
+
+// handleTraces serves GET /v1/traces?n=K: stitched traces of the newest K
+// terminal jobs, newest first (default 20).
+func (gw *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "bad n")
+			return
+		}
+		n = v
+	}
+	gw.mu.Lock()
+	var ids []int64
+	for i := len(gw.order) - 1; i >= 0 && len(ids) < n; i-- {
+		if e := gw.journal[gw.order[i]]; e != nil && e.terminal != "" {
+			ids = append(ids, gw.order[i])
+		}
+	}
+	gw.mu.Unlock()
+	docs := make([]obs.TraceDoc, 0, len(ids))
+	for _, id := range ids {
+		if doc, ok := gw.StitchedTrace(id); ok {
+			docs = append(docs, doc)
+		}
+	}
+	httpJSON(w, http.StatusOK, docs)
 }
 
 func (gw *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {

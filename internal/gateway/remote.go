@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"laxgpu/internal/obs"
 	"laxgpu/internal/serve"
 	"laxgpu/internal/sim"
 	"laxgpu/internal/verify"
@@ -103,7 +104,17 @@ func (b *RemoteBackend) Submit(now sim.Time, job *Job, done func(Outcome)) (Verd
 	if err != nil {
 		return Verdict{}, err
 	}
-	resp, err := b.client.Post(b.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, b.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return Verdict{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if job.TraceID != "" {
+		// Propagate the gateway-minted trace ID so the node's spans stitch
+		// with ours; the parent span ID is derived from the gateway job ID.
+		req.Header.Set("traceparent", obs.FormatTraceparent(job.TraceID, obs.SpanIDFrom(0x6c617867, uint64(job.ID))))
+	}
+	resp, err := b.client.Do(req)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -119,7 +130,7 @@ func (b *RemoteBackend) Submit(now sim.Time, job *Job, done func(Outcome)) (Verd
 			return Verdict{}, err
 		}
 		go b.follow(st.ID, done)
-		return Verdict{Accepted: true}, nil
+		return Verdict{Accepted: true, RemoteID: st.ID}, nil
 	case http.StatusTooManyRequests:
 		if err := json.Unmarshal(raw, &st); err != nil {
 			return Verdict{}, err
@@ -130,6 +141,26 @@ func (b *RemoteBackend) Submit(now sim.Time, job *Job, done func(Outcome)) (Verd
 		// take the job; the gateway may re-dispatch it.
 		return Verdict{}, fmt.Errorf("gateway: %s: submit status %d: %s", b.name, resp.StatusCode, raw)
 	}
+}
+
+// JobTrace implements TraceSource via GET /v1/jobs/{id}/trace on the node.
+func (b *RemoteBackend) JobTrace(remoteID int64, traceID string) (obs.WireTrace, bool) {
+	resp, err := b.client.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", b.base, remoteID))
+	if err != nil {
+		return obs.WireTrace{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.WireTrace{}, false
+	}
+	var doc obs.TraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return obs.WireTrace{}, false
+	}
+	if traceID != "" && doc.Trace.TraceID != traceID {
+		return obs.WireTrace{}, false
+	}
+	return doc.Trace, true
 }
 
 // follow polls one accepted job's record until it turns terminal, then
@@ -162,15 +193,16 @@ func (b *RemoteBackend) follow(remoteID int64, done func(Outcome)) {
 				Met:      st.MetDeadline,
 				FellBack: st.FellBack,
 				Latency:  sim.Time(st.LatencyUs) * sim.Microsecond,
+				Cause:    st.MissCause,
 			})
 			return
 		case "cancelled":
-			done(Outcome{Terminal: verify.FleetCancelled})
+			done(Outcome{Terminal: verify.FleetCancelled, Cause: st.MissCause})
 			return
 		case "rejected", "dropped":
 			// Should not happen for an accepted job; treat as cancelled so
 			// the journal still closes the entry.
-			done(Outcome{Terminal: verify.FleetCancelled})
+			done(Outcome{Terminal: verify.FleetCancelled, Cause: st.MissCause})
 			return
 		}
 	}

@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"testing"
+
+	"laxgpu/internal/obs"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// TestGatewayStitchedTrace submits one job through the gateway to an
+// in-process node and checks the stitched trace: the gateway's routing event
+// and the node's phase partition under one trace ID, with the node phases
+// summing to the job's latency.
+func TestGatewayStitchedTrace(t *testing.T) {
+	gw, clock := fleet(t, 2, nil, 11, 3)
+	gw.TickProbes(0)
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, v, reason := gw.Submit(bench, 60*sim.Second, Standard)
+	if reason != "" || !v.Accepted {
+		t.Fatalf("submit refused: %q", reason)
+	}
+	clock.Set(10 * sim.Second)
+	gw.TickProbes(10 * sim.Second)
+	select {
+	case <-gw.Done(id):
+	default:
+		t.Fatal("job never finished")
+	}
+
+	st, ok := gw.Status(id)
+	if !ok || st.TraceID == "" {
+		t.Fatalf("status = %+v, want a trace ID", st)
+	}
+	doc, ok := gw.StitchedTrace(id)
+	if !ok {
+		t.Fatal("no stitched trace")
+	}
+	tr := doc.Trace
+	if tr.TraceID != st.TraceID {
+		t.Errorf("trace ID %q != status trace ID %q", tr.TraceID, st.TraceID)
+	}
+
+	var routeNodes, phaseNodes []string
+	var phaseSum float64
+	for _, s := range tr.Spans {
+		switch {
+		case s.Name == obs.EventRoute:
+			routeNodes = append(routeNodes, s.Node)
+		case s.Kind == obs.SpanPhase:
+			phaseNodes = append(phaseNodes, s.Node)
+			phaseSum += s.EndUs - s.StartUs
+		}
+	}
+	if len(routeNodes) != 1 || routeNodes[0] != "laxgw" {
+		t.Errorf("route spans on %v, want exactly one on laxgw", routeNodes)
+	}
+	if len(phaseNodes) < 3 {
+		t.Fatalf("phase spans on %v, want the node's parse/queue/exec", phaseNodes)
+	}
+	for _, n := range phaseNodes {
+		if n != st.Node {
+			t.Errorf("phase span from %q, want the dispatched node %q", n, st.Node)
+		}
+	}
+	if diff := phaseSum - tr.LatencyUs; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("phase sum %vus != latency %vus", phaseSum, tr.LatencyUs)
+	}
+	if st.MetDeadline && doc.Attribution.Cause != "" {
+		t.Errorf("met job attributed cause %q", doc.Attribution.Cause)
+	}
+}
+
+// TestChaosTracePropagation is the kill-9 propagation scenario: node1 dies
+// mid-backlog, failover re-dispatches its jobs, and every re-dispatched
+// job's stitched trace must show the journal re-dispatch event, carry spans
+// from exactly one surviving node (no orphan spans from the dead dispatch,
+// no duplicated phases) and agree with the journal's dispatch ledger — the
+// fleet-trace-consistency rule checked by crashScenario's gw.Check.
+func TestChaosTracePropagation(t *testing.T) {
+	gw, clock := fleet(t, 3, map[int]string{1: "crash@5ms"}, 42, 1)
+	gw.TickProbes(0)
+	ids := submitN(t, gw, 12, sim.Second)
+
+	clock.Set(6 * sim.Millisecond)
+	gw.TickProbes(6 * sim.Millisecond)
+	clock.Set(10 * sim.Second)
+	gw.TickProbes(10 * sim.Second)
+	if vs := gw.Check(10 * sim.Second); len(vs) != 0 {
+		t.Fatalf("fleet violations (incl. trace consistency): %v", vs)
+	}
+
+	redispatched := 0
+	for _, id := range ids {
+		st, ok := gw.Status(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		doc, ok := gw.StitchedTrace(id)
+		if !ok {
+			t.Fatalf("job %d has no stitched trace", id)
+		}
+		execNodes := map[string]int{}
+		redisp := 0
+		for _, s := range doc.Trace.Spans {
+			if s.Kind == obs.SpanPhase && s.Name == obs.PhaseExec {
+				execNodes[s.Node]++
+			}
+			if s.Name == obs.EventRedispatch {
+				redisp++
+			}
+		}
+		if len(st.Dispatches) > 1 && st.Node != "cpu" {
+			redispatched++
+			if redisp == 0 {
+				t.Errorf("job %d failed over (%v) but its trace has no redispatch event", id, st.Dispatches)
+			}
+			// The stitched trace carries the surviving dispatch's timeline
+			// only: one exec phase, from the node that actually ran it.
+			if len(execNodes) > 1 {
+				t.Errorf("job %d has exec phases from %v — orphan spans from the dead dispatch", id, execNodes)
+			}
+			for n, c := range execNodes {
+				if n != st.Node || c != 1 {
+					t.Errorf("job %d exec phase %dx on %q, want 1x on %q", id, c, n, st.Node)
+				}
+			}
+		}
+		if st.State == "fallback" && doc.Attribution.Cause != "faulted" {
+			t.Errorf("job %d fell back but attribution = %q", id, doc.Attribution.Cause)
+		}
+	}
+	if redispatched == 0 {
+		t.Fatal("the crash re-dispatched nothing — the scenario lost its teeth")
+	}
+
+	// The breaker trip and each re-dispatch surface as fleet events.
+	evs := gw.FleetEvents()
+	var opens, redispatches int
+	for _, e := range evs {
+		switch e.Name {
+		case obs.EventBreaker:
+			if e.Detail == "open" && e.Node == "node1" {
+				opens++
+			}
+		case obs.EventRedispatch:
+			redispatches++
+		}
+	}
+	if opens == 0 {
+		t.Error("no breaker-open fleet event for node1")
+	}
+	if redispatches != redispatched {
+		t.Errorf("%d redispatch fleet events, want %d", redispatches, redispatched)
+	}
+
+	// Fleet events render as Perfetto instants without touching probe tracks.
+	p := obs.NewPerfetto()
+	before := p.Events()
+	p.AddFleetEvents(evs)
+	if p.Events() <= before {
+		t.Error("AddFleetEvents emitted nothing")
+	}
+}
+
+// TestGatewayMissCauseCounters checks the per-class SLO burn counters: a
+// shed submission burns its class's "rejected" counter.
+func TestGatewayMissCauseCounters(t *testing.T) {
+	gw, _ := fleet(t, 1, nil, 3, 3)
+	// No probe round has run: every breaker is closed but headroom is zero,
+	// so submit a job with an impossible backlog by leaving the node
+	// unprobed and using the no-healthy path instead: trip it via strike.
+	bench, err := workload.FindBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.strike(0, 0)
+	gw.strike(0, 0)
+	gw.strike(0, 0)
+	_, _, reason := gw.Submit(bench, sim.Second, Critical)
+	if reason == "" {
+		t.Fatal("submission with every node dead was accepted")
+	}
+	if got := gw.cMissCause[Critical]["rejected"].Value(); got != 1 {
+		t.Errorf("laxgw_miss_cause_total{class=critical,cause=rejected} = %d, want 1", got)
+	}
+	if got := gw.cMissCause[Standard]["rejected"].Value(); got != 0 {
+		t.Errorf("standard-class rejected counter = %d, want 0", got)
+	}
+}

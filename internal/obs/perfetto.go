@@ -46,6 +46,11 @@ type Perfetto struct {
 	queuesSeen map[int]bool
 	jobsSeen   map[int]bool
 	headerDone bool
+
+	// Export-time track state (AddFleetEvents / AddWireTrace); untouched by
+	// probe callbacks, so probe-only runs stay byte-identical.
+	fleetTids map[string]int
+	traceTid  int
 }
 
 // NewPerfetto returns an empty Perfetto recorder.

@@ -1,0 +1,96 @@
+package obs
+
+import "fmt"
+
+// Perfetto process IDs for export-time additions (probe-driven tracks use
+// pidQueues/pidLaxity): fleet-level instant events on one process, stitched
+// per-job trace waterfalls on another.
+const (
+	pidFleet = 3
+	pidJobs  = 4
+)
+
+// FleetEvent is one gateway-level instant: a breaker transition, a failover
+// re-dispatch or a CPU fallback. AtUs is microseconds on the gateway's own
+// clock (sim time zero = process start).
+type FleetEvent struct {
+	AtUs   float64 `json:"at_us"`
+	Name   string  `json:"name"` // EventBreaker, EventRedispatch, EventFallback
+	Node   string  `json:"node"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// fleetHeader lazily names the fleet-event process and one track per node.
+func (p *Perfetto) fleetTrack(node string) int {
+	if p.fleetTids == nil {
+		p.fleetTids = make(map[string]int)
+		p.events = append(p.events, traceEvent{
+			Name: "process_name", Phase: "M", Pid: pidFleet,
+			Args: map[string]any{"name": "fleet events"},
+		})
+	}
+	tid, ok := p.fleetTids[node]
+	if !ok {
+		tid = len(p.fleetTids)
+		p.fleetTids[node] = tid
+		p.events = append(p.events, traceEvent{
+			Name: "thread_name", Phase: "M", Pid: pidFleet, Tid: tid,
+			Args: map[string]any{"name": node},
+		})
+	}
+	return tid
+}
+
+// AddFleetEvents appends gateway-level instants (breaker trips and
+// recoveries, failover re-dispatches, CPU fallbacks) as Perfetto instant
+// events, one track per node. Export-time only: runs that never call it
+// produce byte-identical output.
+func (p *Perfetto) AddFleetEvents(evs []FleetEvent) {
+	for _, e := range evs {
+		tid := p.fleetTrack(e.Node)
+		p.events = append(p.events, traceEvent{
+			Name:  fmt.Sprintf("%s %s", e.Name, e.Detail),
+			Phase: "i", Ts: e.AtUs, Pid: pidFleet, Tid: tid, Scope: "t", Cat: "fleet",
+			Args: map[string]any{"node": e.Node, "event": e.Name},
+		})
+	}
+}
+
+// AddWireTrace appends one stitched per-job trace as a Perfetto waterfall:
+// phase and kernel spans become complete ("X") slices, instants stay
+// instants, on one track per trace. Span times are microseconds relative to
+// the job's arrival, so each job's waterfall starts at ts 0 on its own
+// track. Export-time only, like AddFleetEvents.
+func (p *Perfetto) AddWireTrace(t WireTrace) {
+	if p.traceTid == 0 {
+		p.events = append(p.events, traceEvent{
+			Name: "process_name", Phase: "M", Pid: pidJobs,
+			Args: map[string]any{"name": "job traces"},
+		})
+	}
+	p.traceTid++
+	tid := p.traceTid
+	p.events = append(p.events, traceEvent{
+		Name: "thread_name", Phase: "M", Pid: pidJobs, Tid: tid,
+		Args: map[string]any{"name": fmt.Sprintf("job %s (%s)", t.Job, t.Benchmark)},
+	})
+	for _, s := range t.Spans {
+		args := map[string]any{"node": s.Node}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.EndUs > s.StartUs {
+			p.events = append(p.events, traceEvent{
+				Name:  s.Name,
+				Phase: "X", Ts: s.StartUs, Dur: s.EndUs - s.StartUs,
+				Pid: pidJobs, Tid: tid, Cat: s.Kind, Args: args,
+			})
+			continue
+		}
+		p.events = append(p.events, traceEvent{
+			Name:  s.Name,
+			Phase: "i", Ts: s.StartUs, Pid: pidJobs, Tid: tid, Scope: "t",
+			Cat: s.Kind, Args: args,
+		})
+	}
+}

@@ -17,6 +17,10 @@ const (
 	JobFinish
 	// JobCancel: the job was preempted mid-flight and dropped.
 	JobCancel
+	// JobFallback: recovery (or graceful drain) gave up on the GPU and the
+	// job's remaining kernels moved to the host CPU path. A JobFinish still
+	// follows when the CPU work completes.
+	JobFallback
 )
 
 // String returns the lifecycle transition's trace name.
@@ -32,6 +36,8 @@ func (k JobEventKind) String() string {
 		return "finish"
 	case JobCancel:
 		return "cancel"
+	case JobFallback:
+		return "fallback"
 	default:
 		return "unknown"
 	}

@@ -48,6 +48,16 @@ type JobStatus struct {
 	// Reason is the machine-readable reject reason (the Reason* constants)
 	// for jobs that never ran; empty for accepted jobs.
 	Reason string `json:"reason,omitempty"`
+
+	// TraceID is the job's W3C trace ID: adopted from the submitter's
+	// traceparent header when present, minted otherwise. The full timeline
+	// is served on GET /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// MissCause is the dominant-cause verdict for jobs that missed their
+	// deadline (the metrics.ClassifyMiss taxonomy); empty while running and
+	// for jobs that met it.
+	MissCause string `json:"miss_cause,omitempty"`
 }
 
 // record is the server-side state behind a JobStatus. Mutable fields are

@@ -14,6 +14,7 @@ import (
 	"laxgpu/internal/cluster"
 	"laxgpu/internal/cp"
 	"laxgpu/internal/faults"
+	"laxgpu/internal/metrics"
 	"laxgpu/internal/gpu"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
@@ -28,6 +29,16 @@ const maxOverrideKernels = 4096
 type Options struct {
 	// Scheduler names the per-device queue policy (default "LAX").
 	Scheduler string
+
+	// Name identifies this node in trace spans — the node label a gateway
+	// tier sees when it stitches a job's cross-process trace (default
+	// "laxd").
+	Name string
+
+	// TraceDepth bounds the per-device ring of finished job traces behind
+	// GET /v1/jobs/{id}/trace and /v1/traces. 0 selects the default (256);
+	// negative disables tracing entirely.
+	TraceDepth int
 
 	// Devices is the GPU count (default 1).
 	Devices int
@@ -83,6 +94,7 @@ type Server struct {
 	nodes     []*Node
 	drivers   []*Driver
 	recorders []*recorder
+	tracers   []*obs.TraceRecorder // nil when Options.TraceDepth < 0
 
 	records *recordTable
 	broker  *broker
@@ -103,6 +115,7 @@ type Server struct {
 	cCancelled, cOverflow, cLimited      *obs.Counter
 	cDrainRejected, cPanics, cSSEDropped *obs.Counter
 	gInflight                            *obs.Gauge
+	cMissCause                           map[string]*obs.Counter
 }
 
 // New builds a server and its per-device nodes and drivers. Call Start to
@@ -110,6 +123,9 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	if opts.Scheduler == "" {
 		opts.Scheduler = "LAX"
+	}
+	if opts.Name == "" {
+		opts.Name = "laxd"
 	}
 	if opts.Devices < 1 {
 		opts.Devices = 1
@@ -171,9 +187,26 @@ func New(opts Options) (*Server, error) {
 	}
 	s.broker = newBroker(s.cSSEDropped)
 
+	// Miss-cause attribution counters: one series per taxonomy member,
+	// pre-created so the exposition is deterministic from the first scrape.
+	s.cMissCause = make(map[string]*obs.Counter)
+	for _, k := range metrics.MissKinds() {
+		s.cMissCause[k.String()] = reg.CounterWith("laxd_miss_cause_total",
+			"Deadline misses by dominant cause (metrics.ClassifyMiss taxonomy).",
+			map[string]string{"cause": k.String()})
+	}
+
 	for g := 0; g < opts.Devices; g++ {
 		rec := &recorder{srv: s, byLocal: make(map[int]*record)}
+		// A typed-nil *TraceRecorder must not reach obs.Multi (it only
+		// drops nil interfaces), so the disabled case stays out entirely.
 		probe := obs.Multi(obs.NewMetricsWithRegistry(reg), rec)
+		var tracer *obs.TraceRecorder
+		if opts.TraceDepth >= 0 {
+			tracer = obs.NewTraceRecorder(opts.TraceDepth)
+			probe = obs.Multi(probe, tracer)
+		}
+		s.tracers = append(s.tracers, tracer)
 		node, err := NewNode(NodeConfig{
 			System:    sysCfg,
 			Scheduler: opts.Scheduler,
@@ -252,6 +285,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/headroom", s.handleHeadroom)
@@ -378,6 +413,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.gInflight.Set(float64(s.inflight))
 	s.routeMu.Unlock()
 
+	// Adopt a propagated trace ID (W3C traceparent, stamped by a gateway
+	// tier) or mint a deterministic one, so every job's spans are
+	// addressable whether or not a caller traces it.
+	traceID, _, hasParent := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !hasParent {
+		traceID = obs.TraceIDFrom(uint64(s.opts.Seed), uint64(id))
+	}
+
 	rec := &record{
 		status: JobStatus{
 			ID:         id,
@@ -385,6 +428,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Device:     dev,
 			State:      "submitted",
 			DeadlineUs: usOf(deadline),
+			TraceID:    traceID,
 		},
 		client:    client,
 		submitted: time.Now(),
@@ -398,14 +442,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ok := driver.Do(func() {
 		jr := recorder.node.Submit(job)
 		rec.run = jr
+		if t := s.tracers[dev]; t != nil {
+			t.Assign(jr.Job.ID, traceID)
+		}
 		if jr.Rejected() {
 			retry := recorder.node.EstimateDrain()
 			st, _ := s.records.update(rec, func(js *JobStatus) {
 				js.State = "rejected"
 				js.Reason = ReasonAdmission
+				js.MissCause = metrics.MissRejected.String()
 				js.RetryAfterUs = usOf(retry)
 			}, true)
 			s.cRejected.Inc()
+			s.cMissCause[metrics.MissRejected.String()].Inc()
 			s.releaseClient(rec.client)
 			s.broker.publish("rejected", st)
 			reply <- submitOutcome{rejected: true, retry: retry}
@@ -624,17 +673,25 @@ func (s *Server) completeJob(rec *record, state string, met bool) {
 	jr := rec.run
 	fellBack := jr != nil && jr.FellBack
 	var latency sim.Time
+	cause := ""
 	if jr != nil {
 		latency = jr.Latency()
+		if !met {
+			cause = metrics.ClassifyMiss(jr).String()
+		}
 	}
 	st, first := s.records.update(rec, func(js *JobStatus) {
 		js.State = state
 		js.MetDeadline = met
 		js.FellBack = fellBack
 		js.LatencyUs = usOf(latency)
+		js.MissCause = cause
 	}, true)
 	if !first {
 		return
+	}
+	if c := s.cMissCause[cause]; c != nil {
+		c.Inc()
 	}
 	switch state {
 	case "done":

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"laxgpu/internal/obs"
 	"laxgpu/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type FleetJob struct {
 	// are legal (the journal dedups them) but each must come from a real
 	// dispatch.
 	Duplicates int
+
+	// Spans is the job's gateway-side trace (routing, re-dispatch and
+	// fallback events). Nil skips the trace-consistency rule, so untraced
+	// journals check exactly as before.
+	Spans []obs.WireSpan
 }
 
 // Fleet terminal states for accepted jobs.
@@ -106,8 +112,56 @@ func CheckFleet(at sim.Time, jobs []FleetJob) []Violation {
 			bad(j, "fleet-terminal-once",
 				"%d duplicate terminals without any dispatch", j.Duplicates)
 		}
+		checkTrace(j, bad)
 	}
 	return vs
+}
+
+// checkTrace enforces the fleet-trace-consistency rule: the gateway's span
+// log and its dispatch ledger must tell the same story. Every dispatch to a
+// node produced exactly one route or redispatch span, the CPU fallback
+// produced exactly one fallback span, and no (name, start) pair repeats — a
+// duplicate span would mean a job's history was double-recorded (the orphan
+// the chaos propagation test hunts). Skipped for untraced rows (nil Spans).
+func checkTrace(j FleetJob, bad func(j FleetJob, rule, format string, args ...any)) {
+	if j.Spans == nil {
+		return
+	}
+	const rule = "fleet-trace-consistency"
+	routes, fallbacks := 0, 0
+	type key struct {
+		name, detail string
+		us           float64
+	}
+	seen := make(map[key]bool, len(j.Spans))
+	for _, s := range j.Spans {
+		switch s.Name {
+		case obs.EventRoute, obs.EventRedispatch:
+			routes++
+		case obs.EventFallback:
+			fallbacks++
+		}
+		k := key{s.Name, s.Detail, s.StartUs}
+		if seen[k] {
+			bad(j, rule, "duplicate span %q (%s) at %gus", s.Name, s.Detail, s.StartUs)
+		}
+		seen[k] = true
+	}
+	nodeDispatches, cpuDispatches := 0, 0
+	for _, d := range j.Dispatches {
+		if d == "cpu" {
+			cpuDispatches++
+		} else {
+			nodeDispatches++
+		}
+	}
+	if routes != nodeDispatches {
+		bad(j, rule, "%d route/redispatch spans for %d node dispatches %v",
+			routes, nodeDispatches, j.Dispatches)
+	}
+	if fallbacks != cpuDispatches {
+		bad(j, rule, "%d fallback spans for %d cpu dispatches", fallbacks, cpuDispatches)
+	}
 }
 
 // FleetErr reduces CheckFleet's output to the test-friendly form: nil for a

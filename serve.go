@@ -56,6 +56,14 @@ type ServerOptions struct {
 
 	// Seed feeds the per-device fault plans and the benchmark sampler.
 	Seed int64
+
+	// Name identifies this node in trace spans and stitched fleet traces
+	// (default "laxd"). Give each daemon behind a gateway a distinct name.
+	Name string
+
+	// TraceDepth sizes the per-device finished-trace ring behind
+	// GET /v1/jobs/{id}/trace (0 = default 256, negative disables tracing).
+	TraceDepth int
 }
 
 // Server is a running online-serving frontend: an HTTP listener over
@@ -94,6 +102,8 @@ func StartServer(o ServerOptions) (*Server, error) {
 		DrainGrace:   o.DrainGrace,
 		Faults:       o.Faults,
 		Seed:         o.Seed,
+		Name:         o.Name,
+		TraceDepth:   o.TraceDepth,
 	})
 	if err != nil {
 		return nil, err
