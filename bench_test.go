@@ -8,8 +8,10 @@ package laxgpu
 // paths follow.
 
 import (
+	"bytes"
 	"context"
 	"io"
+	"os"
 	"testing"
 
 	"laxgpu/internal/cp"
@@ -20,6 +22,7 @@ import (
 	"laxgpu/internal/sched"
 	"laxgpu/internal/sim"
 	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 // benchRunner builds a fresh memoization-free runner per iteration so the
@@ -280,6 +283,31 @@ func BenchmarkFullRunProbed(b *testing.B) {
 		sys.SetProbe(obs.Multi(obs.NewMetrics(), obs.NewPerfetto()))
 		sys.Run()
 	}
+}
+
+// BenchmarkScenarioGenerate measures parsing a committed scenario file and
+// expanding it to its full job stream (diurnal: 463 jobs over three phases),
+// the cost every -scenario invocation pays before the first simulated event.
+func BenchmarkScenarioGenerate(b *testing.B) {
+	raw, err := os.ReadFile("examples/scenarios/diurnal.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := workload.NewLibrary(gpu.DefaultConfig())
+	var jobs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.Parse(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := spec.Generate(lib, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = len(set.Jobs)
+	}
+	b.ReportMetric(float64(jobs), "jobs")
 }
 
 // TestNoProbeHotPathAllocationFree pins the observer-off guarantee at the

@@ -9,6 +9,9 @@
 //	laxload -mode open -rate 4000             # open loop at 4000 jobs/s
 //	laxload -x 2.0                            # 2x the server's estimated capacity
 //	laxload -addr http://host:8080            # a remote laxd
+//	laxload -scenario examples/scenarios/three-tenant.json  # replay a scenario file
+//	laxload -scenario f.json -speed 0.25      # replay at quarter speed
+//	laxload -scenario f.json -plan            # print the submission plan, no server
 //
 // Closed-loop workers submit with ?wait=1 and hold one job in flight each,
 // so offered load adapts to completions (optionally capped by -rate or -x).
@@ -19,6 +22,15 @@
 // -x scales against the server's own capacity estimate from
 // GET /v1/benchmarks, so "laxload -mode open -x 2" means 2x the sustainable
 // rate for the chosen benchmark whatever the device configuration is.
+//
+// -scenario replays a versioned scenario document (SCENARIOS.md) against the
+// server in wall-clock time: the file expands to the same deterministic job
+// trace the simulator uses (identical seed → identical fingerprint), each
+// job is submitted at its scaled arrival instant, and every cohort's
+// criticality rides along so the gateway's shedding classes see the mix the
+// scenario declares. -plan prints the expanded submission plan without
+// contacting a server — two runs of -plan on the same file and seed are
+// byte-identical, which is the replay determinism check scripts rely on.
 package main
 
 import (
@@ -35,6 +47,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"laxgpu/internal/cp"
+	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 // jobStatus mirrors the server's JobStatus JSON (the fields laxload reads).
@@ -59,6 +75,39 @@ type tally struct {
 	walls      []float64        // wall-clock request round trips, milliseconds
 	reasons    map[string]int64 // server-stated reason per non-2xx answer
 	missCauses map[string]int64 // server-stated dominant miss cause per missed job
+	cohorts    map[string]*cohortCounts
+}
+
+// cohortCounts splits scenario-replay outcomes by tenant cohort.
+type cohortCounts struct {
+	submitted, admitted, completed, met int64
+}
+
+// recordCohort attributes one outcome to the job's cohort (scenario replays).
+func (t *tally) recordCohort(cohort string, code int, st jobStatus) {
+	if cohort == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cohorts == nil {
+		t.cohorts = make(map[string]*cohortCounts)
+	}
+	c := t.cohorts[cohort]
+	if c == nil {
+		c = &cohortCounts{}
+		t.cohorts[cohort] = c
+	}
+	c.submitted++
+	if code == http.StatusOK || code == http.StatusAccepted {
+		c.admitted++
+		if st.State == "done" {
+			c.completed++
+			if st.MetDeadline {
+				c.met++
+			}
+		}
+	}
 }
 
 func (t *tally) record(code int, st jobStatus, wall time.Duration) {
@@ -117,10 +166,45 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for the Poisson arrival gaps (open mode)")
 		crit      = flag.String("criticality", "", "job criticality: best-effort, standard, or critical (gateway shedding order)")
 		deadline  = flag.Int64("deadline-us", 0, "override the benchmark's relative deadline (µs; 0 keeps the default)")
+		scenPath  = flag.String("scenario", "", "replay a scenario file (SCENARIOS.md) instead of synthetic load; cohort criticalities map to shedding classes")
+		planOnly  = flag.Bool("plan", false, "with -scenario: print the deterministic submission plan and exit without contacting a server")
+		speed     = flag.Float64("speed", 1, "with -scenario: wall-clock speedup (2 replays simulated time twice as fast, 0.5 half)")
 	)
 	flag.Parse()
 
 	base := strings.TrimRight(*addr, "/")
+	if *scenPath != "" {
+		// The scenario file owns the workload shape, so the synthetic-load
+		// flags are contradictions, not modifiers.
+		var conflict string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mode", "benchmark", "rate", "x", "c", "criticality", "deadline-us", "duration":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fatal(fmt.Errorf("-%s does not combine with -scenario (the scenario file defines the workload)", conflict))
+		}
+		if *speed <= 0 {
+			fatal(fmt.Errorf("-speed must be positive"))
+		}
+		seedOverride := int64(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = *seed
+			}
+		})
+		if err := replayScenario(base, *scenPath, seedOverride, *speed, *planOnly); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "plan" || f.Name == "speed" {
+			fatal(fmt.Errorf("-%s requires -scenario", f.Name))
+		}
+	})
 	if *mode != "closed" && *mode != "open" {
 		fatal(fmt.Errorf("unknown -mode %q (want closed or open)", *mode))
 	}
@@ -221,6 +305,117 @@ func main() {
 	}
 	if t.errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// replayScenario expands a scenario file into its deterministic job trace
+// and either prints the submission plan (planOnly) or submits every job to
+// the server at its scaled arrival instant. Each submission carries the
+// job's benchmark, relative deadline, and cohort criticality, so a gateway
+// sheds exactly the classes the scenario declares. seedOverride, when
+// non-zero, replaces the file's committed seed.
+func replayScenario(base, path string, seedOverride int64, speed float64, planOnly bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// The trace must match the simulator's expansion bit for bit, so the
+	// kernel library is calibrated for the same default device.
+	lib := workload.NewLibrary(cp.DefaultSystemConfig().GPU)
+	set, err := spec.Generate(lib, seedOverride)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	effSeed := seedOverride
+	if effSeed == 0 {
+		effSeed = spec.SeedOrDefault()
+	}
+	fmt.Printf("scenario %s: %d cohorts, %d jobs over %dµs, seed %d, fingerprint %s\n",
+		spec.Name, len(spec.Cohorts), len(set.Jobs), spec.DurationUs, effSeed, scenario.Fingerprint(set))
+
+	if planOnly {
+		fmt.Printf("%-6s %12s %-14s %-10s %12s %s\n", "job", "arrival_ns", "cohort", "benchmark", "deadline_us", "criticality")
+		for _, j := range set.Jobs {
+			fmt.Printf("%-6d %12d %-14s %-10s %12d %s\n",
+				j.ID, int64(j.Arrival), j.Cohort, j.Benchmark, int64(j.Deadline)/1000, j.Criticality)
+		}
+		return nil
+	}
+
+	// Pace submissions on the single dispatch goroutine (arrivals are
+	// sorted), firing each request asynchronously with ?wait=1 so completed
+	// jobs report deadline outcomes; the semaphore bounds in-flight requests.
+	t := &tally{}
+	sem := make(chan struct{}, 256)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, j := range set.Jobs {
+		target := start.Add(time.Duration(float64(j.Arrival) / speed))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(j *workload.Job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			reqStart := time.Now()
+			code, st := post(base+"/v1/jobs?wait=1", jobBody(j))
+			t.record(code, st, time.Since(reqStart))
+			t.recordCohort(j.Cohort, code, st)
+		}(j)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(os.Stdout, t, "scenario", spec.Name, elapsed)
+	reportCohorts(os.Stdout, t, spec.CohortNames())
+	if byClass, err := fetchMissCauses(base); err == nil {
+		reportMissCauses(os.Stdout, byClass)
+	}
+	if t.errors > 0 {
+		return fmt.Errorf("%d transport errors", t.errors)
+	}
+	return nil
+}
+
+// jobBody renders one scenario job as the POST /v1/jobs payload: benchmark,
+// relative deadline in µs, and the cohort's criticality class.
+func jobBody(j *workload.Job) string {
+	fields := []string{fmt.Sprintf("%q:%q", "benchmark", j.Benchmark)}
+	if us := int64(j.Deadline) / 1000; us > 0 {
+		fields = append(fields, fmt.Sprintf("%q:%d", "deadline_us", us))
+	}
+	if j.Criticality != "" {
+		fields = append(fields, fmt.Sprintf("%q:%q", "criticality", j.Criticality))
+	}
+	return "{" + strings.Join(fields, ",") + "}"
+}
+
+// reportCohorts prints per-cohort outcomes in scenario declaration order.
+func reportCohorts(w io.Writer, t *tally, cohorts []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.cohorts) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "per-cohort outcomes:")
+	for _, name := range cohorts {
+		c := t.cohorts[name]
+		if c == nil {
+			continue
+		}
+		pctMet := 0.0
+		if c.completed > 0 {
+			pctMet = 100 * float64(c.met) / float64(c.completed)
+		}
+		fmt.Fprintf(w, "  %-14s submitted %4d, admitted %4d, completed %4d, met %4d (%.1f%%)\n",
+			name, c.submitted, c.admitted, c.completed, c.met, pctMet)
 	}
 }
 

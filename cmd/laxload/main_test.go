@@ -76,6 +76,102 @@ func TestReportThisRunMissCauses(t *testing.T) {
 	}
 }
 
+// buildLaxload compiles the binary once per test.
+func buildLaxload(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "laxload")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCLIScenarioPlan: -plan prints the full deterministic submission plan
+// without a server — two invocations must be byte-identical, and the plan
+// must carry the fingerprint plus every cohort's criticality mapping.
+func TestCLIScenarioPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildLaxload(t)
+	scen := "../../examples/scenarios/three-tenant.json"
+	one, err := exec.Command(bin, "-scenario", scen, "-plan").CombinedOutput()
+	if err != nil {
+		t.Fatalf("laxload -plan failed: %v\n%s", err, one)
+	}
+	got := string(one)
+	for _, want := range []string{"fingerprint f2d361b5e410e25e", "interactive", "critical",
+		"batch", "best-effort", "arrival_ns", "deadline_us"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("plan missing %q:\n%.400s", want, got)
+		}
+	}
+	two, err := exec.Command(bin, "-scenario", scen, "-plan").CombinedOutput()
+	if err != nil {
+		t.Fatalf("second -plan failed: %v\n%s", err, two)
+	}
+	if !bytes.Equal(one, two) {
+		t.Error("-plan output not byte-identical across runs")
+	}
+}
+
+// TestCLIScenarioFlagValidation: the scenario file owns the workload, so the
+// synthetic-load flags must be rejected, and -plan/-speed need -scenario.
+func TestCLIScenarioFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildLaxload(t)
+	scen := "../../examples/scenarios/steady.json"
+	bad := [][]string{
+		{"-scenario", scen, "-mode", "open"},
+		{"-scenario", scen, "-benchmark", "GMM"},
+		{"-scenario", scen, "-rate", "100"},
+		{"-scenario", scen, "-criticality", "critical"},
+		{"-scenario", scen, "-deadline-us", "100"},
+		{"-scenario", scen, "-duration", "1s"},
+		{"-scenario", scen, "-speed", "0"},
+		{"-scenario", "no-such-file.json", "-plan"},
+		{"-plan"},
+		{"-speed", "2"},
+	}
+	for _, args := range bad {
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Errorf("contradictory flags %v accepted:\n%s", args, out)
+		}
+	}
+}
+
+// TestCLIScenarioReplay drives a scenario replay against a live in-process
+// server and checks the per-cohort outcome table appears.
+func TestCLIScenarioReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildLaxload(t)
+	srv, err := laxgpu.StartServer(laxgpu.ServerOptions{Addr: "127.0.0.1:0", Speed: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	out, err := exec.Command(bin, "-addr", srv.URL(),
+		"-scenario", "../../examples/scenarios/three-tenant.json", "-speed", "0.05").CombinedOutput()
+	if err != nil {
+		t.Fatalf("laxload -scenario failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	for _, want := range []string{"scenario three-tenant", "fingerprint f2d361b5e410e25e",
+		"per-cohort outcomes:", "interactive", "analytics", "batch", "submitted"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("replay output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // TestCLIMissCauseBreakdown drives the built binary against a live in-process
 // laxd: an unmeetable deadline forces admission rejections, and both the
 // client-side tally and the scraped server breakdown must name the cause.

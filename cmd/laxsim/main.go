@@ -20,6 +20,9 @@
 //	laxsim -run LAX,LSTM,high -faults hang=0.05,abort=0.1  # fault injection
 //	laxsim -experiment table5 -parallel 4        # 4 sweep workers
 //	laxsim -jobs 128 -seed 1 -v     # trace size, seed, progress logging
+//	laxsim -scenario examples/scenarios/diurnal.json       # scheduler sweep over a scenario file
+//	laxsim -scenario f.json -run LAX -verify     # one scheduler, invariant-checked
+//	laxsim -scenario f.json -record trace.csv    # record the expanded trace (replayable)
 //
 // Independent simulation cells fan out across -parallel workers (0 means
 // one per CPU); reports are byte-identical at every width. Ctrl-C cancels
@@ -51,6 +54,7 @@ import (
 	"laxgpu/internal/verify"
 	"laxgpu/internal/viz"
 	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 func main() {
@@ -74,8 +78,19 @@ func main() {
 		probe       = flag.Bool("probe", false, "with -run: print per-run telemetry (decision counts, estimate accuracy) to stdout")
 		verifyRuns  = flag.Bool("verify", false, "attach the runtime invariant checker to every simulation; any violated guarantee (DESIGN.md section 9) aborts the run with a diagnostic")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the process lifetime")
+		scenarioIn  = flag.String("scenario", "", "run a scenario file (SCENARIOS.md): alone sweeps every Table 5 scheduler; with -run SCHED runs one")
+		recordOut   = flag.String("record", "", "with -scenario: record the expanded job trace as replayable CSV to this file")
 	)
 	flag.Parse()
+
+	// -seed overrides a scenario file's committed seed only when the flag
+	// was given explicitly; the flag's default must not shadow the file.
+	seedExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedExplicit = true
+		}
+	})
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {
@@ -84,7 +99,7 @@ func main() {
 		return
 	}
 
-	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel, *metricsOut, *perfettoOut, *probe, *verifyRuns); err != nil {
+	if err := validateFlags(*experiment, *rawRun, *sweepRate, *csvOut, *traceOut, *timeline, *gpus, *faults, *parallel, *metricsOut, *perfettoOut, *probe, *verifyRuns, *scenarioIn, *recordOut); err != nil {
 		fatal(err)
 	}
 
@@ -107,6 +122,23 @@ func main() {
 	r.Verify = *verifyRuns
 	if *verbose {
 		r.Progress = os.Stderr
+	}
+
+	if *scenarioIn != "" {
+		var seedOverride int64
+		if seedExplicit {
+			seedOverride = *seed
+		}
+		if err := runScenario(ctx, r, *scenarioIn, *rawRun, seedOverride, scenarioOpts{
+			record:       *recordOut,
+			csvPath:      *csvOut,
+			metricsPath:  *metricsOut,
+			perfettoPath: *perfettoOut,
+			verify:       *verifyRuns,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *sweepRate != "" {
@@ -384,6 +416,205 @@ func runTraced(ctx context.Context, r *harness.Runner, schedName, benchName stri
 	return nil
 }
 
+// scenarioOpts selects the artifacts of one -scenario invocation.
+type scenarioOpts struct {
+	record       string
+	csvPath      string
+	metricsPath  string
+	perfettoPath string
+	verify       bool
+}
+
+// runScenario expands a scenario file into the runner's trace memo, prints
+// the determinism header (job count, effective seed, trace fingerprint), and
+// either sweeps every Table 5 scheduler over it (schedName == "") or runs one
+// scheduler with the single-run observers and a per-cohort breakdown.
+// seedOverride, when non-zero, replaces the file's committed seed.
+func runScenario(ctx context.Context, r *harness.Runner, path, schedName string, seedOverride int64, o scenarioOpts) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	label, err := r.InstallScenario(spec, seedOverride)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	set, err := r.JobSet(label, workload.ScenarioRate)
+	if err != nil {
+		return err
+	}
+	effSeed := seedOverride
+	if effSeed == 0 {
+		effSeed = spec.SeedOrDefault()
+	}
+	fmt.Printf("scenario %s: %d cohorts, %d jobs over %dµs, seed %d, fingerprint %s\n",
+		spec.Name, len(spec.Cohorts), len(set.Jobs), spec.DurationUs, effSeed, scenario.Fingerprint(set))
+	if o.record != "" {
+		rf, err := os.Create(o.record)
+		if err != nil {
+			return err
+		}
+		if err := workload.WriteTrace(rf, set); err != nil {
+			rf.Close()
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d jobs to %s (replayable with laxgpu.Options.Trace)\n", len(set.Jobs), o.record)
+	}
+	if schedName != "" {
+		return runScenarioOne(ctx, r, spec, label, schedName, o)
+	}
+
+	// Scheduler sweep: the scenario cell behaves exactly like a benchmark
+	// cell, so the grid fans out across the worker pool and summaries are
+	// collected from the warm cache in Table 5 order.
+	var cells []harness.Cell
+	for _, s := range sched.Table5Schedulers {
+		cells = append(cells, harness.Cell{Sched: s, Bench: label, Rate: workload.ScenarioRate})
+	}
+	if err := r.Sweep(ctx, cells); err != nil {
+		return err
+	}
+	var summaries []metrics.Summary
+	for _, s := range sched.Table5Schedulers {
+		sum, err := r.RunContext(ctx, s, label, workload.ScenarioRate)
+		if err != nil {
+			return err
+		}
+		summaries = append(summaries, sum)
+	}
+	if o.csvPath != "" {
+		cf, err := os.Create(o.csvPath)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteCSV(cf, summaries); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(summaries), o.csvPath)
+		return nil
+	}
+	fmt.Printf("%-8s %6s %6s %6s %10s %12s\n", "sched", "met", "total", "rej", "p99_ms", "goodput/s")
+	for _, s := range summaries {
+		fmt.Printf("%-8s %6d %6d %6d %10.3f %12.0f\n",
+			s.Scheduler, s.MetDeadline, s.TotalJobs, s.Rejected, s.P99LatencyMs, s.ThroughputJobsPerSec)
+	}
+	return nil
+}
+
+// runScenarioOne executes the installed scenario cell under one scheduler
+// with the optional single-run observers attached, then prints a per-cohort
+// deadline breakdown in the scenario's declaration order.
+func runScenarioOne(ctx context.Context, r *harness.Runner, spec *scenario.Spec, label, schedName string, o scenarioOpts) error {
+	pol, err := sched.New(schedName)
+	if err != nil {
+		return err
+	}
+	set, err := r.JobSet(label, workload.ScenarioRate)
+	if err != nil {
+		return err
+	}
+	sys := cp.NewSystem(r.Cfg, set, pol)
+	var (
+		m      *obs.Metrics
+		pf     *obs.Perfetto
+		probes []obs.Probe
+	)
+	if o.metricsPath != "" {
+		m = obs.NewMetrics()
+		probes = append(probes, m)
+	}
+	if o.perfettoPath != "" {
+		pf = obs.NewPerfetto()
+		probes = append(probes, pf)
+	}
+	var ck *verify.Checker
+	if o.verify {
+		ck = verify.New(verify.OptionsFor(schedName, pol, r.Cfg, false))
+		ck.Attach(sys)
+		probes = append(probes, ck)
+	}
+	if len(probes) > 0 {
+		sys.SetProbe(obs.Multi(probes...))
+	}
+	if err := sys.RunContext(ctx); err != nil {
+		return err
+	}
+	if ck != nil {
+		if err := ck.Finalize(); err != nil {
+			return fmt.Errorf("invariant violation: %w", err)
+		}
+	}
+	s := metrics.Summarize(sys, schedName, label, "scenario")
+	fmt.Printf("%s on %s: %d/%d met deadline, %d rejected, %d cancelled\n",
+		s.Scheduler, s.Benchmark, s.MetDeadline, s.TotalJobs, s.Rejected, s.Cancelled)
+	printCohortBreakdown(sys, spec.CohortNames())
+	if m != nil {
+		if err := writeMetricsFile(o.metricsPath, m); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", o.metricsPath)
+	}
+	if pf != nil {
+		pff, err := os.Create(o.perfettoPath)
+		if err != nil {
+			return err
+		}
+		if err := pf.Write(pff); err != nil {
+			pff.Close()
+			return err
+		}
+		if err := pff.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d Perfetto events to %s\n", pf.Events(), o.perfettoPath)
+	}
+	if ck != nil {
+		fmt.Printf("  verify: %d invariant checks, no violations\n", ck.Checks())
+	}
+	return nil
+}
+
+// printCohortBreakdown prints per-cohort deadline outcomes in the order the
+// cohorts were declared in the scenario file.
+func printCohortBreakdown(sys *cp.System, cohorts []string) {
+	type tally struct{ total, met, rejected int }
+	byCohort := make(map[string]*tally)
+	for _, jr := range sys.Jobs() {
+		t := byCohort[jr.Job.Cohort]
+		if t == nil {
+			t = &tally{}
+			byCohort[jr.Job.Cohort] = t
+		}
+		t.total++
+		if jr.MetDeadline() {
+			t.met++
+		}
+		if jr.Rejected() {
+			t.rejected++
+		}
+	}
+	for _, name := range cohorts {
+		t := byCohort[name]
+		if t == nil {
+			continue
+		}
+		fmt.Printf("  cohort %-14s %4d/%-4d met (%5.1f%%), %d rejected\n",
+			name, t.met, t.total, 100*float64(t.met)/float64(t.total), t.rejected)
+	}
+}
+
 // writeMetricsFile snapshots the probe's registry to path in Prometheus
 // text exposition format.
 func writeMetricsFile(path string, m *obs.Metrics) error {
@@ -458,7 +689,37 @@ func runFleet(r *harness.Runner, schedName, benchName string, rate workload.Rate
 
 // validateFlags rejects contradictory flag combinations up front, so a
 // misplaced mode flag fails loudly instead of being silently ignored.
-func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int, metricsOut, perfettoOut string, probe, verifyRuns bool) error {
+func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timeline bool, gpus int, faults string, parallel int, metricsOut, perfettoOut string, probe, verifyRuns bool, scenarioIn, recordOut string) error {
+	if gpus < 1 {
+		return fmt.Errorf("-gpus must be at least 1")
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be at least 0 (0 = one worker per CPU)")
+	}
+	if scenarioIn != "" {
+		// Scenario mode has its own flag grammar: -run names a single
+		// scheduler (not a cell), -csv applies to the sweep form, and the
+		// observers that assume a benchmark cell are rejected.
+		if experiment != "" || sweepRate != "" {
+			return fmt.Errorf("-scenario does not combine with -experiment or -sweep")
+		}
+		if strings.Contains(rawRun, ",") {
+			return fmt.Errorf("with -scenario, -run names a single scheduler (e.g. -run LAX); got %q", rawRun)
+		}
+		if faults != "" || traceOut != "" || timeline || probe || gpus != 1 {
+			return fmt.Errorf("-scenario does not combine with -faults, -trace, -timeline, -probe or -gpus")
+		}
+		if (metricsOut != "" || perfettoOut != "") && rawRun == "" {
+			return fmt.Errorf("-metrics and -perfetto with -scenario require -run SCHED (single-run observers)")
+		}
+		if csvOut != "" && rawRun != "" {
+			return fmt.Errorf("-csv applies to the -scenario scheduler sweep; drop -run")
+		}
+		return nil
+	}
+	if recordOut != "" {
+		return fmt.Errorf("-record requires -scenario")
+	}
 	modes := 0
 	for _, set := range []bool{experiment != "", rawRun != "", sweepRate != ""} {
 		if set {
@@ -467,12 +728,6 @@ func validateFlags(experiment, rawRun, sweepRate, csvOut, traceOut string, timel
 	}
 	if modes > 1 {
 		return fmt.Errorf("-experiment, -run and -sweep are mutually exclusive")
-	}
-	if gpus < 1 {
-		return fmt.Errorf("-gpus must be at least 1")
-	}
-	if parallel < 0 {
-		return fmt.Errorf("-parallel must be at least 0 (0 = one worker per CPU)")
 	}
 	if rawRun == "" {
 		switch {

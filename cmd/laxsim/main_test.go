@@ -193,6 +193,94 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("scenario-sweep", func(t *testing.T) {
+		out, err := run(t, bin, "-scenario", "../../examples/scenarios/three-tenant.json")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		for _, want := range []string{"scenario three-tenant: 3 cohorts", "fingerprint", "sched", "LAX", "EDF", "PREMA"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("scenario sweep missing %q:\n%s", want, out)
+			}
+		}
+		// Determinism is the headline contract: two invocations must print
+		// byte-identical reports.
+		again, err := run(t, bin, "-scenario", "../../examples/scenarios/three-tenant.json")
+		if err != nil {
+			t.Fatal(err, again)
+		}
+		if out != again {
+			t.Errorf("scenario sweep not deterministic:\n%s\nvs\n%s", out, again)
+		}
+	})
+
+	t.Run("scenario-run", func(t *testing.T) {
+		out, err := run(t, bin, "-scenario", "../../examples/scenarios/three-tenant.json", "-run", "LAX", "-verify")
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		for _, want := range []string{"LAX on scenario:three-tenant", "cohort interactive",
+			"cohort analytics", "cohort batch", "invariant checks, no violations"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("scenario run missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("scenario-record", func(t *testing.T) {
+		rec := filepath.Join(t.TempDir(), "trace.csv")
+		out, err := run(t, bin, "-scenario", "../../examples/scenarios/steady.json", "-run", "EDF", "-record", rec)
+		if err != nil {
+			t.Fatal(err, out)
+		}
+		data, err := os.ReadFile(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "arrival_ns,deadline_ns,kernels,benchmark,cohort,criticality") {
+			t.Errorf("recorded trace is not v2:\n%.120s", data)
+		}
+	})
+
+	t.Run("scenario-seed-override", func(t *testing.T) {
+		base, err := run(t, bin, "-scenario", "../../examples/scenarios/steady.json", "-run", "EDF")
+		if err != nil {
+			t.Fatal(err, base)
+		}
+		over, err := run(t, bin, "-scenario", "../../examples/scenarios/steady.json", "-run", "EDF", "-seed", "9")
+		if err != nil {
+			t.Fatal(err, over)
+		}
+		if base == over {
+			t.Error("-seed did not override the scenario file's seed")
+		}
+		if !strings.Contains(over, "seed 9") {
+			t.Errorf("override seed not reported:\n%s", over)
+		}
+	})
+
+	t.Run("scenario-flag-validation", func(t *testing.T) {
+		scen := "../../examples/scenarios/steady.json"
+		bad := [][]string{
+			{"-scenario", scen, "-experiment", "figure3"},
+			{"-scenario", scen, "-sweep", "low"},
+			{"-scenario", scen, "-run", "LAX,IPV6,high"},
+			{"-scenario", scen, "-faults", "hang=0.1"},
+			{"-scenario", scen, "-run", "LAX", "-timeline"},
+			{"-scenario", scen, "-run", "LAX", "-probe"},
+			{"-scenario", scen, "-gpus", "2"},
+			{"-scenario", scen, "-metrics", "m.prom"},
+			{"-scenario", scen, "-run", "LAX", "-csv", "out.csv"},
+			{"-record", "trace.csv"},
+			{"-scenario", "no-such-file.json"},
+		}
+		for _, args := range bad {
+			if out, err := run(t, bin, args...); err == nil {
+				t.Errorf("contradictory flags %v accepted:\n%s", args, out)
+			}
+		}
+	})
+
 	t.Run("flag-validation", func(t *testing.T) {
 		bad := [][]string{
 			{"-run", "LAX,IPV6,high", "-sweep", "low"},

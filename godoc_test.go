@@ -16,7 +16,7 @@ import (
 // must carry a doc comment. The public API is the contract DESIGN.md's
 // guarantees hang off; an undocumented export is an undocumented guarantee.
 func TestGodocComplete(t *testing.T) {
-	for _, dir := range []string{".", "cmd/laxsim"} {
+	for _, dir := range []string{".", "cmd/laxsim", "internal/workload/scenario"} {
 		t.Run(dir, func(t *testing.T) {
 			checkPackageDocs(t, dir)
 		})

@@ -27,6 +27,7 @@ import (
 	"laxgpu/internal/sched"
 	"laxgpu/internal/verify"
 	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 // Runner executes and memoizes simulation runs so experiments sharing a
@@ -132,6 +133,25 @@ func (r *Runner) JobSet(benchName string, rate workload.Rate) (*workload.JobSet,
 	set := b.Generate(r.Lib, rate, r.JobCount, r.cellSeed(benchName, rate))
 	r.sets[k] = set
 	return set, nil
+}
+
+// InstallScenario expands a scenario document into a job trace and
+// registers it in the runner's trace memo under (spec.Label(),
+// workload.ScenarioRate), so every existing entry point — Run, Sweep,
+// RunSystem, Verify, fault injection — works on the scenario cell exactly
+// as on a Table 4 benchmark cell: memoized per scheduler, fanned out across
+// the worker pool, byte-identical at any pool width. seed overrides the
+// file's own seed when non-zero. It returns the benchmark label to address
+// the cell with.
+func (r *Runner) InstallScenario(spec *scenario.Spec, seed int64) (string, error) {
+	set, err := spec.Generate(r.Lib, seed)
+	if err != nil {
+		return "", err
+	}
+	r.setMu.Lock()
+	defer r.setMu.Unlock()
+	r.sets[setKey{spec.Label(), workload.ScenarioRate}] = set
+	return spec.Label(), nil
 }
 
 // cellSeed mixes the benchmark and rate into the seed so traces (and fault

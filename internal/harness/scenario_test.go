@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
+)
+
+const harnessScenarioJSON = `{
+  "format": "laxgpu-scenario",
+  "version": 1,
+  "name": "harness-test",
+  "duration_us": 8000,
+  "cohorts": [
+    {"name": "a", "benchmark": "STEM", "deadline_us": 300,
+     "phases": [{"duration_us": 8000, "rate": 5000}]},
+    {"name": "b", "benchmark": "CUCKOO",
+     "phases": [{"duration_us": 8000, "rate": 2000}]}
+  ]
+}
+`
+
+// TestInstallScenarioSweep: an installed scenario cell flows through the
+// sweep engine like a benchmark cell, and parallel execution is
+// byte-identical to serial.
+func TestInstallScenarioSweep(t *testing.T) {
+	ctx := context.Background()
+	scheds := []string{"RR", "EDF", "LAX"}
+
+	runAll := func(workers int) []string {
+		r := NewRunner()
+		r.Workers = workers
+		r.Verify = true // checked runs must not change results either
+		spec, err := scenario.Parse(strings.NewReader(harnessScenarioJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		label, err := r.InstallScenario(spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cells []Cell
+		for _, s := range scheds {
+			cells = append(cells, Cell{s, label, workload.ScenarioRate})
+		}
+		if err := r.Sweep(ctx, cells); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range scheds {
+			sum, err := r.Run(s, label, workload.ScenarioRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fmt.Sprintf("%+v", sum))
+		}
+		return out
+	}
+
+	serial := runAll(1)
+	parallel := runAll(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("%s: parallel sweep diverged from serial:\n%s\nvs\n%s",
+				scheds[i], serial[i], parallel[i])
+		}
+	}
+}
+
+// TestInstallScenarioSeedOverride: the override changes the installed trace;
+// zero keeps the file's seed.
+func TestInstallScenarioSeedOverride(t *testing.T) {
+	r := NewRunner()
+	spec, err := scenario.Parse(strings.NewReader(harnessScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, err := r.InstallScenario(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.JobSet(label, workload.ScenarioRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner()
+	if _, err := r2.InstallScenario(spec, 77); err != nil {
+		t.Fatal(err)
+	}
+	over, err := r2.JobSet(label, workload.ScenarioRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scenario.Fingerprint(base) == scenario.Fingerprint(over) {
+		t.Fatal("seed override left the trace unchanged")
+	}
+	if base.Seed != spec.SeedOrDefault() || over.Seed != 77 {
+		t.Fatalf("recorded seeds %d/%d", base.Seed, over.Seed)
+	}
+}

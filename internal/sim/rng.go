@@ -83,6 +83,57 @@ func (g *RNG) Normal(mean, sd float64) float64 {
 	return g.r.NormFloat64()*sd + mean
 }
 
+// ParetoFloat returns a Pareto(xm, alpha) sample: a heavy-tailed value in
+// [xm, ∞) with P(X > x) = (xm/x)^alpha. For alpha > 1 the mean is
+// xm·alpha/(alpha−1); for alpha ≤ 1 the mean diverges. Inverse-CDF sampling
+// keeps the draw deterministic (one uniform per sample).
+func (g *RNG) ParetoFloat(xm, alpha float64) float64 {
+	// 1-Float64() is in (0, 1], so the power never divides by zero.
+	return xm / math.Pow(1-g.r.Float64(), 1/alpha)
+}
+
+// Pareto returns a Pareto-distributed duration with the given mean and tail
+// index alpha (> 1): the scale xm is solved from mean = xm·alpha/(alpha−1),
+// so swapping an exponential inter-arrival law for a Pareto one preserves
+// the offered rate while fattening the tail.
+func (g *RNG) Pareto(mean Time, alpha float64) Time {
+	if mean <= 0 {
+		return 0
+	}
+	if alpha <= 1 {
+		alpha = 1.000001 // degenerate tail index: clamp so the mean exists
+	}
+	xm := float64(mean) * (alpha - 1) / alpha
+	d := Time(math.Round(g.ParetoFloat(xm, alpha)))
+	if d < 0 { // float overflow on an extreme tail draw
+		d = Forever / 4
+	}
+	return d
+}
+
+// LognormalFloat returns exp(Normal(mu, sigma)): a right-skewed value whose
+// log is Gaussian. The mean is exp(mu + sigma²/2).
+func (g *RNG) LognormalFloat(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Lognormal returns a lognormally distributed duration with the given mean
+// and log-space standard deviation sigma: mu is solved from
+// mean = exp(mu + sigma²/2), so like Pareto the offered rate is preserved
+// while sigma controls how heavy the tail is (sigma → 0 degenerates to the
+// constant mean).
+func (g *RNG) Lognormal(mean Time, sigma float64) Time {
+	if mean <= 0 {
+		return 0
+	}
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	d := Time(math.Round(g.LognormalFloat(mu, sigma)))
+	if d < 0 { // float overflow on an extreme tail draw
+		d = Forever / 4
+	}
+	return d
+}
+
 // BoundedNormal draws round(Normal(mean, sd)) clamped to [min, max]. Used
 // for RNN sequence lengths: WMT'15 sentence lengths cluster around the mean
 // with a roughly symmetric spread, unlike a geometric distribution whose

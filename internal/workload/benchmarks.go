@@ -20,6 +20,11 @@ const (
 	HighRate
 )
 
+// ScenarioRate labels job sets generated from a scenario file rather than a
+// Table 4 rate level: a scenario carries its own (possibly time-varying,
+// multi-cohort) arrival law, so none of low/medium/high applies.
+const ScenarioRate Rate = -1
+
 func (r Rate) String() string {
 	switch r {
 	case LowRate:
@@ -28,6 +33,8 @@ func (r Rate) String() string {
 		return "medium"
 	case HighRate:
 		return "high"
+	case ScenarioRate:
+		return "scenario"
 	default:
 		return fmt.Sprintf("Rate(%d)", int(r))
 	}

@@ -18,6 +18,8 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add("not,a,trace")
 	f.Add("")
 	f.Add("arrival_us,deadline_us,kernels\n-1,0,*;;**9")
+	f.Add("arrival_ns,deadline_ns,kernels,benchmark,cohort,criticality\n1234,200000,STEMKernel,STEM,interactive,critical")
+	f.Add("arrival_ns,deadline_ns,kernels,benchmark,cohort,criticality\n0,1,GMMKernel*3,GMM,batch,best-effort\n5,7,STEMKernel,STEM,,")
 
 	lib := NewLibrary(gpu.DefaultConfig())
 	f.Fuzz(func(t *testing.T, in string) {

@@ -36,6 +36,18 @@ type Job struct {
 	// SeqLen is the RNN sequence length that generated the chain (0 for
 	// few-kernel jobs).
 	SeqLen int
+
+	// Cohort names the scenario tenant cohort that generated this job
+	// (empty for single-tenant benchmark traces). Cohorts carry distinct
+	// rate schedules, deadline classes and criticalities; the name is
+	// preserved through trace record/replay (SCENARIOS.md).
+	Cohort string
+
+	// Criticality is the cohort's shedding class ("best-effort", "standard"
+	// or "critical"; empty means standard). The simulator ignores it — it
+	// exists so a recorded scenario drives the gateway's criticality-ordered
+	// overload shedding when replayed through laxload.
+	Criticality string
 }
 
 // AbsoluteDeadline returns Arrival + Deadline.

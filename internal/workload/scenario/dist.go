@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"laxgpu/internal/sim"
+)
+
+// distRole distinguishes the two places a distribution spec may appear: the
+// inter-arrival law (default "exp") and the per-job work multiplier
+// (default none).
+type distRole int
+
+const (
+	distArrival distRole = iota
+	distWork
+)
+
+// distKind enumerates the supported sampling families.
+type distKind int
+
+const (
+	distNone distKind = iota // work only: every job carries exactly one chain
+	distExp                  // exponential gaps — a Poisson arrival process
+	distPareto
+	distLognormal
+)
+
+// dist is a parsed distribution spec. The zero value is distNone.
+type dist struct {
+	kind  distKind
+	alpha float64 // Pareto tail index (> 1 so the mean exists)
+	sigma float64 // lognormal log-space standard deviation (> 0)
+}
+
+// parseDist parses "exp", "pareto:alpha=A" or "lognormal:sigma=S". The
+// empty string resolves to the role's default: exponential gaps for
+// arrivals, no multiplier for work.
+func parseDist(s string, role distRole) (dist, error) {
+	if s == "" {
+		if role == distArrival {
+			return dist{kind: distExp}, nil
+		}
+		return dist{kind: distNone}, nil
+	}
+	name, arg, hasArg := strings.Cut(s, ":")
+	switch name {
+	case "exp":
+		if role == distWork {
+			return dist{}, fmt.Errorf("unknown distribution %q (work wants pareto:alpha=A or lognormal:sigma=S)", s)
+		}
+		if hasArg {
+			return dist{}, fmt.Errorf("exp takes no parameter (got %q)", s)
+		}
+		return dist{kind: distExp}, nil
+	case "pareto":
+		alpha, err := distParam(arg, hasArg, "alpha")
+		if err != nil {
+			return dist{}, err
+		}
+		if alpha <= 1 {
+			return dist{}, fmt.Errorf("pareto alpha must be > 1 so the mean exists (got %g)", alpha)
+		}
+		return dist{kind: distPareto, alpha: alpha}, nil
+	case "lognormal":
+		sigma, err := distParam(arg, hasArg, "sigma")
+		if err != nil {
+			return dist{}, err
+		}
+		if sigma <= 0 {
+			return dist{}, fmt.Errorf("lognormal sigma must be positive (got %g)", sigma)
+		}
+		return dist{kind: distLognormal, sigma: sigma}, nil
+	}
+	return dist{}, fmt.Errorf("unknown distribution %q (want exp, pareto:alpha=A or lognormal:sigma=S)", s)
+}
+
+// distParam parses the single "key=value" parameter of a distribution spec.
+func distParam(arg string, hasArg bool, key string) (float64, error) {
+	if !hasArg {
+		return 0, fmt.Errorf("missing %s parameter (want %s=<value>)", key, key)
+	}
+	k, v, ok := strings.Cut(arg, "=")
+	if !ok || k != key {
+		return 0, fmt.Errorf("bad parameter %q (want %s=<value>)", arg, key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s value %q", key, v)
+	}
+	return f, nil
+}
+
+// gap draws one inter-arrival gap with the given mean. Every family
+// consumes draws from the same RNG stream, so switching the distribution
+// changes the trace but the trace stays a pure function of (spec, seed).
+func (d dist) gap(rng *sim.RNG, mean sim.Time) sim.Time {
+	switch d.kind {
+	case distPareto:
+		return rng.Pareto(mean, d.alpha)
+	case distLognormal:
+		return rng.Lognormal(mean, d.sigma)
+	default:
+		return rng.Exp(mean)
+	}
+}
+
+// multiplier draws one mean-1 work multiplier (1.0 when no work
+// distribution is configured). Mean 1 keeps the cohort's average offered
+// work equal to one kernel chain per job, so the distribution only shapes
+// the tail.
+func (d dist) multiplier(rng *sim.RNG) float64 {
+	switch d.kind {
+	case distPareto:
+		// Solve mean = xm·alpha/(alpha−1) = 1 for the scale xm.
+		return rng.ParetoFloat((d.alpha-1)/d.alpha, d.alpha)
+	case distLognormal:
+		// Solve mean = exp(mu + sigma²/2) = 1 for mu.
+		return rng.LognormalFloat(-d.sigma*d.sigma/2, d.sigma)
+	default:
+		return 1
+	}
+}

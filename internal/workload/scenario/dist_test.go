@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+// TestGapMeansTrackRate checks every arrival family draws gaps whose
+// empirical mean is the configured mean — the property that makes a
+// heavy-tailed cohort offer the same average load as a Poisson one.
+func TestGapMeansTrackRate(t *testing.T) {
+	const (
+		n    = 200000
+		mean = 250 * sim.Microsecond
+	)
+	for _, spec := range []string{"exp", "pareto:alpha=1.5", "lognormal:sigma=1"} {
+		d, err := parseDist(spec, distArrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(7)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(d.gap(rng, mean))
+		}
+		got := sum / n
+		// Heavy tails converge slowly; 15% over 200k draws is a sanity band,
+		// not a precision claim.
+		if math.Abs(got-float64(mean)) > 0.15*float64(mean) {
+			t.Errorf("%s: empirical mean %.0fns, want ~%dns", spec, got, int64(mean))
+		}
+	}
+}
+
+// TestParetoTailHeavierThanExp compares p99.9/mean ratios: the defining
+// property of the Pareto family is a far heavier tail at the same mean.
+func TestParetoTailHeavierThanExp(t *testing.T) {
+	const (
+		n    = 100000
+		mean = 250 * sim.Microsecond
+	)
+	tailRatio := func(spec string) float64 {
+		d, err := parseDist(spec, distArrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(11)
+		draws := make([]float64, n)
+		var sum float64
+		for i := range draws {
+			draws[i] = float64(d.gap(rng, mean))
+			sum += draws[i]
+		}
+		sort.Float64s(draws)
+		return draws[n*999/1000] / (sum / n)
+	}
+	exp := tailRatio("exp")
+	pareto := tailRatio("pareto:alpha=1.5")
+	if pareto < 2*exp {
+		t.Fatalf("pareto p99.9/mean %.1f not clearly heavier than exp %.1f", pareto, exp)
+	}
+}
+
+// TestWorkMultiplierMeanIsOne checks the mean-1 normalization of both work
+// families: heavy tails must not inflate a cohort's average offered work.
+func TestWorkMultiplierMeanIsOne(t *testing.T) {
+	const n = 300000
+	for _, spec := range []string{"pareto:alpha=2.5", "lognormal:sigma=0.8"} {
+		d, err := parseDist(spec, distWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(13)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.multiplier(rng)
+		}
+		if got := sum / n; math.Abs(got-1) > 0.1 {
+			t.Errorf("%s: mean multiplier %.3f, want ~1", spec, got)
+		}
+	}
+	none, err := parseDist("", distWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.multiplier(sim.NewRNG(1)) != 1 {
+		t.Fatal("empty work distribution must be the constant 1")
+	}
+}
+
+func TestParseDistErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		role distRole
+	}{
+		{"exp", distWork},              // exp is arrival-only
+		{"exp:rate=1", distArrival},    // exp takes no parameter
+		{"pareto", distArrival},        // missing parameter
+		{"pareto:beta=2", distArrival}, // wrong key
+		{"pareto:alpha=x", distArrival},
+		{"pareto:alpha=0.9", distArrival},
+		{"lognormal:sigma=-1", distWork},
+		{"weibull:k=2", distArrival},
+	}
+	for _, tc := range cases {
+		if _, err := parseDist(tc.spec, tc.role); err == nil {
+			t.Errorf("%q (role %d): accepted", tc.spec, tc.role)
+		}
+	}
+}
+
+func TestParseDistDefaults(t *testing.T) {
+	a, err := parseDist("", distArrival)
+	if err != nil || a.kind != distExp {
+		t.Fatalf("arrival default = %+v, %v; want exp", a, err)
+	}
+	w, err := parseDist("", distWork)
+	if err != nil || w.kind != distNone {
+		t.Fatalf("work default = %+v, %v; want none", w, err)
+	}
+}

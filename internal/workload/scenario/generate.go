@@ -1,0 +1,276 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"laxgpu/internal/gpu"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+)
+
+// maxWorkRepeat caps the per-job chain repetition a work multiplier can
+// request, so one extreme Pareto draw cannot turn a single job into an
+// unbounded amount of simulated work. The cap is part of the format's
+// determinism contract (SCENARIOS.md).
+const maxWorkRepeat = 64
+
+// Generate expands the scenario into a deterministic job trace: each
+// cohort's arrival process is generated independently from its own RNG
+// stream (derived from the scenario seed, the cohort's position and its
+// name), the streams are merged by arrival time with ties broken by cohort
+// declaration order, and jobs get dense IDs. seed overrides the file's seed
+// when non-zero; pass 0 to use the spec's own.
+//
+// The trace is a pure function of (spec, effective seed, library): the same
+// inputs always produce a byte-identical trace, which is what makes a
+// committed scenario file a reviewable, replayable artifact.
+func (s *Spec) Generate(lib *workload.Library, seed int64) (*workload.JobSet, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = s.SeedOrDefault()
+	}
+	horizon := sim.Time(s.DurationUs) * sim.Microsecond
+
+	// genJob carries the deterministic tie-break key alongside the job:
+	// cohort declaration index, then per-cohort sequence.
+	type genJob struct {
+		j      *workload.Job
+		cohort int
+		seq    int
+	}
+	var merged []genJob
+
+	for ci := range s.Cohorts {
+		c := &s.Cohorts[ci]
+		bench, err := workload.FindBenchmark(c.Benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cohort %q: %w", c.Name, err)
+		}
+		arrival, err := parseDist(c.Arrival, distArrival)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cohort %q: arrival: %w", c.Name, err)
+		}
+		work, err := parseDist(c.Work, distWork)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cohort %q: work: %w", c.Name, err)
+		}
+		deadline := bench.Deadline
+		if c.DeadlineUs > 0 {
+			deadline = sim.Time(c.DeadlineUs) * sim.Microsecond
+		}
+		rng := sim.NewRNG(cohortSeed(seed, ci, c.Name))
+
+		var t sim.Time
+		for seq := 0; c.MaxJobs == 0 || seq < c.MaxJobs; seq++ {
+			r := c.rateAt(t)
+			for r <= 0 {
+				// Silent period: skip to the next schedule boundary where
+				// the rate could change. Boundaries strictly advance, so
+				// this always terminates at the horizon.
+				t = c.nextChange(t)
+				if t > horizon {
+					break
+				}
+				r = c.rateAt(t)
+			}
+			if t > horizon {
+				break
+			}
+			mean := sim.Time(float64(sim.Second) / r)
+			gap := arrival.gap(rng, mean)
+			if gap <= 0 {
+				gap = 1 // keep time strictly advancing under extreme rates
+			}
+			t += gap
+			if t > horizon {
+				break
+			}
+			j := bench.Sample(lib, rng, 0, t)
+			j.Deadline = deadline
+			j.Cohort = c.Name
+			j.Criticality = normalizeCriticality(c.Criticality)
+			if k := workRepeat(work, rng); k > 1 {
+				j.Kernels = repeatChain(j.Kernels, k)
+			}
+			merged = append(merged, genJob{j: j, cohort: ci, seq: seq})
+		}
+	}
+
+	sort.SliceStable(merged, func(a, b int) bool {
+		if merged[a].j.Arrival != merged[b].j.Arrival {
+			return merged[a].j.Arrival < merged[b].j.Arrival
+		}
+		if merged[a].cohort != merged[b].cohort {
+			return merged[a].cohort < merged[b].cohort
+		}
+		return merged[a].seq < merged[b].seq
+	})
+	set := &workload.JobSet{
+		Benchmark: s.Label(),
+		Rate:      workload.ScenarioRate,
+		Seed:      seed,
+		Jobs:      make([]*workload.Job, len(merged)),
+	}
+	for i, g := range merged {
+		g.j.ID = i
+		set.Jobs[i] = g.j
+	}
+	if len(set.Jobs) == 0 {
+		return nil, fmt.Errorf("scenario: %q generated no jobs before the %dµs horizon", s.Name, s.DurationUs)
+	}
+	return set, nil
+}
+
+// workRepeat converts one multiplier draw into a chain repetition count in
+// [1, maxWorkRepeat].
+func workRepeat(d dist, rng *sim.RNG) int {
+	m := d.multiplier(rng)
+	k := int(math.Round(m))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxWorkRepeat {
+		k = maxWorkRepeat
+	}
+	return k
+}
+
+// repeatChain concatenates k copies of the chain (the heavy-tail
+// service-time knob: the job's serial time scales ~k×).
+func repeatChain(chain []*gpu.KernelDesc, k int) []*gpu.KernelDesc {
+	out := make([]*gpu.KernelDesc, 0, len(chain)*k)
+	for i := 0; i < k; i++ {
+		out = append(out, chain...)
+	}
+	return out
+}
+
+// cohortSeed derives a cohort's RNG stream from the scenario seed, the
+// cohort's declaration index and its name — the same mixing idiom the
+// harness uses for per-cell seeds, so renaming or reordering cohorts
+// changes their streams (intentionally: the trace is part of the file's
+// identity) while editing one cohort leaves the others' streams intact.
+func cohortSeed(seed int64, index int, name string) int64 {
+	s := seed
+	for _, ch := range name {
+		s = s*31 + int64(ch)
+	}
+	return s*31 + int64(index) + 1
+}
+
+// rateAt evaluates the cohort's offered rate (jobs/second) at simulated
+// time t: the cycling phase schedule's rate multiplied by every burst
+// window covering t.
+func (c *Cohort) rateAt(t sim.Time) float64 {
+	tu := int64(t / sim.Microsecond)
+	rate := c.phaseRate(tu)
+	for i := range c.Bursts {
+		if c.Bursts[i].covers(tu) {
+			rate *= c.Bursts[i].Factor
+		}
+	}
+	return rate
+}
+
+// period is the diurnal cycle length: the sum of phase durations (µs).
+func (c *Cohort) period() int64 {
+	var p int64
+	for _, ph := range c.Phases {
+		p += ph.DurationUs
+	}
+	return p
+}
+
+// phaseRate returns the scheduled base rate at tu microseconds, cycling the
+// phase list with period period().
+func (c *Cohort) phaseRate(tu int64) float64 {
+	pos := tu % c.period()
+	for _, ph := range c.Phases {
+		if pos < ph.DurationUs {
+			return ph.Rate
+		}
+		pos -= ph.DurationUs
+	}
+	return c.Phases[len(c.Phases)-1].Rate // unreachable: pos < period
+}
+
+// covers reports whether the burst window is active at tu microseconds.
+func (b *Burst) covers(tu int64) bool {
+	if tu < b.AtUs {
+		return false
+	}
+	if b.EveryUs == 0 {
+		return tu < b.AtUs+b.DurationUs
+	}
+	return (tu-b.AtUs)%b.EveryUs < b.DurationUs
+}
+
+// nextChange returns the earliest instant strictly after t at which the
+// cohort's rate could change: the next phase boundary or burst edge. Used
+// to skip silent (rate-0) stretches without sampling.
+func (c *Cohort) nextChange(t sim.Time) sim.Time {
+	tu := int64(t / sim.Microsecond)
+	next := c.nextPhaseBoundary(tu)
+	for i := range c.Bursts {
+		if e, ok := c.Bursts[i].nextEdge(tu); ok && e < next {
+			next = e
+		}
+	}
+	nt := sim.Time(next) * sim.Microsecond
+	if nt <= t {
+		nt = t + sim.Microsecond // boundary truncation guard: always advance
+	}
+	return nt
+}
+
+// nextPhaseBoundary returns the first phase boundary (µs) strictly after tu.
+func (c *Cohort) nextPhaseBoundary(tu int64) int64 {
+	period := c.period()
+	cycle := (tu / period) * period
+	pos := tu - cycle
+	var cum int64
+	for _, ph := range c.Phases {
+		cum += ph.DurationUs
+		if pos < cum {
+			return cycle + cum
+		}
+	}
+	return cycle + period // unreachable: pos < period
+}
+
+// nextEdge returns the first burst start or end (µs) strictly after tu, if
+// any remains.
+func (b *Burst) nextEdge(tu int64) (int64, bool) {
+	if tu < b.AtUs {
+		return b.AtUs, true
+	}
+	if b.EveryUs == 0 {
+		if end := b.AtUs + b.DurationUs; tu < end {
+			return end, true
+		}
+		return 0, false
+	}
+	k := (tu - b.AtUs) / b.EveryUs
+	if end := b.AtUs + k*b.EveryUs + b.DurationUs; tu < end {
+		return end, true
+	}
+	return b.AtUs + (k+1)*b.EveryUs, true
+}
+
+// Fingerprint hashes the set's recorded (v2) trace bytes with FNV-64a and
+// returns the hex digest — a compact, stable identity for one expanded
+// scenario. laxsim and laxload print it so "same file, same seed, same
+// trace" is checkable across tools by eye.
+func Fingerprint(set *workload.JobSet) string {
+	h := fnv.New64a()
+	if err := workload.WriteTrace(h, set); err != nil {
+		// WriteTrace to a hasher cannot fail; keep the signature ergonomic.
+		panic(fmt.Sprintf("scenario: fingerprint: %v", err))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

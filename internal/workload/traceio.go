@@ -11,7 +11,7 @@ import (
 	"laxgpu/internal/sim"
 )
 
-// Trace CSV format: one row per job.
+// Trace CSV formats, one row per job. Version 1:
 //
 //	arrival_us,deadline_us,kernels
 //
@@ -21,39 +21,83 @@ import (
 // replay their own arrival traces (the paper's "real world systems
 // continually receive requests with varying arrival rates") against any
 // scheduler.
-var traceHeader = []string{"arrival_us", "deadline_us", "kernels"}
+//
+// Version 2 extends the row with multi-tenant scenario provenance and
+// switches times to integer nanoseconds so record → replay is bit-exact:
+//
+//	arrival_ns,deadline_ns,kernels,benchmark,cohort,criticality
+//
+// WriteTrace emits v2 exactly when the set carries scenario provenance (any
+// job with a non-empty Cohort or Criticality); ReadTrace auto-detects the
+// version from the header row. The full field-by-field contract lives in
+// SCENARIOS.md.
+var (
+	traceHeader   = []string{"arrival_us", "deadline_us", "kernels"}
+	traceHeaderV2 = []string{"arrival_ns", "deadline_ns", "kernels", "benchmark", "cohort", "criticality"}
+)
+
+// kernelRefs compresses a kernel chain into the "a;b*3;c" reference syntax.
+func kernelRefs(chain []*gpu.KernelDesc) string {
+	kernels := ""
+	i := 0
+	for i < len(chain) {
+		name := chain[i].Name
+		run := 1
+		for i+run < len(chain) && chain[i+run].Name == name {
+			run++
+		}
+		if kernels != "" {
+			kernels += ";"
+		}
+		if run > 1 {
+			kernels += fmt.Sprintf("%s*%d", name, run)
+		} else {
+			kernels += name
+		}
+		i += run
+	}
+	return kernels
+}
 
 // WriteTrace serializes a job set to the trace CSV format. Jobs whose
 // kernels are not library kernels round-trip by name (the reader resolves
-// names against its own library).
+// names against its own library). Sets with scenario provenance (any
+// non-empty Job.Cohort or Job.Criticality) are written in the v2 format,
+// which also records per-job benchmark names and nanosecond-exact times;
+// everything else keeps the original v1 layout byte for byte.
 func WriteTrace(w io.Writer, set *JobSet) error {
+	v2 := false
+	for _, j := range set.Jobs {
+		if j.Cohort != "" || j.Criticality != "" {
+			v2 = true
+			break
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(traceHeader); err != nil {
+	header := traceHeader
+	if v2 {
+		header = traceHeaderV2
+	}
+	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("workload: trace header: %w", err)
 	}
 	for _, j := range set.Jobs {
-		kernels := ""
-		i := 0
-		for i < len(j.Kernels) {
-			name := j.Kernels[i].Name
-			run := 1
-			for i+run < len(j.Kernels) && j.Kernels[i+run].Name == name {
-				run++
+		var row []string
+		if v2 {
+			row = []string{
+				strconv.FormatInt(int64(j.Arrival), 10),
+				strconv.FormatInt(int64(j.Deadline), 10),
+				kernelRefs(j.Kernels),
+				j.Benchmark,
+				j.Cohort,
+				j.Criticality,
 			}
-			if kernels != "" {
-				kernels += ";"
+		} else {
+			row = []string{
+				strconv.FormatFloat(j.Arrival.Microseconds(), 'g', -1, 64),
+				strconv.FormatFloat(j.Deadline.Microseconds(), 'g', -1, 64),
+				kernelRefs(j.Kernels),
 			}
-			if run > 1 {
-				kernels += fmt.Sprintf("%s*%d", name, run)
-			} else {
-				kernels += name
-			}
-			i += run
-		}
-		row := []string{
-			strconv.FormatFloat(j.Arrival.Microseconds(), 'g', -1, 64),
-			strconv.FormatFloat(j.Deadline.Microseconds(), 'g', -1, 64),
-			kernels,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("workload: trace row for job %d: %w", j.ID, err)
@@ -64,10 +108,12 @@ func WriteTrace(w io.Writer, set *JobSet) error {
 }
 
 // ReadTrace parses a trace CSV into a job set, resolving kernel names
-// against the library. Jobs are sorted by arrival and assigned dense IDs.
+// against the library. Both format versions are accepted; the version is
+// detected from the header row. Jobs are sorted by arrival and assigned
+// dense IDs.
 func ReadTrace(r io.Reader, lib *Library, benchmark string) (*JobSet, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(traceHeader)
+	cr.FieldsPerRecord = -1
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading trace: %w", err)
@@ -75,30 +121,69 @@ func ReadTrace(r io.Reader, lib *Library, benchmark string) (*JobSet, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("workload: empty trace")
 	}
-	if rows[0][0] != traceHeader[0] {
+	var v2 bool
+	switch rows[0][0] {
+	case traceHeader[0]:
+		v2 = false
+	case traceHeaderV2[0]:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("workload: trace missing header row (got %q)", rows[0][0])
+	}
+	want := len(traceHeader)
+	if v2 {
+		want = len(traceHeaderV2)
+	}
+	if len(rows[0]) != want {
+		return nil, fmt.Errorf("workload: trace header has %d fields, want %d", len(rows[0]), want)
 	}
 
 	set := &JobSet{Benchmark: benchmark}
 	for n, row := range rows[1:] {
-		arrival, err := strconv.ParseFloat(row[0], 64)
-		if err != nil || arrival < 0 {
-			return nil, fmt.Errorf("workload: trace row %d: bad arrival %q", n+1, row[0])
+		if len(row) != want {
+			return nil, fmt.Errorf("workload: trace row %d: %d fields, want %d", n+1, len(row), want)
 		}
-		deadline, err := strconv.ParseFloat(row[1], 64)
-		if err != nil || deadline <= 0 {
-			return nil, fmt.Errorf("workload: trace row %d: bad deadline %q", n+1, row[1])
+		var arrival, deadline sim.Time
+		if v2 {
+			a, err := strconv.ParseInt(row[0], 10, 64)
+			if err != nil || a < 0 {
+				return nil, fmt.Errorf("workload: trace row %d: bad arrival %q", n+1, row[0])
+			}
+			d, err := strconv.ParseInt(row[1], 10, 64)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("workload: trace row %d: bad deadline %q", n+1, row[1])
+			}
+			arrival, deadline = sim.Time(a), sim.Time(d)
+		} else {
+			a, err := strconv.ParseFloat(row[0], 64)
+			if err != nil || a < 0 {
+				return nil, fmt.Errorf("workload: trace row %d: bad arrival %q", n+1, row[0])
+			}
+			d, err := strconv.ParseFloat(row[1], 64)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("workload: trace row %d: bad deadline %q", n+1, row[1])
+			}
+			arrival = sim.Time(a * float64(sim.Microsecond))
+			deadline = sim.Time(d * float64(sim.Microsecond))
 		}
 		kernels, err := parseKernelRefs(row[2], lib)
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace row %d: %w", n+1, err)
 		}
-		set.Jobs = append(set.Jobs, &Job{
+		j := &Job{
 			Benchmark: benchmark,
-			Arrival:   sim.Time(arrival * float64(sim.Microsecond)),
-			Deadline:  sim.Time(deadline * float64(sim.Microsecond)),
+			Arrival:   arrival,
+			Deadline:  deadline,
 			Kernels:   kernels,
-		})
+		}
+		if v2 {
+			if row[3] != "" {
+				j.Benchmark = row[3]
+			}
+			j.Cohort = row[4]
+			j.Criticality = row[5]
+		}
+		set.Jobs = append(set.Jobs, j)
 	}
 	sort.SliceStable(set.Jobs, func(a, b int) bool {
 		return set.Jobs[a].Arrival < set.Jobs[b].Arrival
@@ -111,9 +196,6 @@ func ReadTrace(r io.Reader, lib *Library, benchmark string) (*JobSet, error) {
 
 // parseKernelRefs expands "a;b*3;c" into a kernel chain.
 func parseKernelRefs(spec string, lib *Library) ([]*gpu.KernelDesc, error) {
-	if spec == "" {
-		return nil, fmt.Errorf("empty kernel list")
-	}
 	var out []*gpu.KernelDesc
 	for _, ref := range splitNonEmpty(spec, ';') {
 		name := ref
@@ -141,6 +223,11 @@ func parseKernelRefs(spec string, lib *Library) ([]*gpu.KernelDesc, error) {
 		for i := 0; i < count; i++ {
 			out = append(out, desc)
 		}
+	}
+	// "" and all-separator specs like ";" both split to nothing; a job
+	// needs at least one kernel to be replayable.
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty kernel list")
 	}
 	return out, nil
 }

@@ -21,9 +21,10 @@
 //
 // Run is the single entry point: every run mode folds into Options. Verify
 // attaches the runtime invariant checker, Probe folds telemetry into the
-// session registry, Trace replays a custom CSV arrival log, System overrides
-// the simulated device, Faults injects deterministic device faults, and
-// Metrics/Perfetto export the run's telemetry. The pre-unification entry
+// session registry, Trace replays a custom CSV arrival log, Scenario expands
+// a versioned multi-tenant scenario file (SCENARIOS.md) into a deterministic
+// trace, System overrides the simulated device, Faults injects deterministic
+// device faults, and Metrics/Perfetto export the run's telemetry. The pre-unification entry
 // points (RunContext, RunVerified, RunProbed, RunTrace, ...) survive as thin
 // deprecated wrappers; see the README migration table.
 //
@@ -101,10 +102,23 @@ type Options struct {
 	// "arrival_us,deadline_us,kernels", one job per row; kernels is a
 	// semicolon-separated list of Table 1 kernel names, each optionally
 	// suffixed "*count" for repeats (e.g.
-	// "rocBLASGEMMKernel1*16;ActivationKernel5"). This is the path for
-	// replaying production arrival logs against the scheduler zoo. Trace
-	// replays are never cached.
+	// "rocBLASGEMMKernel1*16;ActivationKernel5"). Multi-tenant v2 traces
+	// recorded from scenarios ("arrival_ns,deadline_ns,kernels,benchmark,
+	// cohort,criticality") replay through the same field; the version is
+	// auto-detected. This is the path for replaying production arrival logs
+	// against the scheduler zoo. Trace replays are never cached.
 	Trace io.Reader
+
+	// Scenario, when non-nil, generates the workload from a versioned
+	// scenario document (SCENARIOS.md): multi-period diurnal rate
+	// schedules, burst overlays, heavy-tailed inter-arrival and
+	// service-time distributions, and per-tenant cohorts with distinct
+	// deadline and criticality classes. Generation is deterministic: the
+	// same document and seed always expand to a byte-identical trace, so a
+	// committed scenario file is a replayable artifact. Seed overrides the
+	// file's own seed when non-zero. Mutually exclusive with Trace and
+	// Benchmark; scenario runs are never cached.
+	Scenario io.Reader
 
 	// System overrides the simulated device; nil means the paper's Table 2
 	// system.

@@ -15,6 +15,7 @@ import (
 	"laxgpu/internal/sched"
 	"laxgpu/internal/verify"
 	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 // ErrSessionClosed is returned by every Run/Sweep/Experiment variant called
@@ -198,7 +199,10 @@ func normalizeOptions(o Options) (runnerKey, workload.Rate, error) {
 // and trace replays (Trace) always simulate fresh. Cancelling ctx stops the
 // simulation mid-event-loop and the aborted run is not cached.
 func (s *Session) Run(ctx context.Context, o Options) (Result, error) {
-	if o.Trace != nil {
+	if o.Trace != nil && o.Scenario != nil {
+		return Result{}, fmt.Errorf("laxgpu: Options.Trace and Options.Scenario are mutually exclusive")
+	}
+	if o.Trace != nil || o.Scenario != nil {
 		if s.isClosed() {
 			return Result{}, ErrSessionClosed
 		}
@@ -258,9 +262,10 @@ func (s *Session) runObserved(ctx context.Context, r *harness.Runner, o Options,
 	return toResult(sum), nil
 }
 
-// runTrace replays a custom job trace (Options.Trace) under the requested
-// scheduler, device and fault plan. Replays are session-independent except
-// for the Probe registry; they are never cached.
+// runTrace replays a custom job trace (Options.Trace) or expands and runs a
+// scenario document (Options.Scenario) under the requested scheduler, device
+// and fault plan. Both paths are session-independent except for the Probe
+// registry; they are never cached.
 func (s *Session) runTrace(ctx context.Context, o Options) (Result, error) {
 	pol, err := sched.New(o.Scheduler)
 	if err != nil {
@@ -278,9 +283,23 @@ func (s *Session) runTrace(ctx context.Context, o Options) (Result, error) {
 		cfg.Recovery = cp.DefaultRecoveryConfig()
 	}
 	lib := workload.NewLibrary(cfg.GPU)
-	set, err := workload.ReadTrace(o.Trace, lib, "custom")
-	if err != nil {
-		return Result{}, err
+	var set *workload.JobSet
+	benchLabel, rateLabel := "custom", "trace"
+	if o.Scenario != nil {
+		sc, err := scenario.Parse(o.Scenario)
+		if err != nil {
+			return Result{}, err
+		}
+		set, err = sc.Generate(lib, o.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		benchLabel, rateLabel = sc.Label(), "scenario"
+	} else {
+		set, err = workload.ReadTrace(o.Trace, lib, "custom")
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	sys := cp.NewSystem(cfg, set, pol)
 	if !spec.Zero() {
@@ -318,7 +337,7 @@ func (s *Session) runTrace(ctx context.Context, o Options) (Result, error) {
 	}
 	if ck != nil {
 		if err := ck.Finalize(); err != nil {
-			return Result{}, fmt.Errorf("%s/custom/trace: invariant violation: %w", o.Scheduler, err)
+			return Result{}, fmt.Errorf("%s/%s/%s: invariant violation: %w", o.Scheduler, benchLabel, rateLabel, err)
 		}
 	}
 	if m != nil {
@@ -331,7 +350,7 @@ func (s *Session) runTrace(ctx context.Context, o Options) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return toResult(metrics.Summarize(sys, o.Scheduler, "custom", "trace")), nil
+	return toResult(metrics.Summarize(sys, o.Scheduler, benchLabel, rateLabel)), nil
 }
 
 // RunContext simulates one cell with cooperative cancellation.
@@ -406,8 +425,8 @@ func (s *Session) SweepContext(ctx context.Context, opts []Options) ([]Result, e
 	}
 	cells := make([]cell, len(opts))
 	for i, o := range opts {
-		if o.Trace != nil || o.Probe || o.Metrics != nil || o.Perfetto != nil {
-			return nil, fmt.Errorf("laxgpu: sweep cell %d: Trace/Probe/Metrics/Perfetto are single-run options; use Run", i)
+		if o.Trace != nil || o.Scenario != nil || o.Probe || o.Metrics != nil || o.Perfetto != nil {
+			return nil, fmt.Errorf("laxgpu: sweep cell %d: Trace/Scenario/Probe/Metrics/Perfetto are single-run options; use Run", i)
 		}
 		key, rate, err := normalizeOptions(o)
 		if err == nil {
