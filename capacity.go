@@ -2,11 +2,13 @@ package laxgpu
 
 import (
 	"fmt"
+	"os"
 
 	"laxgpu/internal/cp"
 	"laxgpu/internal/faults"
 	"laxgpu/internal/sched"
 	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
 )
 
 // CapacityOptions parameterize FindCapacity.
@@ -27,6 +29,14 @@ type CapacityOptions struct {
 	// as Options.Faults), answering "what rate can a degraded device
 	// sustain". Empty means a healthy device.
 	Faults string
+
+	// Scenario optionally names a workload scenario — a builtin from
+	// examples/scenarios ("diurnal", "burst-storm", "three-tenant") or a
+	// path to a scenario JSON file. When set, every probe replays the
+	// scenario's peak-phase tenant mix scaled to the probed aggregate rate
+	// (see scenario.PeakPhase), so the search answers "what total arrival
+	// rate does this scenario's worst phase allow". Benchmark is ignored.
+	Scenario string
 }
 
 // CapacityResult is the outcome of a capacity search.
@@ -54,9 +64,20 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
-	bench, err := workload.FindBenchmark(o.Benchmark)
-	if err != nil {
-		return CapacityResult{}, err
+	var bench *workload.Benchmark
+	var peak *scenario.Spec
+	if o.Scenario != "" {
+		sc, err := loadScenario(o.Scenario)
+		if err != nil {
+			return CapacityResult{}, err
+		}
+		peak = sc
+	} else {
+		b, err := workload.FindBenchmark(o.Benchmark)
+		if err != nil {
+			return CapacityResult{}, err
+		}
+		bench = b
 	}
 	if _, err := sched.New(o.Scheduler); err != nil {
 		return CapacityResult{}, err
@@ -76,7 +97,19 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		set := bench.GenerateCustom(lib, rate, o.Jobs, o.Seed)
+		var set *workload.JobSet
+		if peak != nil {
+			// Horizon sized for ~o.Jobs arrivals at the probed aggregate
+			// rate; the realized count varies with the arrival draws, so
+			// the met fraction is over the generated jobs.
+			durUs := int64(float64(o.Jobs)/float64(rate)*1e6) + 1
+			set, err = peak.PeakPhase(float64(rate), durUs).Generate(lib, o.Seed)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			set = bench.GenerateCustom(lib, rate, o.Jobs, o.Seed)
+		}
 		sys := cp.NewSystem(cfg, set, pol)
 		if !spec.Zero() {
 			sys.InstallFaults(faults.NewPlan(spec, o.Seed+int64(rate)), spec.Retirements)
@@ -88,7 +121,7 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 				met++
 			}
 		}
-		return float64(met) / float64(o.Jobs), nil
+		return float64(met) / float64(len(set.Jobs)), nil
 	}
 
 	lo, hi := 50, 256000
@@ -119,6 +152,21 @@ func FindCapacity(o CapacityOptions) (CapacityResult, error) {
 		return CapacityResult{}, err
 	}
 	return CapacityResult{JobsPerSecond: lo, MetFracAtCapacity: final}, nil
+}
+
+// loadScenario resolves CapacityOptions.Scenario: a builtin scenario name
+// first, then a path to a scenario JSON file.
+func loadScenario(name string) (*scenario.Spec, error) {
+	if sc, err := scenario.Builtin(name); err == nil {
+		return sc, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("laxgpu: scenario %q is neither a builtin (%v) nor a readable file: %w",
+			name, scenario.BuiltinNames(), err)
+	}
+	defer f.Close()
+	return scenario.Parse(f)
 }
 
 // String renders the result for logs.

@@ -13,12 +13,24 @@
 //	laxgw -chaos "crash@5s;;netdrop=0.1"    # per-node chaos, ';'-separated
 //	laxgw -probe-interval 50ms -fail-threshold 3
 //	laxgw -perfetto fleet.json              # export fleet events + traces at shutdown
+//	laxgw -autoscale reactive -min-nodes 1 -max-nodes 4 -node-rate 2000
+//	laxgw -autoscale predictive -scale-forecast examples/scenarios/diurnal.json
 //
 // Endpoints: POST /v1/jobs (?wait=1 blocks until terminal; body takes an
 // optional "criticality": best-effort | standard | critical), GET
 // /v1/jobs/{id}, GET /v1/jobs/{id}/trace (stitched cross-process trace +
 // slack attribution), GET /v1/fleet (per-node breaker states and the live
 // no-lost-jobs verdict), GET /metrics, GET /healthz.
+//
+// -autoscale turns the in-process fleet elastic: a control loop analyzes
+// saturation every -scale-interval and grows or drains nodes between
+// -min-nodes and -max-nodes, with -scale-lag of modeled provisioning delay
+// before a new node turns routable. The reactive policy scales on observed
+// damage (admission rejects, deadline misses); predictive sizes the fleet
+// from the observed rate — and, with -scale-forecast, from a scenario's
+// published rate schedule one lag ahead. Progress is visible as the
+// laxgw_autoscale_* metric family and scale-up/drain instants on the fleet
+// timeline.
 //
 // SIGINT/SIGTERM drains: new submissions get 503, in-process nodes finish
 // their in-flight jobs (CPU fallback after the grace), then the process
@@ -34,14 +46,17 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"laxgpu/internal/autoscale"
 	"laxgpu/internal/faults"
 	"laxgpu/internal/gateway"
 	"laxgpu/internal/obs"
 	"laxgpu/internal/serve"
 	"laxgpu/internal/sim"
+	"laxgpu/internal/workload/scenario"
 )
 
 func main() {
@@ -59,6 +74,14 @@ func main() {
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace before forcing CPU fallback (in-process)")
 		seed      = flag.Int64("seed", 1, "seed for chaos plans and the benchmark sampler")
 		perfetto  = flag.String("perfetto", "", "write fleet events and recent job traces as Perfetto JSON to this file at shutdown")
+
+		autoPol  = flag.String("autoscale", "", "fleet autoscaling policy: reactive | predictive (empty = fixed fleet; in-process nodes only)")
+		scaleLag = flag.Duration("scale-lag", 500*time.Millisecond, "modeled provisioning lag before a scale-up turns routable (wall; scaled by -speed like the clock)")
+		scaleIv  = flag.Duration("scale-interval", 50*time.Millisecond, "wall interval between autoscaler control ticks")
+		minNodes = flag.Int("min-nodes", 1, "autoscaler floor: drains never shrink the fleet below this")
+		maxNodes = flag.Int("max-nodes", 8, "autoscaler ceiling: scale-ups never grow active+pending nodes beyond this")
+		nodeRate = flag.Float64("node-rate", 2000, "calibrated per-node sustainable throughput for the saturation analyzer (jobs per simulated second)")
+		scaleFc  = flag.String("scale-forecast", "", "scenario file whose rate schedule the predictive policy reads one provisioning lag ahead")
 	)
 	flag.Parse()
 
@@ -127,6 +150,70 @@ func main() {
 		fatal(err)
 	}
 
+	// Elastic fleet: the controller analyzes saturation on a wall ticker and
+	// grows/drains in-process nodes. The node factory mints simulated nodes,
+	// so autoscaling and remote -nodes don't combine.
+	var ctrl *autoscale.Controller
+	if *autoPol != "" {
+		if *nodes != "" {
+			fatal(fmt.Errorf("-autoscale scales in-process nodes only and does not combine with -nodes"))
+		}
+		var pol autoscale.Policy
+		switch *autoPol {
+		case "reactive":
+			pol = &autoscale.Reactive{}
+		case "predictive":
+			pol = &autoscale.Predictive{}
+		default:
+			fatal(fmt.Errorf("unknown -autoscale policy %q (want reactive or predictive)", *autoPol))
+		}
+		var fc autoscale.Forecast
+		if *scaleFc != "" {
+			f, err := os.Open(*scaleFc)
+			if err != nil {
+				fatal(err)
+			}
+			spec, err := scenario.Parse(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("-scale-forecast %s: %w", *scaleFc, err))
+			}
+			fc = spec
+		}
+		grown := len(backends)
+		ctrl, err = autoscale.New(autoscale.Options{
+			Gateway:  gw,
+			Policy:   pol,
+			Forecast: fc,
+			Config: autoscale.Config{
+				NodeRate: *nodeRate,
+				Lag:      sim.FromDuration(time.Duration(float64(*scaleLag) * *speed)),
+				MinNodes: *minNodes,
+				MaxNodes: *maxNodes,
+			},
+			Factory: func(name string) (gateway.Backend, error) {
+				grown++
+				return gateway.NewInprocBackend(gateway.InprocConfig{
+					Name:        name,
+					Node:        serve.NodeConfig{Scheduler: *scheduler, Seed: *seed + int64(grown)},
+					Clock:       clock,
+					AcceptQueue: *queue,
+					Registry:    reg,
+				})
+			},
+			OnRetire: func(name string, be gateway.Backend) {
+				// A drained node's simulation can stop as soon as the
+				// gateway retires it; don't stall the control tick on it.
+				if ib, ok := be.(*gateway.InprocBackend); ok {
+					go ib.Shutdown(time.Second)
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -139,12 +226,39 @@ func main() {
 	gw.TickProbes(clock.Now())
 	stopProber := gw.StartProber(*probeIv)
 
+	// The autoscaler shares the prober's pattern: one goroutine, one ticker,
+	// explicit Tick instants off the shared clock.
+	stopScale := func() {}
+	if ctrl != nil {
+		ctrl.Tick(clock.Now())
+		tick := time.NewTicker(*scaleIv)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					ctrl.Tick(clock.Now())
+				}
+			}
+		}()
+		stopScale = func() { tick.Stop(); close(done); wg.Wait() }
+	}
+
 	mode := "in-process"
 	if *nodes != "" {
 		mode = "remote"
 	}
 	fmt.Fprintf(os.Stderr, "laxgw: serving on %s (%d %s node(s), %s, speed %gx, probe %v, threshold %d)\n",
 		ln.Addr(), len(backends), mode, *scheduler, *speed, *probeIv, *failThr)
+	if ctrl != nil {
+		fmt.Fprintf(os.Stderr, "laxgw: autoscale %s (%d..%d nodes, lag %v, tick %v, node-rate %g jobs/s)\n",
+			*autoPol, *minNodes, *maxNodes, *scaleLag, *scaleIv, *nodeRate)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -152,6 +266,7 @@ func main() {
 	stop()
 	fmt.Fprintln(os.Stderr, "laxgw: draining...")
 
+	stopScale()
 	stopProber()
 	sctx, cancel := context.WithTimeout(context.Background(), *drain+10*time.Second)
 	defer cancel()

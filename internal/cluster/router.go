@@ -70,6 +70,19 @@ func NewRouter(policy RoutingPolicy, gpus int) *Router {
 // GPUs returns the device count.
 func (r *Router) GPUs() int { return len(r.outstanding) }
 
+// Add grows the fleet by one device (initially healthy and idle) and returns
+// its index. The gateway calls it when the autoscaler admits a new node
+// mid-run; existing devices' bookkeeping is untouched, so routing history
+// stays valid across the growth.
+func (r *Router) Add() int {
+	g := len(r.outstanding)
+	r.outstanding = append(r.outstanding, 0)
+	r.capacity = append(r.capacity, 1)
+	r.reported = append(r.reported, 0)
+	r.sinceReport = append(r.sinceReport, 0)
+	return g
+}
+
 // SetHealth records device g's surviving capacity fraction in [0,1] (1 =
 // fully healthy, 0 = dead). Least-loaded and headroom routing drain and
 // weigh the device by it — a fraction of 0 excludes the device from picks

@@ -44,6 +44,13 @@ type Headroom struct {
 	// Capacity is the node's device count (routing weight).
 	Capacity int
 
+	// CapacityFrac is the fraction of the node's compute capacity still
+	// alive after CU retirements, in (0, 1]. Values ≤ 0 mean the node did
+	// not report one (older backends) and the gateway assumes full health.
+	// The router weighs placement by it, and the autoscaler treats a
+	// shrinking fraction as a capacity-loss signal.
+	CapacityFrac float64
+
 	// Draining marks a node refusing new work (graceful shutdown).
 	Draining bool
 }
@@ -234,10 +241,16 @@ func (b *InprocBackend) Driver() *serve.Driver { return b.driver }
 func (b *InprocBackend) Probe(now sim.Time) (Headroom, error) {
 	var h Headroom
 	if !b.driver.Call(func() {
+		dev := b.node.System().Device()
+		frac := 1.0
+		if total := dev.ActiveCUs() + dev.RetiredCUsCount(); total > 0 {
+			frac = float64(dev.ActiveCUs()) / float64(total)
+		}
 		h = Headroom{
-			Drain:      b.node.EstimateDrain(),
-			Unfinished: len(b.node.Unfinished()),
-			Capacity:   1,
+			Drain:        b.node.EstimateDrain(),
+			Unfinished:   len(b.node.Unfinished()),
+			Capacity:     1,
+			CapacityFrac: frac,
 		}
 	}) {
 		return Headroom{}, ErrBackendUnavailable

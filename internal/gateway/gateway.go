@@ -142,11 +142,38 @@ func (e *entry) spanLocked(now sim.Time, name, detail string) {
 	})
 }
 
+// node is one fleet member's row in the gateway's node table: the backend,
+// its breaker, its last-probed headroom, its lifecycle flags and its labeled
+// metrics. The table only grows — a drained node is marked retired rather
+// than removed, so routing indexes stored in journal entries stay valid for
+// the life of the gateway.
+type node struct {
+	be       Backend
+	breaker  *Breaker
+	headroom Headroom
+
+	// draining: DrainBackend was called — the node finishes its admitted
+	// work but is routed no new jobs. retired: the drain completed (or its
+	// orphans were failed over) and the node has left the fleet.
+	draining bool
+	retired  bool
+
+	// inflight counts accepted, non-terminal journal entries currently
+	// assigned to this node — the drain-completion signal.
+	inflight int
+
+	cBreakerOpens  *obs.Counter
+	cProbeFailures *obs.Counter
+	gBreakerState  *obs.Gauge
+}
+
 // Gateway is the fleet front tier: it routes arrivals on live laxity
 // headroom, health-checks nodes with per-node circuit breakers, journals
 // every accepted job and re-dispatches the unfinished work of dead nodes —
 // or falls it back to the CPU — so acceptance is a promise that survives
-// node death.
+// node death. The fleet is dynamic: AddBackend grows it mid-run and
+// DrainBackend retires a node journal-safely, which is what the autoscaler
+// drives.
 type Gateway struct {
 	opt   Options
 	clock serve.Clock
@@ -154,29 +181,35 @@ type Gateway struct {
 	lib   *workload.Library
 	gpu   gpu.Config
 
-	// mu guards the journal, router, breakers and last-probed headroom.
-	// Invariant: no blocking backend call (Probe, Submit) happens while mu
-	// is held — done callbacks fire on backend goroutines and take mu.
+	// mu guards the journal, router and the node table (breakers, headroom,
+	// lifecycle flags). Invariant: no blocking backend call (Probe, Submit)
+	// happens while mu is held — done callbacks fire on backend goroutines
+	// and take mu.
 	mu       sync.Mutex
 	journal  map[int64]*entry
 	order    []int64
 	nextID   int64
 	router   *cluster.Router
-	breakers []*Breaker
-	headroom []Headroom
+	nodes    []*node
+	drained  []string // names of retired nodes, in retirement order
 	rng      *sim.RNG
 	inflight int
+
+	// Cumulative traffic statistics the saturation analyzer differentiates:
+	// totals only ever grow, so rate = Δ/Δt between two snapshots.
+	statMissed     int64
+	statEstUs      int64 // summed serial-time estimate of all journaled jobs
+	statDeadlineUs int64 // summed relative deadline of all journaled jobs
+	statTightestUs int64 // smallest relative deadline ever accepted (0 = none yet)
+	statJournaled  int64 // journaled submissions (denominator for the sums)
 
 	draining atomic.Bool
 
 	cSubmitted, cAccepted, cRejected *obs.Counter
 	cUnhealthy, cDuplicates          *obs.Counter
 	cFailoverJobs, cFailoverFallback *obs.Counter
-	gInflight                        *obs.Gauge
+	gInflight, gFleetNodes           *obs.Gauge
 	cShed                            map[Class]*obs.Counter
-	cBreakerOpens                    []*obs.Counter
-	cProbeFailures                   []*obs.Counter
-	gBreakerState                    []*obs.Gauge
 	hRedispatchUs                    *obs.Histogram
 
 	// cMissCause is the per-class SLO burn breakdown: one counter per
@@ -185,8 +218,9 @@ type Gateway struct {
 	cMissCause map[Class]map[string]*obs.Counter
 
 	// fleetEvents is the gateway-level instant-event log (breaker
-	// transitions, failover re-dispatches, CPU fallbacks) exported to
-	// Perfetto at shutdown. Guarded by mu; bounded by MaxRecords.
+	// transitions, failover re-dispatches, CPU fallbacks, scale events)
+	// exported to Perfetto at shutdown. Guarded by mu; bounded by
+	// MaxRecords.
 	fleetEvents []obs.FleetEvent
 }
 
@@ -220,15 +254,14 @@ func New(opt Options) (*Gateway, error) {
 		reg = obs.NewRegistry()
 	}
 	gw := &Gateway{
-		opt:      opt,
-		clock:    opt.Clock,
-		reg:      reg,
-		lib:      workload.NewLibrary(sysCfg.GPU),
-		gpu:      sysCfg.GPU,
-		journal:  make(map[int64]*entry),
-		router:   cluster.NewRouter(cluster.RouteHeadroom, len(opt.Backends)),
-		headroom: make([]Headroom, len(opt.Backends)),
-		rng:      sim.NewRNG(opt.Seed),
+		opt:     opt,
+		clock:   opt.Clock,
+		reg:     reg,
+		lib:     workload.NewLibrary(sysCfg.GPU),
+		gpu:     sysCfg.GPU,
+		journal: make(map[int64]*entry),
+		router:  cluster.NewRouter(cluster.RouteHeadroom, len(opt.Backends)),
+		rng:     sim.NewRNG(opt.Seed),
 
 		cSubmitted: reg.Counter("laxgw_jobs_submitted_total", "Jobs received by the gateway (before routing)."),
 		cAccepted:  reg.Counter("laxgw_jobs_accepted_total", "Jobs a node admitted (HTTP 202)."),
@@ -241,6 +274,8 @@ func New(opt Options) (*Gateway, error) {
 		cFailoverFallback: reg.Counter("laxgw_failover_fallback_total",
 			"Journaled jobs finished on the gateway's CPU fallback because no survivor could take them."),
 		gInflight: reg.Gauge("laxgw_inflight_jobs", "Accepted jobs not yet in a terminal state."),
+		gFleetNodes: reg.Gauge("laxgw_fleet_nodes",
+			"Provisioned fleet members (active + draining, excluding retired)."),
 		hRedispatchUs: reg.Histogram("laxgw_redispatch_latency_us",
 			"Wall-clock latency from breaker trip to re-dispatch completion, per failed-over job (µs).",
 			[]float64{10, 100, 1000, 10_000, 100_000, 1_000_000}),
@@ -259,18 +294,108 @@ func New(opt Options) (*Gateway, error) {
 		}
 	}
 	for _, be := range opt.Backends {
-		labels := map[string]string{"node": be.Name()}
-		gw.breakers = append(gw.breakers, NewBreaker(opt.FailThreshold, opt.ProbeBackoff, opt.MaxBackoff))
-		gw.cBreakerOpens = append(gw.cBreakerOpens, reg.CounterWith("laxgw_breaker_opens_total",
-			"Times a node's circuit breaker tripped open.", labels))
-		gw.cProbeFailures = append(gw.cProbeFailures, reg.CounterWith("laxgw_probe_failures_total",
-			"Failed health probes per node.", labels))
-		g := reg.GaugeWith("laxgw_breaker_state",
-			"Circuit breaker position per node: 0 closed, 1 half-open, 2 open.", labels)
-		g.Set(0)
-		gw.gBreakerState = append(gw.gBreakerState, g)
+		gw.addNodeLocked(be)
 	}
+	gw.gFleetNodes.Set(float64(len(gw.nodes)))
 	return gw, nil
+}
+
+// addNodeLocked appends one backend to the node table with a fresh breaker
+// and its labeled metrics, returning its routing index. Caller holds mu (or
+// is the constructor).
+func (gw *Gateway) addNodeLocked(be Backend) int {
+	labels := map[string]string{"node": be.Name()}
+	n := &node{
+		be:      be,
+		breaker: NewBreaker(gw.opt.FailThreshold, gw.opt.ProbeBackoff, gw.opt.MaxBackoff),
+		cBreakerOpens: gw.reg.CounterWith("laxgw_breaker_opens_total",
+			"Times a node's circuit breaker tripped open.", labels),
+		cProbeFailures: gw.reg.CounterWith("laxgw_probe_failures_total",
+			"Failed health probes per node.", labels),
+		gBreakerState: gw.reg.GaugeWith("laxgw_breaker_state",
+			"Circuit breaker position per node: 0 closed, 1 half-open, 2 open.", labels),
+	}
+	n.gBreakerState.Set(0)
+	gw.nodes = append(gw.nodes, n)
+	return len(gw.nodes) - 1
+}
+
+// AddBackend grows the fleet by one node mid-run and returns its routing
+// index. The node joins healthy and idle: the router starts steering new
+// arrivals at it immediately, and the next TickProbes round folds its real
+// headroom in. This is the autoscaler's ScaleUp primitive.
+func (gw *Gateway) AddBackend(be Backend) int {
+	now := gw.clock.Now()
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	g := gw.addNodeLocked(be)
+	if rg := gw.router.Add(); rg != g {
+		panic(fmt.Sprintf("gateway: node table (%d) and router (%d) out of step", g, rg))
+	}
+	gw.eventLocked(now, obs.EventScaleUp, be.Name(), fmt.Sprintf("node %d joined the fleet", g))
+	gw.gFleetNodes.Set(float64(gw.provisionedLocked()))
+	return g
+}
+
+// DrainBackend begins a graceful scale-down of node g: no new work is routed
+// to it, its admitted jobs run to completion, and once its last inflight job
+// reaches a terminal state the node retires from the fleet. The returned
+// count is the inflight work the drain is waiting on (0 means the node
+// retired before DrainBackend returned). Journal safety: if the node dies
+// mid-drain its breaker trips and failover re-dispatches the remainder
+// exactly as for any crashed node. This is the autoscaler's Drain primitive.
+func (gw *Gateway) DrainBackend(g int) (int, error) {
+	now := gw.clock.Now()
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if g < 0 || g >= len(gw.nodes) {
+		return 0, fmt.Errorf("gateway: no node %d", g)
+	}
+	n := gw.nodes[g]
+	if n.retired {
+		return 0, fmt.Errorf("gateway: node %d (%s) already retired", g, n.be.Name())
+	}
+	if !n.draining {
+		n.draining = true
+		gw.router.SetHealth(g, 0)
+		gw.eventLocked(now, obs.EventScaleDrain, n.be.Name(),
+			fmt.Sprintf("draining with %d inflight", n.inflight))
+	}
+	gw.maybeRetireLocked(now, g)
+	return n.inflight, nil
+}
+
+// maybeRetireLocked retires a draining node whose inflight count reached
+// zero: it leaves the fleet and its name joins the drained ledger the
+// fleet-drain-lossless verify rule checks against. Caller holds mu.
+func (gw *Gateway) maybeRetireLocked(now sim.Time, g int) {
+	n := gw.nodes[g]
+	if !n.draining || n.retired || n.inflight > 0 {
+		return
+	}
+	n.retired = true
+	gw.drained = append(gw.drained, n.be.Name())
+	gw.eventLocked(now, obs.EventRetire, n.be.Name(), fmt.Sprintf("node %d left the fleet", g))
+	gw.gFleetNodes.Set(float64(gw.provisionedLocked()))
+}
+
+// provisionedLocked counts non-retired nodes (active + draining).
+func (gw *Gateway) provisionedLocked() int {
+	c := 0
+	for _, n := range gw.nodes {
+		if !n.retired {
+			c++
+		}
+	}
+	return c
+}
+
+// DrainedNodes returns the names of retired nodes in retirement order — the
+// ledger verify's fleet-drain-lossless rule audits the journal against.
+func (gw *Gateway) DrainedNodes() []string {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return append([]string(nil), gw.drained...)
 }
 
 // Registry returns the gateway's metrics registry.
@@ -307,10 +432,22 @@ func (gw *Gateway) Draining() bool { return gw.draining.Load() }
 // over the dead node's journaled jobs before the call returns. Tests drive
 // it directly with a ManualClock; StartProber drives it on a wall ticker.
 func (gw *Gateway) TickProbes(now sim.Time) {
-	for g, be := range gw.Backends() {
+	// Snapshot the probe targets: indexes are stable (the table only
+	// grows), so holding mu across the blocking Probe is the only thing to
+	// avoid. Nodes added mid-round are picked up next round.
+	gw.mu.Lock()
+	count := len(gw.nodes)
+	gw.mu.Unlock()
+	for g := 0; g < count; g++ {
 		gw.mu.Lock()
-		allowed := gw.breakers[g].Allow(now)
-		gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+		n := gw.nodes[g]
+		if n.retired {
+			gw.mu.Unlock()
+			continue
+		}
+		be := n.be
+		allowed := n.breaker.Allow(now)
+		n.gBreakerState.Set(float64(n.breaker.State()))
 		gw.mu.Unlock()
 		if !allowed {
 			continue
@@ -318,33 +455,36 @@ func (gw *Gateway) TickProbes(now sim.Time) {
 		h, err := be.Probe(now) // never under mu: in-proc probes run completions
 		gw.mu.Lock()
 		if err != nil {
-			gw.cProbeFailures[g].Inc()
-			tripped := gw.breakers[g].Failure(now)
+			n.cProbeFailures.Inc()
+			tripped := n.breaker.Failure(now)
 			gw.router.SetHealth(g, 0)
-			gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+			n.gBreakerState.Set(float64(n.breaker.State()))
 			if !tripped {
 				gw.mu.Unlock()
 				continue
 			}
-			gw.cBreakerOpens[g].Inc()
+			n.cBreakerOpens.Inc()
 			gw.eventLocked(now, obs.EventBreaker, be.Name(), "open")
 			orphans := gw.orphansLocked(g)
 			gw.mu.Unlock()
 			gw.failover(now, orphans)
 			continue
 		}
-		if gw.breakers[g].State() != BreakerClosed {
+		if n.breaker.State() != BreakerClosed {
 			gw.eventLocked(now, obs.EventBreaker, be.Name(), "closed")
 		}
-		gw.breakers[g].Success(now)
-		gw.headroom[g] = h
-		health := 1.0
-		if h.Draining {
+		n.breaker.Success(now)
+		n.headroom = h
+		health := h.CapacityFrac
+		if health <= 0 || health > 1 {
+			health = 1 // unreported: assume full capacity
+		}
+		if h.Draining || n.draining {
 			health = 0
 		}
 		gw.router.SetHealth(g, health)
 		gw.router.SetHeadroom(g, h.Drain)
-		gw.gBreakerState[g].Set(float64(BreakerClosed))
+		n.gBreakerState.Set(float64(BreakerClosed))
 		gw.mu.Unlock()
 	}
 }
@@ -372,29 +512,46 @@ func (gw *Gateway) StartProber(every time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Backends returns the fleet in routing-index order.
-func (gw *Gateway) Backends() []Backend { return gw.opt.Backends }
-
-// healthyLocked counts nodes whose breaker is not open.
-func (gw *Gateway) healthyLocked() int {
-	n := 0
-	for _, b := range gw.breakers {
-		if b.State() != BreakerOpen {
-			n++
+// Backends snapshots the non-retired fleet in routing-index order.
+func (gw *Gateway) Backends() []Backend {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	out := make([]Backend, 0, len(gw.nodes))
+	for _, n := range gw.nodes {
+		if !n.retired {
+			out = append(out, n.be)
 		}
 	}
-	return n
+	return out
 }
 
-// minDrainLocked is the lowest predicted drain among non-open nodes — the
+// routableLocked reports whether node g may receive new work: breaker not
+// open, not draining, not retired.
+func (gw *Gateway) routableLocked(g int) bool {
+	n := gw.nodes[g]
+	return !n.retired && !n.draining && n.breaker.State() != BreakerOpen
+}
+
+// healthyLocked counts nodes that may receive new work.
+func (gw *Gateway) healthyLocked() int {
+	c := 0
+	for g := range gw.nodes {
+		if gw.routableLocked(g) {
+			c++
+		}
+	}
+	return c
+}
+
+// minDrainLocked is the lowest predicted drain among routable nodes — the
 // shedding signal: the soonest any node could start a new job.
 func (gw *Gateway) minDrainLocked() sim.Time {
 	best := sim.Time(-1)
-	for g, b := range gw.breakers {
-		if b.State() == BreakerOpen {
+	for g, n := range gw.nodes {
+		if !gw.routableLocked(g) {
 			continue
 		}
-		d := gw.headroom[g].Drain
+		d := n.headroom.Drain
 		if best < 0 || d < best {
 			best = d
 		}
@@ -406,7 +563,8 @@ func (gw *Gateway) minDrainLocked() sim.Time {
 }
 
 // orphansLocked collects node g's journaled non-terminal jobs in ID order
-// and detaches them from the node.
+// and detaches them from the node. A draining node whose work is orphaned
+// away (it died mid-drain) retires here: failover now owns its jobs.
 func (gw *Gateway) orphansLocked(g int) []*entry {
 	var out []*entry
 	for _, id := range gw.order {
@@ -416,6 +574,8 @@ func (gw *Gateway) orphansLocked(g int) []*entry {
 			out = append(out, e)
 		}
 	}
+	gw.nodes[g].inflight -= len(out)
+	gw.maybeRetireLocked(gw.clock.Now(), g)
 	return out
 }
 
@@ -429,14 +589,14 @@ func (gw *Gateway) failover(now sim.Time, orphans []*entry) {
 	start := time.Now()
 	for _, e := range orphans {
 		redispatched := false
-		for attempt := 0; attempt < len(gw.opt.Backends); attempt++ {
+		for attempt := 0; ; attempt++ {
 			gw.mu.Lock()
-			if gw.healthyLocked() == 0 {
+			if attempt >= len(gw.nodes) || gw.healthyLocked() == 0 {
 				gw.mu.Unlock()
 				break
 			}
 			target := gw.router.Pick(now, e.job.Est, int(e.job.ID))
-			be := gw.opt.Backends[target]
+			be := gw.nodes[target].be
 			gw.mu.Unlock()
 
 			v, err := gw.submitTo(now, target, be, e)
@@ -453,6 +613,9 @@ func (gw *Gateway) failover(now sim.Time, orphans []*entry) {
 				e.backend = target
 				e.remoteID = v.RemoteID
 				redispatched = true
+				if e.terminal == "" {
+					gw.nodes[target].inflight++
+				}
 				gw.eventLocked(now, obs.EventRedispatch, be.Name(),
 					fmt.Sprintf("job %d re-dispatched", e.job.ID))
 			}
@@ -480,15 +643,16 @@ func (gw *Gateway) submitTo(now sim.Time, target int, be Backend, e *entry) (Ver
 // over its jobs if this strike tripped it.
 func (gw *Gateway) strike(now sim.Time, g int) {
 	gw.mu.Lock()
-	tripped := gw.breakers[g].Failure(now)
+	n := gw.nodes[g]
+	tripped := n.breaker.Failure(now)
 	gw.router.SetHealth(g, 0)
-	gw.gBreakerState[g].Set(float64(gw.breakers[g].State()))
+	n.gBreakerState.Set(float64(n.breaker.State()))
 	if !tripped {
 		gw.mu.Unlock()
 		return
 	}
-	gw.cBreakerOpens[g].Inc()
-	gw.eventLocked(now, obs.EventBreaker, gw.opt.Backends[g].Name(), "open")
+	n.cBreakerOpens.Inc()
+	gw.eventLocked(now, obs.EventBreaker, n.be.Name(), "open")
 	orphans := gw.orphansLocked(g)
 	gw.mu.Unlock()
 	gw.failover(now, orphans)
@@ -527,6 +691,7 @@ func (gw *Gateway) complete(id int64, o Outcome) {
 	e.fellBack = o.FellBack
 	e.latencyUs = usOf(o.Latency)
 	if !o.Met {
+		gw.statMissed++
 		e.cause = gw.missCauseLocked(e, o)
 		if c := gw.cMissCause[e.job.Class][e.cause]; c != nil {
 			c.Inc()
@@ -535,6 +700,10 @@ func (gw *Gateway) complete(id int64, o Outcome) {
 	if e.accepted {
 		gw.inflight--
 		gw.gInflight.Set(float64(gw.inflight))
+		if g := e.backend; g >= 0 && g < len(gw.nodes) {
+			gw.nodes[g].inflight--
+			gw.maybeRetireLocked(gw.clock.Now(), g)
+		}
 	}
 	close(e.done)
 }
@@ -606,6 +775,9 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 	gw.nextID++
 	e := &entry{job: job, backend: -1, submitAt: now, done: make(chan struct{})}
 	gw.addLocked(e)
+	gw.statJournaled++
+	gw.statEstUs += usOf(job.Est)
+	gw.statDeadlineUs += usOf(deadline)
 
 	if gw.healthyLocked() == 0 {
 		e.terminal = verify.FleetRejected
@@ -629,14 +801,14 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 	}
 	gw.mu.Unlock()
 
-	for attempt := 0; attempt < len(gw.opt.Backends); attempt++ {
+	for attempt := 0; ; attempt++ {
 		gw.mu.Lock()
-		if gw.healthyLocked() == 0 {
+		if attempt >= len(gw.nodes) || gw.healthyLocked() == 0 {
 			gw.mu.Unlock()
 			break
 		}
 		target := gw.router.Pick(now, job.Est, int(job.ID))
-		be := gw.opt.Backends[target]
+		be := gw.nodes[target].be
 		gw.mu.Unlock()
 
 		v, err := gw.submitTo(now, target, be, e)
@@ -648,17 +820,24 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 		e.dispatches = append(e.dispatches, be.Name())
 		e.spanLocked(now, obs.EventRoute,
 			fmt.Sprintf("routed to %s (drain=%dus, accepted=%v)",
-				be.Name(), usOf(gw.headroom[target].Drain), v.Accepted))
+				be.Name(), usOf(gw.nodes[target].headroom.Drain), v.Accepted))
 		if v.Accepted {
 			e.accepted = true
 			e.backend = target
 			e.remoteID = v.RemoteID
+			// Only accepted jobs shape the tightest-deadline stat: a
+			// hopeless deadline bounced at admission never ran, so it says
+			// nothing about the mix the fleet must be sized for.
+			if us := usOf(e.job.Deadline); gw.statTightestUs == 0 || us < gw.statTightestUs {
+				gw.statTightestUs = us
+			}
 			// The completion may already have raced in (real clocks,
 			// fast jobs): complete() saw accepted==false then and skipped
 			// the decrement, so only count still-open entries.
 			if e.terminal == "" {
 				gw.inflight++
 				gw.gInflight.Set(float64(gw.inflight))
+				gw.nodes[target].inflight++
 			}
 		} else {
 			e.terminal = verify.FleetRejected
@@ -692,6 +871,7 @@ func (gw *Gateway) Submit(bench *workload.Benchmark, deadline sim.Time, class Cl
 // class's SLO counter (caller holds mu and has set e.terminal).
 func (gw *Gateway) rejectCauseLocked(e *entry) {
 	e.cause = metrics.MissRejected.String()
+	gw.statMissed++
 	if c := gw.cMissCause[e.job.Class][e.cause]; c != nil {
 		c.Inc()
 	}
@@ -719,10 +899,11 @@ func (gw *Gateway) FleetJobs() []verify.FleetJob {
 	return out
 }
 
-// Check runs verify.CheckFleet over the live journal — the no-lost-jobs
-// invariant, extended across failover.
+// Check runs verify.CheckFleetScaled over the live journal — the
+// no-lost-jobs invariant, extended across failover and scale-down churn.
 func (gw *Gateway) Check(at sim.Time) []verify.Violation {
-	return verify.CheckFleet(at, gw.FleetJobs())
+	jobs := gw.FleetJobs()
+	return verify.CheckFleetScaled(at, jobs, gw.DrainedNodes())
 }
 
 // Inflight returns the number of accepted, non-terminal jobs.
@@ -730,6 +911,129 @@ func (gw *Gateway) Inflight() int {
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
 	return gw.inflight
+}
+
+// NodeLoad is one node's live load/health snapshot — the saturation
+// analyzer's per-node input.
+type NodeLoad struct {
+	// Index is the node's routing index (stable for the gateway's life).
+	Index int
+
+	// Name is the backend's name.
+	Name string
+
+	// Drain is the node's last-probed queue-drain estimate.
+	Drain sim.Time
+
+	// Unfinished is the node's last-probed admitted non-terminal job count.
+	Unfinished int
+
+	// CapacityFrac is the node's surviving compute fraction in (0, 1]
+	// (CU-retirement shrink signal); 1 when the node never reported one.
+	CapacityFrac float64
+
+	// Breaker is the node's circuit-breaker position.
+	Breaker BreakerState
+
+	// Inflight is the gateway's own count of accepted jobs assigned here.
+	Inflight int
+
+	// Draining/Retired are the scale-down lifecycle flags.
+	Draining bool
+	Retired  bool
+}
+
+// Loads snapshots every node's load/health row, including draining and
+// retired nodes (callers filter on the lifecycle flags).
+func (gw *Gateway) Loads() []NodeLoad {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	out := make([]NodeLoad, len(gw.nodes))
+	for g, n := range gw.nodes {
+		frac := n.headroom.CapacityFrac
+		if frac <= 0 || frac > 1 {
+			frac = 1
+		}
+		out[g] = NodeLoad{
+			Index:        g,
+			Name:         n.be.Name(),
+			Drain:        n.headroom.Drain,
+			Unfinished:   n.headroom.Unfinished,
+			CapacityFrac: frac,
+			Breaker:      n.breaker.State(),
+			Inflight:     n.inflight,
+			Draining:     n.draining,
+			Retired:      n.retired,
+		}
+	}
+	return out
+}
+
+// ActiveNodes counts nodes that may receive new work (breaker not open, not
+// draining, not retired).
+func (gw *Gateway) ActiveNodes() int {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.healthyLocked()
+}
+
+// Stats is the gateway's cumulative traffic accounting. Every field is
+// monotone, so a controller differentiates two snapshots to get rates.
+type Stats struct {
+	// Submitted/Accepted/Rejected/Shed/Unhealthy partition the arrival
+	// stream's verdicts (Rejected is node admission; Shed is the gateway's
+	// criticality shedding; Unhealthy is no-backend 503s).
+	Submitted, Accepted, Rejected, Shed, Unhealthy int64
+
+	// Missed counts terminal jobs that missed their deadline, rejects
+	// included — the SLO-burn total the reactive policy watches.
+	Missed int64
+
+	// Inflight is the current accepted, non-terminal count (not monotone).
+	Inflight int
+
+	// EstUs / DeadlineUs / Journaled let the analyzer recover the offered
+	// workload's mean service time and deadline: each journaled submission
+	// adds its serial-time estimate and relative deadline. TightestUs is
+	// the smallest relative deadline ever accepted (0 until the first
+	// acceptance) — the deadline a capacity model must size for when the
+	// mix spans criticality classes, since the mean hides the tight cohort.
+	EstUs      int64
+	DeadlineUs int64
+	TightestUs int64
+	Journaled  int64
+}
+
+// Stats snapshots the cumulative traffic statistics.
+func (gw *Gateway) Stats() Stats {
+	shed := int64(0)
+	for _, c := range gw.cShed {
+		shed += c.Value()
+	}
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return Stats{
+		Submitted:  gw.cSubmitted.Value(),
+		Accepted:   gw.cAccepted.Value(),
+		Rejected:   gw.cRejected.Value(),
+		Shed:       shed,
+		Unhealthy:  gw.cUnhealthy.Value(),
+		Missed:     gw.statMissed,
+		Inflight:   gw.inflight,
+		EstUs:      gw.statEstUs,
+		DeadlineUs: gw.statDeadlineUs,
+		TightestUs: gw.statTightestUs,
+		Journaled:  gw.statJournaled,
+	}
+}
+
+// RecordEvent appends one instant event to the gateway's fleet-event log
+// (exported to Perfetto) — the autoscaler stamps its decisions here so scale
+// actions line up with job waterfalls on one timeline.
+func (gw *Gateway) RecordEvent(now sim.Time, name, node, detail string) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	gw.eventLocked(now, name, node, detail)
 }
 
 // Status reads one journaled job.
@@ -792,7 +1096,7 @@ func (gw *Gateway) Shutdown(ctx context.Context, grace time.Duration) error {
 	go func() {
 		defer close(done)
 		var wg sync.WaitGroup
-		for _, be := range gw.opt.Backends {
+		for _, be := range gw.Backends() {
 			if d, ok := unwrap(be).(drainer); ok {
 				wg.Add(1)
 				go func(d drainer) { defer wg.Done(); d.Shutdown(grace) }(d)
@@ -830,6 +1134,10 @@ type NodeStatus struct {
 	Breaker    string `json:"breaker"`
 	DrainUs    int64  `json:"drain_us"`
 	Unfinished int    `json:"unfinished"`
+
+	// Phase is the scale-down lifecycle: "" (active), "draining" or
+	// "retired".
+	Phase string `json:"phase,omitempty"`
 }
 
 // FleetStatus is the GET /v1/fleet payload: per-node health plus the
@@ -867,12 +1175,20 @@ func (gw *Gateway) Fleet() FleetStatus {
 		Duplicates: gw.cDuplicates.Value(),
 		Violations: violations,
 	}
-	for g, be := range gw.opt.Backends {
+	for _, n := range gw.nodes {
+		phase := ""
+		switch {
+		case n.retired:
+			phase = "retired"
+		case n.draining:
+			phase = "draining"
+		}
 		fs.Nodes = append(fs.Nodes, NodeStatus{
-			Name:       be.Name(),
-			Breaker:    gw.breakers[g].State().String(),
-			DrainUs:    usOf(gw.headroom[g].Drain),
-			Unfinished: gw.headroom[g].Unfinished,
+			Name:       n.be.Name(),
+			Breaker:    n.breaker.State().String(),
+			DrainUs:    usOf(n.headroom.Drain),
+			Unfinished: n.headroom.Unfinished,
+			Phase:      phase,
 		})
 	}
 	for _, id := range gw.order {
@@ -1002,7 +1318,10 @@ func (gw *Gateway) StitchedTrace(id int64) (obs.TraceDoc, bool) {
 	}
 	st := gw.statusLocked(e)
 	spans := append([]obs.WireSpan(nil), e.spans...)
-	backend := e.backend
+	var src TraceSource
+	if g := e.backend; g >= 0 && g < len(gw.nodes) {
+		src, _ = gw.nodes[g].be.(TraceSource)
+	}
 	remoteID := e.remoteID
 	deadlineUs := float64(e.job.Deadline) / float64(sim.Microsecond)
 	gw.mu.Unlock()
@@ -1019,16 +1338,14 @@ func (gw *Gateway) StitchedTrace(id int64) (obs.TraceDoc, bool) {
 		LatencyUs: float64(st.LatencyUs),
 		Spans:     spans,
 	}
-	if backend >= 0 && backend < len(gw.opt.Backends) {
-		if ts, ok := gw.opt.Backends[backend].(TraceSource); ok {
-			if nt, ok := ts.JobTrace(remoteID, st.TraceID); ok {
-				wire.Spans = append(wire.Spans, nt.Spans...)
-				// The node's latency is float-exact; the journal's is
-				// truncated to whole microseconds. Prefer the exact one so
-				// the phase partition sums to the latency precisely.
-				if nt.LatencyUs > 0 {
-					wire.LatencyUs = nt.LatencyUs
-				}
+	if src != nil {
+		if nt, ok := src.JobTrace(remoteID, st.TraceID); ok {
+			wire.Spans = append(wire.Spans, nt.Spans...)
+			// The node's latency is float-exact; the journal's is
+			// truncated to whole microseconds. Prefer the exact one so
+			// the phase partition sums to the latency precisely.
+			if nt.LatencyUs > 0 {
+				wire.LatencyUs = nt.LatencyUs
 			}
 		}
 	}
@@ -1096,10 +1413,11 @@ func (gw *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	gw.mu.Lock()
 	healthy := gw.healthyLocked()
+	nodes := gw.provisionedLocked()
 	gw.mu.Unlock()
 	httpJSON(w, http.StatusOK, map[string]any{
 		"status":  status,
-		"nodes":   len(gw.opt.Backends),
+		"nodes":   nodes,
 		"healthy": healthy,
 	})
 }

@@ -30,6 +30,7 @@ var Experiments = map[string]func(context.Context, *Runner) *Report{
 	"scaling":   Scaling,
 	"faults":    FaultSweep,
 	"estimates": Estimates,
+	"autoscale": Autoscale,
 }
 
 // experimentOrder is the rendering order (paper order).
@@ -37,6 +38,7 @@ var experimentOrder = []string{
 	"table1", "figure1", "figure3", "figure4",
 	"figure6", "figure7", "figure8", "figure9", "figure10", "table5",
 	"ablation", "analysis", "seeds", "scaling", "faults", "estimates",
+	"autoscale",
 }
 
 // ExperimentIDs returns the known experiment IDs in paper order.

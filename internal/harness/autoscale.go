@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"laxgpu/internal/autoscale"
+	"laxgpu/internal/cp"
+	"laxgpu/internal/gateway"
+	"laxgpu/internal/serve"
+	"laxgpu/internal/sim"
+	"laxgpu/internal/workload"
+	"laxgpu/internal/workload/scenario"
+)
+
+// autoscaleScenarios are the committed scenario files the experiment replays
+// (the builtin copies are pinned byte-equal to examples/scenarios/).
+var autoscaleScenarios = []string{"diurnal", "burst-storm", "three-tenant"}
+
+// autoscalePolicies is the comparison set in presentation order: the fixed
+// minimum fleet, damage-driven scaling, and schedule-driven scaling.
+var autoscalePolicies = []string{"static-min", "reactive", "predictive"}
+
+// AutoscaleSettings parameterize one fleet replay. The zero value is not
+// useful; DefaultAutoscaleSettings is the experiment's configuration.
+type AutoscaleSettings struct {
+	// NodeRate is the calibrated per-node sustainable throughput handed to
+	// the saturation analyzer (jobs/s).
+	NodeRate float64
+
+	// Lag is the modeled provisioning delay.
+	Lag sim.Time
+
+	// Tick is the control-loop interval.
+	Tick sim.Time
+
+	// MinNodes/MaxNodes bound the fleet; static-min runs MinNodes forever.
+	MinNodes, MaxNodes int
+
+	// Patience is the drain patience in ticks.
+	Patience int
+
+	// NodeCUs shrinks each fleet node to this many compute units (memory
+	// bandwidth scaled proportionally), so the committed scenarios — sized
+	// for the paper's single 8-CU device — genuinely saturate one node and
+	// fleet size becomes the capacity lever. 0 keeps the default device.
+	NodeCUs int
+}
+
+// nodeSystem returns the per-node simulated system for the replay fleet.
+func (s AutoscaleSettings) nodeSystem() cp.SystemConfig {
+	cfg := cp.DefaultSystemConfig()
+	if s.NodeCUs > 0 {
+		scale := float64(s.NodeCUs) / float64(cfg.GPU.NumCUs)
+		cfg.GPU.NumCUs = s.NodeCUs
+		cfg.GPU.MemBandwidthDemand *= scale
+	}
+	return cfg
+}
+
+// DefaultAutoscaleSettings is the experiment configuration: a 10ms
+// provisioning lag against scenarios whose phases are 20ms+, so a
+// forecast-driven policy can be ready for a step exactly when it lands
+// while a damage-driven one is late by one lag.
+func DefaultAutoscaleSettings() AutoscaleSettings {
+	return AutoscaleSettings{
+		NodeRate: 7000,
+		Lag:      10 * sim.Millisecond,
+		Tick:     sim.Millisecond,
+		MinNodes: 1,
+		MaxNodes: 6,
+		Patience: 3,
+		NodeCUs:  2,
+	}
+}
+
+// AutoscaleResult is one (scenario, policy) fleet replay's outcome.
+type AutoscaleResult struct {
+	Scenario, Policy string
+
+	// Jobs is the offered job count; Met of them finished inside their
+	// deadline, Missed is everything else (late completions plus rejects).
+	Jobs, Met, Missed int64
+
+	// NodeSeconds is the provisioned-capacity cost in simulated seconds.
+	NodeSeconds float64
+
+	// ScaleUps/Drains count applied decisions; PeakNodes is the largest
+	// routable fleet the run reached.
+	ScaleUps, Drains, PeakNodes int
+}
+
+// MetFrac is the deadline-met fraction.
+func (a AutoscaleResult) MetFrac() float64 {
+	if a.Jobs == 0 {
+		return 0
+	}
+	return float64(a.Met) / float64(a.Jobs)
+}
+
+// RunAutoscale replays one scenario through a gateway fleet under one
+// scaling policy, entirely in simulated time on a manual clock: arrivals
+// submit at their generated instants, probes and the control loop tick
+// every Settings.Tick, scale-ups activate one provisioning lag after their
+// decision, and the run then quiesces. Deterministic for a fixed (spec,
+// seed, settings) triple. The fleet journal is checked (including the
+// fleet-drain-lossless rule) and any violation is returned as an error.
+func RunAutoscale(r *Runner, spec *scenario.Spec, policy string, s AutoscaleSettings) (AutoscaleResult, error) {
+	set, err := spec.Generate(r.Lib, 0)
+	if err != nil {
+		return AutoscaleResult{}, err
+	}
+
+	clock := serve.NewManualClock()
+	nodeSys := s.nodeSystem()
+	var owned []*gateway.InprocBackend
+	mkNode := func(name string) (*gateway.InprocBackend, error) {
+		ib, err := gateway.NewInprocBackend(gateway.InprocConfig{
+			Name:       name,
+			Node:       serve.NodeConfig{System: nodeSys, Scheduler: "LAX"},
+			Clock:      clock,
+			TraceDepth: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		owned = append(owned, ib)
+		return ib, nil
+	}
+	defer func() {
+		for _, ib := range owned {
+			ib.Shutdown(time.Second)
+		}
+	}()
+
+	// Every policy starts from the minimum fleet; static-min just never
+	// leaves it.
+	var backends []gateway.Backend
+	for i := 0; i < s.MinNodes; i++ {
+		ib, err := mkNode(fmt.Sprintf("node%d", i))
+		if err != nil {
+			return AutoscaleResult{}, err
+		}
+		backends = append(backends, ib)
+	}
+	gw, err := gateway.New(gateway.Options{
+		Backends:      backends,
+		Clock:         clock,
+		Seed:          r.Seed,
+		FailThreshold: 3,
+		ProbeBackoff:  s.Tick,
+		System:        nodeSys,
+	})
+	if err != nil {
+		return AutoscaleResult{}, err
+	}
+
+	var pol autoscale.Policy
+	var fc autoscale.Forecast
+	switch policy {
+	case "static-min":
+		pol = autoscale.Static{}
+	case "reactive":
+		pol = &autoscale.Reactive{Patience: s.Patience}
+	case "predictive":
+		pol = &autoscale.Predictive{Patience: s.Patience}
+		fc = spec
+	default:
+		return AutoscaleResult{}, fmt.Errorf("harness: unknown autoscale policy %q", policy)
+	}
+	ctrl, err := autoscale.New(autoscale.Options{
+		Gateway:  gw,
+		Policy:   pol,
+		Forecast: fc,
+		Config: autoscale.Config{
+			NodeRate:      s.NodeRate,
+			Lag:           s.Lag,
+			MinNodes:      s.MinNodes,
+			MaxNodes:      s.MaxNodes,
+			DrainPatience: s.Patience,
+		},
+		Factory: func(name string) (gateway.Backend, error) { return mkNode(name) },
+	})
+	if err != nil {
+		return AutoscaleResult{}, err
+	}
+
+	// Replay: arrivals submit at their own instants; the probe and control
+	// loops run every tick. Class/benchmark lookups are cached per cohort.
+	benches := map[string]*workload.Benchmark{}
+	classes := map[string]gateway.Class{}
+	horizon := sim.Time(spec.DurationUs) * sim.Microsecond
+	peakNodes := 0
+	ji := 0
+	tickAll := func(t sim.Time) {
+		clock.Set(t)
+		gw.TickProbes(t)
+		ctrl.Tick(t)
+		if n := gw.ActiveNodes(); n > peakNodes {
+			peakNodes = n
+		}
+	}
+	tickAll(0)
+	for t := s.Tick; ; t += s.Tick {
+		for ji < len(set.Jobs) && set.Jobs[ji].Arrival <= t {
+			j := set.Jobs[ji]
+			bench := benches[j.Benchmark]
+			if bench == nil {
+				if bench, err = workload.FindBenchmark(j.Benchmark); err != nil {
+					return AutoscaleResult{}, err
+				}
+				benches[j.Benchmark] = bench
+			}
+			class, ok := classes[j.Criticality]
+			if !ok {
+				if class, err = gateway.ParseClass(j.Criticality); err != nil {
+					return AutoscaleResult{}, err
+				}
+				classes[j.Criticality] = class
+			}
+			clock.Set(j.Arrival)
+			gw.Submit(bench, j.Deadline, class)
+			ji++
+		}
+		tickAll(t)
+		if t >= horizon && ji == len(set.Jobs) {
+			break
+		}
+	}
+
+	// Quiesce: keep ticking until the fleet finishes every accepted job
+	// (bounded — a wedged run is a bug, not a longer wait).
+	end := horizon
+	for i := 0; gw.Inflight() > 0 && i < 1000; i++ {
+		end += s.Tick
+		tickAll(end)
+	}
+	if n := gw.Inflight(); n != 0 {
+		return AutoscaleResult{}, fmt.Errorf("harness: autoscale replay wedged with %d jobs in flight", n)
+	}
+	if vs := gw.Check(end); len(vs) != 0 {
+		return AutoscaleResult{}, fmt.Errorf("harness: fleet journal violation under %s/%s: %v",
+			spec.Name, policy, vs[0])
+	}
+
+	st := gw.Stats()
+	return AutoscaleResult{
+		Scenario:    spec.Name,
+		Policy:      policy,
+		Jobs:        st.Submitted,
+		Met:         st.Submitted - st.Missed,
+		Missed:      st.Missed,
+		NodeSeconds: ctrl.NodeSeconds(),
+		ScaleUps:    ctrl.ScaleUps(),
+		Drains:      ctrl.Drains(),
+		PeakNodes:   peakNodes,
+	}, nil
+}
+
+// Autoscale is the fleet-elasticity experiment: every committed scenario
+// replayed under static-min, reactive and predictive scaling, comparing
+// deadline misses against provisioned node-seconds. The predictive policy
+// reads the scenario's own rate schedule one provisioning lag ahead; the
+// reactive one sees only damage, so its scale-ups land one lag late and the
+// misses accumulated inside that window are visible in the table.
+func Autoscale(ctx context.Context, r *Runner) *Report {
+	s := DefaultAutoscaleSettings()
+	type cell struct {
+		scn, pol string
+	}
+	var cells []cell
+	for _, scn := range autoscaleScenarios {
+		for _, pol := range autoscalePolicies {
+			cells = append(cells, cell{scn, pol})
+		}
+	}
+	results := make([]AutoscaleResult, len(cells))
+	mustDo(ctx, r, len(cells), func(ctx context.Context, i int) error {
+		spec, err := scenario.Builtin(cells[i].scn)
+		if err != nil {
+			return err
+		}
+		res, err := RunAutoscale(r, spec, cells[i].pol, s)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	sort.SliceStable(results, func(a, b int) bool {
+		if results[a].Scenario != results[b].Scenario {
+			return results[a].Scenario < results[b].Scenario
+		}
+		return results[a].Policy < results[b].Policy
+	})
+
+	rep := &Report{
+		ID:    "autoscale",
+		Title: "Deadline misses vs provisioned node-seconds under fleet autoscaling",
+		Notes: []string{
+			fmt.Sprintf("Provisioning lag %v, control tick %v, fleet %d..%d nodes, analyzer NodeRate %g jobs/s.",
+				s.Lag, s.Tick, s.MinNodes, s.MaxNodes, s.NodeRate),
+			"Expected shape: predictive ≥ reactive on deadlines met at similar or lower node-seconds (its scale-ups are ready when a schedule step lands); both beat the static minimum fleet; static-min spends the fewest node-seconds and misses the most.",
+		},
+	}
+	for _, scn := range autoscaleScenarios {
+		t := &Table{
+			Title:  fmt.Sprintf("scenario %s", scn),
+			Header: []string{"Policy", "Jobs", "Met", "Missed", "Met%", "Node-seconds", "Scale-ups", "Drains", "Peak nodes"},
+		}
+		for _, res := range results {
+			if res.Scenario != scn {
+				continue
+			}
+			t.AddRow(res.Policy, fint(int(res.Jobs)), fint(int(res.Met)), fint(int(res.Missed)),
+				f1(100*res.MetFrac()), f3(res.NodeSeconds), fint(res.ScaleUps), fint(res.Drains),
+				fint(res.PeakNodes))
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep
+}

@@ -252,8 +252,8 @@ func TestFigure10TraceQuality(t *testing.T) {
 
 func TestRunExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("%d experiments, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("%d experiments, want 17", len(ids))
 	}
 	for _, id := range ids {
 		if Experiments[id] == nil {

@@ -32,6 +32,9 @@ const (
 	EventRoute      = "route"        // gateway routing decision
 	EventRedispatch = "redispatch"   // gateway failover re-dispatch
 	EventBreaker    = "breaker"      // gateway circuit-breaker transition
+	EventScaleUp    = "scale-up"     // autoscaler added a node to the fleet
+	EventScaleDrain = "scale-drain"  // autoscaler began draining a node
+	EventRetire     = "retire"       // a drained node left the fleet
 )
 
 // Span is one element of a job's timeline, in the recording node's own

@@ -1,0 +1,147 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"laxgpu/internal/sim"
+)
+
+// erlangCRef is the textbook-stable reference: the Erlang-B recurrence
+// B_n = a·B_{n-1}/(n + a·B_{n-1}) converted to Erlang C via
+// C = B / (1 − ρ(1 − B)). Every step keeps values in [0, 1], so it cannot
+// overflow regardless of k — the yardstick the iterative a^n/n! sum in
+// ErlangC is checked against at large k.
+func erlangCRef(a float64, k int) float64 {
+	b := 1.0
+	for n := 1; n <= k; n++ {
+		b = a * b / (float64(n) + a*b)
+	}
+	rho := a / float64(k)
+	return b / (1 - rho*(1-b))
+}
+
+// TestErlangCNearSaturation drives utilization toward 1 from below. The
+// formula's top term carries a k/(k−a) factor that blows up as a → k; the
+// probability itself must stay finite, in (0, 1], and grow monotonically
+// toward 1 as the safety margin shrinks.
+func TestErlangCNearSaturation(t *testing.T) {
+	for _, k := range []int{1, 4, 16, 64} {
+		prev := -1.0
+		for _, eps := range []float64{1e-1, 1e-3, 1e-6, 1e-9} {
+			a := float64(k) * (1 - eps)
+			q := MMK{Lambda: a * 1000, ServiceTime: sim.Millisecond, K: k}
+			c, err := q.ErlangC()
+			if err != nil {
+				t.Fatalf("k=%d eps=%g: unexpected instability: %v", k, eps, err)
+			}
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("k=%d eps=%g: ErlangC = %v", k, eps, c)
+			}
+			if c <= 0 || c > 1 {
+				t.Fatalf("k=%d eps=%g: ErlangC = %g outside (0, 1]", k, eps, c)
+			}
+			if c < prev {
+				t.Fatalf("k=%d: ErlangC fell from %g to %g as rho rose", k, prev, c)
+			}
+			prev = c
+		}
+		if prev < 0.999 {
+			t.Errorf("k=%d: ErlangC = %g at rho = 1−1e-9, want ≈ 1", k, prev)
+		}
+	}
+}
+
+// TestErlangCLargeK checks the iterative a^n/n! accumulation against the
+// overflow-proof Erlang-B recurrence at server counts far past anything the
+// fleet runs (a^k and k! separately overflow float64 near k ≈ 170; the
+// ratio must not).
+func TestErlangCLargeK(t *testing.T) {
+	for _, k := range []int{64, 128, 256, 1024} {
+		for _, rho := range []float64{0.3, 0.7, 0.95} {
+			a := rho * float64(k)
+			q := MMK{Lambda: a * 100, ServiceTime: 10 * sim.Millisecond, K: k}
+			got, err := q.ErlangC()
+			if err != nil {
+				t.Fatalf("k=%d rho=%g: %v", k, rho, err)
+			}
+			want := erlangCRef(a, k)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("k=%d rho=%g: ErlangC = %.12g, reference = %.12g", k, rho, got, want)
+			}
+		}
+	}
+}
+
+// TestErlangCDecreasesWithServers pins the pooling effect at fixed
+// utilization: a bigger fleet at the same per-server load queues less.
+func TestErlangCDecreasesWithServers(t *testing.T) {
+	const rho = 0.8
+	prev := 2.0
+	for _, k := range []int{1, 2, 8, 64, 512} {
+		q := MMK{Lambda: rho * float64(k) * 100, ServiceTime: 10 * sim.Millisecond, K: k}
+		c, err := q.ErlangC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= prev {
+			t.Fatalf("ErlangC(k=%d) = %g did not drop below %g at fixed rho", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+// TestDeadlineMetFracMonotoneInK grows the fleet under a fixed offered
+// stream: each added server may only improve the predicted deadline-met
+// fraction, and with enough servers it must approach 1. This is the
+// monotonicity the autoscaler's knee search depends on.
+func TestDeadlineMetFracMonotoneInK(t *testing.T) {
+	const lambda = 900.0
+	service := 5 * sim.Millisecond
+	deadline := 12 * sim.Millisecond
+	prev := -1.0
+	checked := 0
+	for k := 1; k <= 64; k++ {
+		q := MMK{Lambda: lambda, ServiceTime: service, K: k}
+		if !q.Stable() {
+			continue
+		}
+		met, err := q.DeadlineMetFrac(deadline)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if met < prev-1e-12 {
+			t.Fatalf("met(k=%d) = %.9g < met(k=%d) = %.9g — adding a server hurt", k, met, k-1, prev)
+		}
+		prev = met
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d stable configurations checked", checked)
+	}
+	if prev < 0.9999 {
+		t.Errorf("met(k=64) = %g, want ≈ 1 for a lightly loaded fleet", prev)
+	}
+}
+
+// TestWaitExceedsNearSaturation: with the drain rate Kµ−λ nearly zero the
+// exponential decay flattens; P(wait > t) must degrade gracefully to the
+// Erlang-C mass rather than produce NaN from a 0·∞ style mishap.
+func TestWaitExceedsNearSaturation(t *testing.T) {
+	k := 8
+	a := float64(k) * (1 - 1e-12)
+	q := MMK{Lambda: a * 100, ServiceTime: 10 * sim.Millisecond, K: k}
+	c, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, horizon := range []sim.Time{0, sim.Millisecond, 3600 * sim.Second} {
+		p, err := q.WaitExceeds(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(p) || p < 0 || p > c+1e-15 {
+			t.Fatalf("WaitExceeds(%v) = %g with C = %g", horizon, p, c)
+		}
+	}
+}

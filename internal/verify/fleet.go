@@ -164,6 +164,36 @@ func checkTrace(j FleetJob, bad func(j FleetJob, rule, format string, args ...an
 	}
 }
 
+// CheckFleetScaled extends CheckFleet with the scale-down invariant: a node
+// the gateway has retired (graceful drain completed, it left the fleet) must
+// not still own live work. An accepted, non-terminal job whose most recent
+// dispatch is a retired node is a job the scale-down lost — retirement is
+// only legal once every job journaled on the node reached a terminal state
+// or was re-dispatched elsewhere. retired lists the names of nodes that have
+// completed their drain; the base CheckFleet rules run unchanged.
+func CheckFleetScaled(at sim.Time, jobs []FleetJob, retired []string) []Violation {
+	vs := CheckFleet(at, jobs)
+	if len(retired) == 0 {
+		return vs
+	}
+	gone := make(map[string]bool, len(retired))
+	for _, n := range retired {
+		gone[n] = true
+	}
+	for _, j := range jobs {
+		if !j.Accepted || j.Terminal != "" || len(j.Dispatches) == 0 {
+			continue
+		}
+		if last := j.Dispatches[len(j.Dispatches)-1]; gone[last] {
+			vs = append(vs, Violation{At: at, Rule: "fleet-drain-lossless", Job: int(j.ID),
+				Detail: fmt.Sprintf("live job still owned by retired node %q (dispatched to %v)",
+					last, j.Dispatches)})
+		}
+	}
+	sort.SliceStable(vs, func(i, k int) bool { return vs[i].Job < vs[k].Job })
+	return vs
+}
+
 // FleetErr reduces CheckFleet's output to the test-friendly form: nil for a
 // clean journal, the first violation as an error otherwise.
 func FleetErr(at sim.Time, jobs []FleetJob) error {

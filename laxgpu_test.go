@@ -103,7 +103,7 @@ func TestEnumerations(t *testing.T) {
 	if len(Benchmarks()) != 8 {
 		t.Fatalf("Benchmarks() = %v", Benchmarks())
 	}
-	if len(Experiments()) != 16 {
+	if len(Experiments()) != 17 { // 16 + autoscale
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 	if len(Rates()) != 3 {
@@ -346,5 +346,35 @@ func TestFindCapacityDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("capacity search nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestFindCapacityScenarioPeak(t *testing.T) {
+	// The probe workload is the scenario's peak-phase tenant mix scaled to
+	// the probed aggregate rate; the search must find a positive capacity
+	// for the committed three-tenant scenario and be reproducible.
+	opts := CapacityOptions{Scheduler: "LAX", Scenario: "three-tenant", Jobs: 48, TargetMetFrac: 0.5}
+	a, err := FindCapacity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JobsPerSecond <= 0 {
+		t.Fatalf("no capacity under the three-tenant peak: %v", a)
+	}
+	b, err := FindCapacity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("scenario capacity search nondeterministic: %v vs %v", a, b)
+	}
+	// Benchmark is ignored in scenario mode — even an invalid one.
+	opts.Benchmark = "NOPE"
+	if _, err := FindCapacity(opts); err != nil {
+		t.Fatalf("scenario mode consulted Benchmark: %v", err)
+	}
+	// Unknown scenarios error with the builtin list in the message.
+	if _, err := FindCapacity(CapacityOptions{Scheduler: "LAX", Scenario: "no-such-scenario"}); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }

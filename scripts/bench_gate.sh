@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# bench_gate.sh OLD.json NEW.json — the benchmark regression gate.
+# bench_gate.sh [OLD.json NEW.json] — the benchmark regression gate.
+#
+# With no arguments it auto-selects the two highest-numbered committed
+# BENCH_<n>.json snapshots (old = second-highest, new = highest), so the
+# gate keeps comparing the latest pair as snapshots accumulate instead of
+# rotting on a hardcoded filename.
 #
 # Compares two committed BENCH_*.json snapshots and fails (exit 1) when any
 # per-event metric (ns_per_*) regresses by more than 20%, so a PR cannot
@@ -15,8 +20,22 @@
 # TestParallelSweepScales covers the same property at test time.
 set -euo pipefail
 
-OLD=${1:-BENCH_6.json}
-NEW=${2:-BENCH_7.json}
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 2 ]; then
+    OLD=$1
+    NEW=$2
+else
+    mapfile -t nums < <(ls BENCH_*.json 2>/dev/null \
+        | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -2)
+    if [ "${#nums[@]}" -lt 2 ]; then
+        echo "bench gate: need at least two committed BENCH_<n>.json snapshots, found ${#nums[@]}" >&2
+        exit 1
+    fi
+    OLD="BENCH_${nums[0]}.json"
+    NEW="BENCH_${nums[1]}.json"
+fi
+echo "bench gate: $NEW vs $OLD"
 
 python3 - "$OLD" "$NEW" <<'EOF'
 import json, sys
